@@ -1,0 +1,92 @@
+// E10 — the NP-hard selection problem (§2.4): greedy approximation quality
+// and speedup vs exact branch-and-bound on controlled small instances.
+//
+// Expected shape: greedy achieves a high fraction of the optimal coverage
+// (often 1.0) while running orders of magnitude faster; exact blows up
+// combinatorially with the number of items.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/tree_printer.h"
+#include "datagen/random_xml.h"
+#include "snippet/instance_selector.h"
+
+namespace {
+
+using namespace extract;
+
+std::vector<ItemInstances> RandomItems(const IndexedDocument& doc, Rng* rng,
+                                       size_t num_items,
+                                       size_t max_instances) {
+  std::vector<ItemInstances> items(num_items);
+  for (auto& item : items) {
+    size_t count = 1 + rng->Uniform(max_instances);
+    std::set<NodeId> chosen;
+    for (size_t i = 0; i < count; ++i) {
+      chosen.insert(static_cast<NodeId>(rng->Uniform(doc.num_nodes())));
+    }
+    item.nodes.assign(chosen.begin(), chosen.end());
+  }
+  return items;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E10: greedy vs exact instance selection (NP-hard core, "
+              "§2.4) ==\n\n");
+
+  RandomXmlOptions doc_options;
+  doc_options.levels = 3;
+  doc_options.entities_per_parent = 4;
+  doc_options.attributes_per_entity = 2;
+  doc_options.seed = 31;
+  RandomXmlData data = GenerateRandomXml(doc_options);
+  XmlDatabase db = bench::MustLoad(data.xml);
+  const IndexedDocument& doc = db.index();
+
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"items", "bound", "greedy/exact coverage", "ratio",
+                   "greedy us", "exact us", "speedup"});
+  const int kTrials = 12;
+  for (size_t num_items : {4u, 6u, 8u, 10u, 12u}) {
+    size_t bound = num_items;  // roughly one edge per item
+    double greedy_total = 0, exact_total = 0;
+    double greedy_us_total = 0, exact_us_total = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(static_cast<uint64_t>(trial) * 131 + num_items);
+      auto items = RandomItems(doc, &rng, num_items, 3);
+      SelectorOptions options;
+      options.size_bound = bound;
+      Selection greedy;
+      Selection exact;
+      greedy_us_total += bench::MeasureMicros(
+          [&] { greedy = SelectInstancesGreedy(doc, 0, items, options); }, 3);
+      exact_us_total += bench::MeasureMicros(
+          [&] { exact = SelectInstancesExact(doc, 0, items, options); }, 3);
+      greedy_total += static_cast<double>(greedy.covered_count());
+      exact_total += static_cast<double>(exact.covered_count());
+    }
+    table.push_back(
+        {std::to_string(num_items), std::to_string(bound),
+         FormatDouble(greedy_total / kTrials, 2) + " / " +
+             FormatDouble(exact_total / kTrials, 2),
+         FormatDouble(exact_total == 0 ? 1.0 : greedy_total / exact_total, 3),
+         FormatDouble(greedy_us_total / kTrials, 1),
+         FormatDouble(exact_us_total / kTrials, 1),
+         FormatDouble(exact_us_total / std::max(1.0, greedy_us_total), 1) +
+             "x"});
+  }
+  std::printf("%s\n", RenderTable(table).c_str());
+  std::printf("expected shape: ratio near 1.0 (greedy ~ optimal on typical "
+              "inputs); exact time grows combinatorially with items, greedy "
+              "stays microseconds — why eXtract ships the greedy (§2.4).\n");
+  return 0;
+}

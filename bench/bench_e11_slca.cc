@@ -1,0 +1,82 @@
+// E11 — SLCA substrate ([7], XKSearch): Indexed Lookup Eager vs the
+// counting-scan baseline, across keyword selectivities.
+//
+// Expected shape: ILE wins when the rarest keyword's posting list is short
+// (it drives binary searches into the long lists); the counting scan's cost
+// is dominated by document size regardless of selectivity.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/random_xml.h"
+#include "search/slca.h"
+
+namespace {
+
+using namespace extract;
+
+struct Fixture {
+  XmlDatabase db;
+  std::vector<const PostingList*> lists;
+};
+
+Fixture* MakeFixture(size_t rare_rank) {
+  RandomXmlOptions options;
+  options.levels = 3;
+  options.entities_per_parent = 10;
+  options.attributes_per_entity = 2;
+  options.domain_size = 40;
+  options.zipf_skew = 1.2;
+  options.seed = 77;
+  static RandomXmlData data = GenerateRandomXml(options);
+  auto* f = new Fixture{bench::MustLoad(data.xml), {}};
+  // Keyword 1: a frequent value (rank 0) of a deep attribute; keyword 2: a
+  // value whose frequency drops with rare_rank.
+  const PostingList* frequent = f->db.inverted().Find("v20r0");
+  std::string rare_token = "v20r" + std::to_string(rare_rank);
+  const PostingList* rare = f->db.inverted().Find(rare_token);
+  if (frequent == nullptr || rare == nullptr) {
+    delete f;
+    return nullptr;
+  }
+  f->lists = {frequent, rare};
+  return f;
+}
+
+void BM_SlcaIle(benchmark::State& state) {
+  Fixture* f = MakeFixture(static_cast<size_t>(state.range(0)));
+  if (f == nullptr) {
+    state.SkipWithError("token missing in generated data");
+    return;
+  }
+  for (auto _ : state) {
+    auto slca = ComputeSlcaIndexedLookupEager(f->db.index(), f->lists);
+    benchmark::DoNotOptimize(slca);
+  }
+  state.counters["list0"] = static_cast<double>(f->lists[0]->size());
+  state.counters["list1"] = static_cast<double>(f->lists[1]->size());
+  delete f;
+}
+
+BENCHMARK(BM_SlcaIle)->Arg(1)->Arg(5)->Arg(15)->Arg(30)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SlcaScan(benchmark::State& state) {
+  Fixture* f = MakeFixture(static_cast<size_t>(state.range(0)));
+  if (f == nullptr) {
+    state.SkipWithError("token missing in generated data");
+    return;
+  }
+  for (auto _ : state) {
+    auto slca = ComputeSlcaBySubtreeCounts(f->db.index(), f->lists);
+    benchmark::DoNotOptimize(slca);
+  }
+  delete f;
+}
+
+BENCHMARK(BM_SlcaScan)->Arg(1)->Arg(5)->Arg(15)->Arg(30)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

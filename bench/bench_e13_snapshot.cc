@@ -1,0 +1,69 @@
+// E13 — index persistence (the Figure 4 "Index" store): snapshot save/load
+// throughput vs parsing the XML from scratch.
+//
+// Expected shape: loading a snapshot beats re-parsing (no tokenizer, no DOM,
+// no entity resolution); both are linear in document size. Derived-index
+// rebuild (classification, keys, inverted index) dominates snapshot load,
+// so the win narrows on attribute-heavy data.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/random_xml.h"
+#include "search/snapshot.h"
+
+namespace {
+
+using namespace extract;
+
+RandomXmlData MakeDoc(size_t entities_per_parent) {
+  RandomXmlOptions options;
+  options.levels = 3;
+  options.entities_per_parent = entities_per_parent;
+  options.attributes_per_entity = 3;
+  options.domain_size = 24;
+  options.seed = 99;
+  return GenerateRandomXml(options);
+}
+
+void BM_LoadFromXml(benchmark::State& state) {
+  RandomXmlData data = MakeDoc(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto db = XmlDatabase::Load(data.xml);
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["xml_bytes"] = static_cast<double>(data.xml.size());
+}
+
+BENCHMARK(BM_LoadFromXml)->Arg(4)->Arg(8)->Arg(14)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LoadFromSnapshot(benchmark::State& state) {
+  RandomXmlData data = MakeDoc(static_cast<size_t>(state.range(0)));
+  XmlDatabase db = bench::MustLoad(data.xml);
+  std::string snapshot = SaveDatabaseSnapshot(db);
+  for (auto _ : state) {
+    auto restored = LoadDatabaseSnapshot(snapshot);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(snapshot.size());
+}
+
+BENCHMARK(BM_LoadFromSnapshot)->Arg(4)->Arg(8)->Arg(14)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SaveSnapshot(benchmark::State& state) {
+  RandomXmlData data = MakeDoc(static_cast<size_t>(state.range(0)));
+  XmlDatabase db = bench::MustLoad(data.xml);
+  for (auto _ : state) {
+    std::string snapshot = SaveDatabaseSnapshot(db);
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+
+BENCHMARK(BM_SaveSnapshot)->Arg(4)->Arg(8)->Arg(14)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// E5 — snippet generation latency vs query result size (nodes).
+//
+// Reconstructs the companion paper's performance axis: how does the
+// pipeline (statistics -> return entity -> key -> dominant features ->
+// IList -> greedy selection) scale with the number of nodes in the result?
+// Expected shape: near-linear in result size, since every stage is a single
+// pass over the result subtree.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/random_xml.h"
+#include "snippet/pipeline.h"
+
+namespace {
+
+using namespace extract;
+
+struct Fixture {
+  XmlDatabase db;
+  Query query;
+  QueryResult result;
+};
+
+// One root entity whose subtree has ~`target` nodes.
+Fixture MakeFixture(size_t entities) {
+  RandomXmlOptions options;
+  options.levels = 2;
+  options.entities_per_parent = entities;
+  options.attributes_per_entity = 3;
+  options.domain_size = 16;
+  options.zipf_skew = 1.1;
+  options.seed = entities;
+  RandomXmlData data = GenerateRandomXml(options);
+  Fixture f{bench::MustLoad(data.xml), {}, {}};
+  f.query = Query::Parse(data.keyword_pool[0] + " e0");
+  // Snippet the whole-document result (root), the largest available.
+  f.result.root = f.db.index().root();
+  return f;
+}
+
+void BM_SnippetVsResultSize(benchmark::State& state) {
+  Fixture f = MakeFixture(static_cast<size_t>(state.range(0)));
+  SnippetGenerator generator(&f.db);
+  SnippetOptions options;
+  options.size_bound = 20;
+  for (auto _ : state) {
+    auto snippet = generator.Generate(f.query, f.result, options);
+    benchmark::DoNotOptimize(snippet);
+  }
+  state.counters["result_nodes"] =
+      static_cast<double>(f.db.index().num_nodes());
+}
+
+BENCHMARK(BM_SnippetVsResultSize)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Arg(64)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

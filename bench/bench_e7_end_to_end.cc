@@ -1,0 +1,104 @@
+// E7 — end-to-end pipeline throughput vs document size, with per-phase
+// breakdown: parse+index (Data Analyzer / Index Builder), search (SLCA +
+// result scoping), snippet generation.
+//
+// Expected shape: parse+index linear in document size and dominating; search
+// and snippets depend on posting-list/result sizes, far below load cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/random_xml.h"
+#include "datagen/workload.h"
+#include "snippet/pipeline.h"
+
+namespace {
+
+using namespace extract;
+
+RandomXmlData MakeDoc(size_t entities_per_parent) {
+  RandomXmlOptions options;
+  options.levels = 3;
+  options.entities_per_parent = entities_per_parent;
+  options.attributes_per_entity = 3;
+  options.domain_size = 24;
+  options.zipf_skew = 1.1;
+  options.seed = 1234;
+  return GenerateRandomXml(options);
+}
+
+void BM_LoadDocument(benchmark::State& state) {
+  RandomXmlData data = MakeDoc(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto db = XmlDatabase::Load(data.xml);
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["xml_bytes"] = static_cast<double>(data.xml.size());
+  state.counters["elements"] = static_cast<double>(data.approx_elements);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.xml.size()));
+}
+
+BENCHMARK(BM_LoadDocument)->Arg(4)->Arg(8)->Arg(12)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SearchWorkload(benchmark::State& state) {
+  RandomXmlData data = MakeDoc(static_cast<size_t>(state.range(0)));
+  XmlDatabase db = bench::MustLoad(data.xml);
+  WorkloadOptions wopts;
+  wopts.num_queries = 8;
+  wopts.keywords_per_query = 2;
+  auto workload = GenerateWorkload(db, wopts);
+  XSeekEngine engine;
+  size_t total_results = 0;
+  for (auto _ : state) {
+    total_results = 0;
+    for (const Query& q : workload) {
+      auto results = engine.Search(db, q);
+      if (results.ok()) total_results += results->size();
+      benchmark::DoNotOptimize(results);
+    }
+  }
+  state.counters["results_per_batch"] = static_cast<double>(total_results);
+}
+
+BENCHMARK(BM_SearchWorkload)->Arg(4)->Arg(8)->Arg(12)->Arg(20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SnippetsForWorkload(benchmark::State& state) {
+  RandomXmlData data = MakeDoc(static_cast<size_t>(state.range(0)));
+  XmlDatabase db = bench::MustLoad(data.xml);
+  WorkloadOptions wopts;
+  wopts.num_queries = 8;
+  wopts.keywords_per_query = 2;
+  auto workload = GenerateWorkload(db, wopts);
+  XSeekEngine engine;
+  SnippetGenerator generator(&db);
+  SnippetOptions options;
+  options.size_bound = 12;
+  // Pre-compute results; measure only snippet generation.
+  std::vector<std::pair<Query, std::vector<QueryResult>>> batches;
+  for (const Query& q : workload) {
+    auto results = engine.Search(db, q);
+    if (results.ok()) batches.emplace_back(q, std::move(*results));
+  }
+  size_t snippets = 0;
+  for (auto _ : state) {
+    snippets = 0;
+    for (const auto& [q, results] : batches) {
+      for (const QueryResult& r : results) {
+        auto snippet = generator.Generate(q, r, options);
+        benchmark::DoNotOptimize(snippet);
+        ++snippets;
+      }
+    }
+  }
+  state.counters["snippets_per_batch"] = static_cast<double>(snippets);
+}
+
+BENCHMARK(BM_SnippetsForWorkload)->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Shared helpers for the experiment binaries: wall-clock measurement and
+// dataset construction shortcuts.
+
+#ifndef EXTRACT_BENCH_BENCH_UTIL_H_
+#define EXTRACT_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "search/search_engine.h"
+
+namespace extract {
+namespace bench {
+
+/// Median-of-runs wall time of `fn`, in microseconds.
+inline double MeasureMicros(const std::function<void()>& fn, int runs = 5) {
+  double best = 1e300;
+  for (int r = 0; r < runs; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    double us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            end - start)
+            .count();
+    if (us < best) best = us;
+  }
+  return best;
+}
+
+/// Loads a database or aborts the binary with a message.
+inline XmlDatabase MustLoad(const std::string& xml) {
+  auto db = XmlDatabase::Load(xml);
+  if (!db.ok()) {
+    std::fprintf(stderr, "fatal: %s\n", db.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*db);
+}
+
+}  // namespace bench
+}  // namespace extract
+
+#endif  // EXTRACT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,270 @@
+// Interactive shell reproducing the demo's web UI flow (paper §4): select a
+// data set, view it, issue keyword queries, tune the snippet size bound,
+// inspect snippets and open full results — all from a terminal.
+//
+//   $ ./build/examples/extract_shell           # interactive
+//   $ echo "open stores
+//   query store texas
+//   quit" | ./build/examples/extract_shell     # scripted
+//
+// Commands:
+//   open <retailer|stores|movies>   load a built-in data set
+//   datasets                        list loaded data sets
+//   use <name>                      switch the active data set
+//   schema                          show the Data Analyzer's summary
+//   bound <n>                       set the snippet size bound (edges)
+//   query <keywords...>             search + snippets (active data set)
+//   queryall <keywords...>          search every loaded data set, ranked
+//   result <rank>                   print the full tree of a result
+//   html <path>                     write the last results page as HTML
+//   save <path> / load <path>       snapshot the active data set's index
+//   help / quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datagen/movies_dataset.h"
+#include "datagen/retailer_dataset.h"
+#include "datagen/stores_dataset.h"
+#include "render/html_renderer.h"
+#include "schema/schema_summary.h"
+#include "search/corpus.h"
+#include "search/result_builder.h"
+#include "search/snapshot.h"
+#include "snippet/distinguishability.h"
+#include "snippet/pipeline.h"
+#include "xml/serializer.h"
+
+namespace {
+
+using namespace extract;
+
+struct ShellState {
+  XmlCorpus corpus;
+  std::string active;
+  size_t bound = 10;
+  Query last_query;
+  std::vector<QueryResult> last_results;
+  std::vector<Snippet> last_snippets;
+
+  const XmlDatabase* ActiveDb() const { return corpus.Find(active); }
+};
+
+void CmdOpen(ShellState* state, const std::string& name) {
+  std::string xml;
+  if (name == "retailer") {
+    xml = GenerateRetailerXml();
+  } else if (name == "stores") {
+    xml = GenerateStoresXml();
+  } else if (name == "movies") {
+    xml = GenerateMoviesXml();
+  } else {
+    std::printf("unknown data set '%s' (try retailer|stores|movies)\n",
+                name.c_str());
+    return;
+  }
+  if (state->corpus.Find(name) == nullptr) {
+    Status status = state->corpus.AddDocument(name, xml);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return;
+    }
+  }
+  state->active = name;
+  std::printf("opened '%s' (%zu nodes)\n", name.c_str(),
+              state->ActiveDb()->index().num_nodes());
+}
+
+void CmdQuery(ShellState* state, const std::string& text) {
+  const XmlDatabase* db = state->ActiveDb();
+  if (db == nullptr) {
+    std::printf("no data set open; use: open stores\n");
+    return;
+  }
+  Query query = Query::Parse(text);
+  XSeekEngine engine;
+  auto results = engine.Search(*db, query);
+  if (!results.ok()) {
+    std::printf("error: %s\n", results.status().ToString().c_str());
+    return;
+  }
+  SnippetOptions options;
+  options.size_bound = state->bound;
+  auto snippets = GenerateDiverseSnippets(*db, query, *results, options,
+                                          DiversifyOptions{});
+  if (!snippets.ok()) {
+    std::printf("error: %s\n", snippets.status().ToString().c_str());
+    return;
+  }
+  std::printf("%zu result(s), snippet bound %zu\n\n", results->size(),
+              state->bound);
+  for (size_t i = 0; i < snippets->size(); ++i) {
+    const Snippet& s = (*snippets)[i];
+    std::string key_note = s.key.found() ? "  key: " + s.key.value : "";
+    std::printf("[%zu]%s\n%s\n", i + 1, key_note.c_str(),
+                RenderSnippet(s).c_str());
+  }
+  state->last_query = std::move(query);
+  state->last_results = std::move(*results);
+  state->last_snippets = std::move(*snippets);
+}
+
+void CmdQueryAll(ShellState* state, const std::string& text) {
+  if (state->corpus.size() == 0) {
+    std::printf("no data sets loaded\n");
+    return;
+  }
+  Query query = Query::Parse(text);
+  XSeekEngine engine;
+  auto hits = state->corpus.SearchAll(query, engine);
+  if (!hits.ok()) {
+    std::printf("error: %s\n", hits.status().ToString().c_str());
+    return;
+  }
+  std::printf("%zu hit(s) across %zu data set(s)\n", hits->size(),
+              state->corpus.size());
+  size_t rank = 1;
+  for (const CorpusResult& hit : *hits) {
+    const XmlDatabase* db = state->corpus.Find(hit.document);
+    SnippetGenerator generator(db);
+    SnippetOptions options;
+    options.size_bound = state->bound;
+    auto snippet = generator.Generate(query, hit.result, options);
+    if (!snippet.ok()) continue;
+    std::printf("\n[%zu] %s (score %.2f)\n%s", rank++, hit.document.c_str(),
+                hit.score, RenderSnippet(*snippet).c_str());
+  }
+}
+
+void CmdResult(ShellState* state, size_t rank) {
+  const XmlDatabase* db = state->ActiveDb();
+  if (db == nullptr || rank == 0 || rank > state->last_results.size()) {
+    std::printf("no such result\n");
+    return;
+  }
+  auto tree = MaterializeResult(*db, state->last_results[rank - 1]);
+  std::printf("%s\n", RenderXmlTree(*tree).c_str());
+}
+
+void CmdHtml(ShellState* state, const std::string& path) {
+  if (state->last_snippets.empty()) {
+    std::printf("run a query first\n");
+    return;
+  }
+  std::string html = RenderResultsPageHtml(state->last_query,
+                                           state->last_snippets, {});
+  std::ofstream out(path);
+  if (!out) {
+    std::printf("cannot write %s\n", path.c_str());
+    return;
+  }
+  out << html;
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), html.size());
+}
+
+void CmdSchema(const ShellState& state) {
+  const XmlDatabase* db = state.ActiveDb();
+  if (db == nullptr) {
+    std::printf("no data set open\n");
+    return;
+  }
+  std::printf("%s",
+              RenderSchemaSummary(db->index(), db->classification(), db->keys())
+                  .c_str());
+}
+
+void CmdSave(const ShellState& state, const std::string& path) {
+  const XmlDatabase* db = state.ActiveDb();
+  if (db == nullptr) {
+    std::printf("no data set open\n");
+    return;
+  }
+  Status status = SaveDatabaseSnapshotToFile(*db, path);
+  std::printf("%s\n", status.ok() ? "saved" : status.ToString().c_str());
+}
+
+void CmdLoad(ShellState* state, const std::string& path) {
+  auto db = LoadDatabaseSnapshotFromFile(path);
+  if (!db.ok()) {
+    std::printf("error: %s\n", db.status().ToString().c_str());
+    return;
+  }
+  std::string name = "snapshot:" + path;
+  Status status = state->corpus.AddDatabase(name, std::move(*db));
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  state->active = name;
+  std::printf("loaded snapshot as '%s'\n", name.c_str());
+}
+
+void PrintHelp() {
+  std::printf(
+      "commands: open <retailer|stores|movies> | datasets | use <name> | "
+      "schema |\n  bound <n> | query <kw...> | queryall <kw...> | "
+      "result <rank> | html <path> |\n  save <path> | load <path> | help | "
+      "quit\n");
+}
+
+}  // namespace
+
+int main() {
+  ShellState state;
+  std::printf("eXtract shell — type 'help' for commands\n");
+  std::string line;
+  while (std::printf("extract> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string trimmed(TrimView(line));
+    if (trimmed.empty()) continue;
+    std::istringstream iss(trimmed);
+    std::string command;
+    iss >> command;
+    std::string rest;
+    std::getline(iss, rest);
+    rest = std::string(TrimView(rest));
+
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      PrintHelp();
+    } else if (command == "open") {
+      CmdOpen(&state, rest);
+    } else if (command == "datasets") {
+      for (const std::string& name : state.corpus.DocumentNames()) {
+        std::printf("%s%s\n", name.c_str(),
+                    name == state.active ? " (active)" : "");
+      }
+    } else if (command == "use") {
+      if (state.corpus.Find(rest) == nullptr) {
+        std::printf("unknown data set '%s'\n", rest.c_str());
+      } else {
+        state.active = rest;
+      }
+    } else if (command == "schema") {
+      CmdSchema(state);
+    } else if (command == "bound") {
+      state.bound = static_cast<size_t>(std::atoi(rest.c_str()));
+      std::printf("snippet size bound = %zu\n", state.bound);
+    } else if (command == "query") {
+      CmdQuery(&state, rest);
+    } else if (command == "queryall") {
+      CmdQueryAll(&state, rest);
+    } else if (command == "result") {
+      CmdResult(&state, static_cast<size_t>(std::atoi(rest.c_str())));
+    } else if (command == "html") {
+      CmdHtml(&state, rest);
+    } else if (command == "save") {
+      CmdSave(state, rest);
+    } else if (command == "load") {
+      CmdLoad(&state, rest);
+    } else {
+      std::printf("unknown command '%s' — try 'help'\n", command.c_str());
+    }
+  }
+  return 0;
+}

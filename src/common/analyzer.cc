@@ -1,0 +1,82 @@
+#include "common/analyzer.h"
+
+#include <array>
+
+#include "common/string_util.h"
+
+namespace extract {
+
+namespace {
+
+constexpr std::array<std::string_view, 32> kStopwords = {
+    "a",    "an",   "and",  "are", "as",   "at",   "be",   "by",
+    "for",  "from", "has",  "he",  "in",   "is",   "it",   "its",
+    "of",   "on",   "or",   "that", "the", "this", "to",   "was",
+    "were", "will", "with", "but", "not",  "they", "we",   "you"};
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+bool TextAnalyzer::IsStopword(std::string_view folded_word) {
+  for (std::string_view stopword : kStopwords) {
+    if (folded_word == stopword) return true;
+  }
+  return false;
+}
+
+std::string TextAnalyzer::SStem(std::string_view word) {
+  // Harman (1991) "S stemmer": three ordered rules; the first rule whose
+  // *pattern* matches decides — its exception list blocks the change and
+  // ends processing (no fall-through to later rules).
+  if (word.size() > 3 && EndsWith(word, "ies")) {
+    if (EndsWith(word, "eies") || EndsWith(word, "aies")) {
+      return std::string(word);
+    }
+    return std::string(word.substr(0, word.size() - 3)) + "y";
+  }
+  if (word.size() > 3 && EndsWith(word, "es")) {
+    if (EndsWith(word, "aes") || EndsWith(word, "ees") ||
+        EndsWith(word, "oes")) {
+      return std::string(word);
+    }
+    return std::string(word.substr(0, word.size() - 1));  // drop the 's'
+  }
+  if (word.size() > 2 && EndsWith(word, "s")) {
+    if (EndsWith(word, "us") || EndsWith(word, "ss")) {
+      return std::string(word);
+    }
+    return std::string(word.substr(0, word.size() - 1));
+  }
+  return std::string(word);
+}
+
+std::string TextAnalyzer::AnalyzeToken(std::string_view token) const {
+  std::string folded = ToLowerCopy(token);
+  if (options_.remove_stopwords && IsStopword(folded)) return "";
+  if (options_.stem) return SStem(folded);
+  return folded;
+}
+
+std::vector<std::string> TextAnalyzer::AnalyzeText(std::string_view text) const {
+  std::vector<std::string> out;
+  for (const std::string& token : TokenizeWords(text)) {
+    std::string analyzed = AnalyzeToken(token);
+    if (!analyzed.empty()) out.push_back(std::move(analyzed));
+  }
+  return out;
+}
+
+bool TextAnalyzer::ContainsAnalyzedToken(
+    std::string_view text, std::string_view analyzed_token) const {
+  if (options_.IsPlain()) return ContainsToken(text, analyzed_token);
+  for (const std::string& token : TokenizeWords(text)) {
+    if (AnalyzeToken(token) == analyzed_token) return true;
+  }
+  return false;
+}
+
+}  // namespace extract

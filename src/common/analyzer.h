@@ -1,0 +1,59 @@
+// Text analysis for keyword matching: case folding (always on), optional
+// English stopword removal and optional S-stemming (Harman's weak stemmer:
+// -ies/-es/-s suffix normalization). Real keyword search engines normalize
+// tokens this way; the inverted index, the query engine and the snippet
+// instance matcher must all agree on the same analyzer, so it is threaded
+// through LoadOptions (search/search_engine.h).
+
+#ifndef EXTRACT_COMMON_ANALYZER_H_
+#define EXTRACT_COMMON_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace extract {
+
+/// Analysis knobs. Defaults mean "fold case only" — the configuration the
+/// paper's examples assume (exact token match on folded text).
+struct TextAnalysisOptions {
+  bool stem = false;
+  bool remove_stopwords = false;
+
+  bool IsPlain() const { return !stem && !remove_stopwords; }
+};
+
+/// \brief Stateless token normalizer.
+class TextAnalyzer {
+ public:
+  TextAnalyzer() = default;
+  explicit TextAnalyzer(TextAnalysisOptions options) : options_(options) {}
+
+  const TextAnalysisOptions& options() const { return options_; }
+
+  /// Normalizes one raw token: folds case, drops stopwords (returns ""),
+  /// stems. Input need not be pre-folded.
+  std::string AnalyzeToken(std::string_view token) const;
+
+  /// Tokenizes `text` and analyzes each token; dropped tokens are omitted.
+  std::vector<std::string> AnalyzeText(std::string_view text) const;
+
+  /// True iff some token of `text` analyzes to `analyzed_token` (which must
+  /// already be the output of AnalyzeToken).
+  bool ContainsAnalyzedToken(std::string_view text,
+                             std::string_view analyzed_token) const;
+
+  /// Harman S-stemmer over a lower-cased word: "stories"->"story",
+  /// "stores"->"store", "stores"->"store", "class"/"bus" unchanged.
+  static std::string SStem(std::string_view word);
+
+  /// True for a small built-in English stopword list ("the", "of", ...).
+  static bool IsStopword(std::string_view folded_word);
+
+ private:
+  TextAnalysisOptions options_;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_COMMON_ANALYZER_H_

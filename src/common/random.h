@@ -1,0 +1,107 @@
+// Deterministic random number generation for data generators, workload
+// generators and property tests. All randomness in the repository flows
+// through Rng so experiments are reproducible bit-for-bit from a seed.
+
+#ifndef EXTRACT_COMMON_RANDOM_H_
+#define EXTRACT_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace extract {
+
+/// \brief SplitMix64-based deterministic RNG.
+///
+/// Small, fast, and stable across platforms (unlike std::mt19937
+/// distributions, whose outputs are not specified portably).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief Zipf(s) sampler over ranks {0, ..., n-1}.
+///
+/// Used by the random XML generator to give attribute values a skewed
+/// distribution, which is what makes "dominant features" emerge. Sampling is
+/// by inversion over the precomputed CDF (O(log n) per draw).
+class ZipfSampler {
+ public:
+  /// \param n number of distinct ranks; must be >= 1.
+  /// \param s skew parameter; s = 0 is uniform, larger is more skewed.
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    assert(n >= 1);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  /// Draws a rank in [0, n); rank 0 is the most frequent.
+  size_t Sample(Rng* rng) const {
+    double u = rng->UniformDouble();
+    size_t lo = 0;
+    size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t num_ranks() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_COMMON_RANDOM_H_

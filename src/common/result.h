@@ -1,0 +1,80 @@
+// Result<T>: a value-or-Status union, the return type of fallible functions
+// that produce a value. Mirrors arrow::Result / rocksdb's StatusOr pattern.
+
+#ifndef EXTRACT_COMMON_RESULT_H_
+#define EXTRACT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace extract {
+
+/// \brief Holds either a successfully produced T or an error Status.
+///
+/// Accessing value() on an error Result is a programming error and asserts
+/// in debug builds. Callers must check ok() (or status()) first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit, to allow `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result from a non-OK status (implicit, to allow
+  /// `return Status::ParseError(...);`).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status; OK iff a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// The contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status out of the enclosing function.
+#define EXTRACT_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define EXTRACT_INTERNAL_CONCAT(a, b) EXTRACT_INTERNAL_CONCAT_IMPL(a, b)
+#define EXTRACT_INTERNAL_ASSIGN_OR_RETURN(var, lhs, expr) \
+  auto var = (expr);                                      \
+  if (!var.ok()) return var.status();                     \
+  lhs = std::move(var).value()
+#define EXTRACT_ASSIGN_OR_RETURN(lhs, expr)           \
+  EXTRACT_INTERNAL_ASSIGN_OR_RETURN(                  \
+      EXTRACT_INTERNAL_CONCAT(_extract_result_, __LINE__), lhs, expr)
+
+}  // namespace extract
+
+#endif  // EXTRACT_COMMON_RESULT_H_

@@ -1,0 +1,30 @@
+#include "common/tree_printer.h"
+
+#include <algorithm>
+
+namespace extract {
+
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) return "";
+  size_t cols = 0;
+  for (const auto& row : rows) cols = std::max(cols, row.size());
+  std::vector<size_t> width(cols, 0);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(width[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace extract

@@ -1,0 +1,54 @@
+// Generic ASCII tree rendering, used to display query results, snippets and
+// schema summaries in examples, benches and golden tests.
+
+#ifndef EXTRACT_COMMON_TREE_PRINTER_H_
+#define EXTRACT_COMMON_TREE_PRINTER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace extract {
+
+/// \brief Renders a tree as indented ASCII art.
+///
+/// The tree is described abstractly: `label(n)` returns the text for node
+/// handle `n` and `children(n)` returns its child handles. Output looks like:
+///
+///     retailer
+///     ├── name "Brook Brothers"
+///     └── store
+///         └── city "Houston"
+template <typename Node>
+std::string RenderTree(
+    Node root, const std::function<std::string(Node)>& label,
+    const std::function<std::vector<Node>(Node)>& children) {
+  std::string out;
+  std::function<void(Node, const std::string&, bool, bool)> rec =
+      [&](Node n, const std::string& prefix, bool is_last, bool is_root) {
+        if (is_root) {
+          out += label(n);
+        } else {
+          out += prefix;
+          out += is_last ? "└── " : "├── ";
+          out += label(n);
+        }
+        out += '\n';
+        std::vector<Node> kids = children(n);
+        for (size_t i = 0; i < kids.size(); ++i) {
+          std::string next_prefix =
+              is_root ? "" : prefix + (is_last ? "    " : "│   ");
+          rec(kids[i], next_prefix, i + 1 == kids.size(), false);
+        }
+      };
+  rec(root, "", true, true);
+  return out;
+}
+
+/// \brief Renders a two-column table with aligned columns, used by bench
+/// binaries to print paper-style tables.
+std::string RenderTable(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace extract
+
+#endif  // EXTRACT_COMMON_TREE_PRINTER_H_

@@ -1,0 +1,139 @@
+#include "datagen/auction_dataset.h"
+
+#include <array>
+
+#include "common/random.h"
+
+namespace extract {
+
+namespace {
+
+constexpr std::string_view kDtd = R"(<!DOCTYPE site [
+  <!ELEMENT site (regions, people, open_auctions)>
+  <!ELEMENT regions (region*)>
+  <!ELEMENT region (name, item*)>
+  <!ELEMENT item (name, category, location, quantity, description)>
+  <!ELEMENT people (person*)>
+  <!ELEMENT person (name, city, country, interest*)>
+  <!ELEMENT open_auctions (open_auction*)>
+  <!ELEMENT open_auction (itemref, seller, current, bidder*)>
+  <!ELEMENT bidder (personref, amount)>
+  <!ELEMENT name (#PCDATA)> <!ELEMENT category (#PCDATA)>
+  <!ELEMENT location (#PCDATA)> <!ELEMENT quantity (#PCDATA)>
+  <!ELEMENT description (#PCDATA)> <!ELEMENT city (#PCDATA)>
+  <!ELEMENT country (#PCDATA)> <!ELEMENT interest (#PCDATA)>
+  <!ELEMENT itemref (#PCDATA)> <!ELEMENT seller (#PCDATA)>
+  <!ELEMENT current (#PCDATA)> <!ELEMENT personref (#PCDATA)>
+  <!ELEMENT amount (#PCDATA)>
+]>
+)";
+
+constexpr std::array<std::string_view, 5> kRegions = {
+    "africa", "asia", "australia", "europe", "namerica"};
+constexpr std::array<std::string_view, 8> kCategories = {
+    "antiques", "books",  "coins",  "electronics",
+    "jewelry",  "stamps", "toys",   "art"};
+constexpr std::array<std::string_view, 6> kCities = {
+    "Houston", "Berlin", "Osaka", "Lagos", "Sydney", "Lima"};
+constexpr std::array<std::string_view, 6> kCountries = {
+    "United States", "Germany", "Japan", "Nigeria", "Australia", "Peru"};
+constexpr std::array<std::string_view, 10> kNouns = {
+    "clock",  "lamp",   "vase",   "camera", "guitar",
+    "carpet", "mirror", "teapot", "globe",  "radio"};
+constexpr std::array<std::string_view, 8> kAdjectives = {
+    "antique", "rare",    "vintage", "handmade",
+    "ornate",  "restored", "signed", "miniature"};
+
+}  // namespace
+
+std::string GenerateAuctionXml(const AuctionDatasetOptions& options) {
+  Rng rng(options.seed);
+  std::string out;
+  if (options.include_dtd) out += kDtd;
+  out += "<site>\n";
+
+  // Regions & items: category distribution is skewed toward the first
+  // categories so dominant features emerge.
+  ZipfSampler category_zipf(kCategories.size(), 1.1);
+  out += "  <regions>\n";
+  size_t item_id = 0;
+  for (size_t r = 0; r < kRegions.size() && item_id < options.num_items; ++r) {
+    out += "    <region>\n";
+    out += "      <name>" + std::string(kRegions[r]) + "</name>\n";
+    size_t per_region =
+        (options.num_items + kRegions.size() - 1) / kRegions.size();
+    for (size_t i = 0; i < per_region && item_id < options.num_items; ++i) {
+      std::string name = std::string(kAdjectives[rng.Uniform(8)]) + " " +
+                         std::string(kNouns[rng.Uniform(10)]) + " " +
+                         std::to_string(item_id);
+      out += "      <item>\n";
+      out += "        <name>" + name + "</name>\n";
+      out += "        <category>" +
+             std::string(kCategories[category_zipf.Sample(&rng)]) +
+             "</category>\n";
+      out += "        <location>" +
+             std::string(kCountries[rng.Uniform(kCountries.size())]) +
+             "</location>\n";
+      out += "        <quantity>" + std::to_string(1 + rng.Uniform(5)) +
+             "</quantity>\n";
+      out += "        <description>" +
+             std::string(kAdjectives[rng.Uniform(8)]) + " " +
+             std::string(kNouns[rng.Uniform(10)]) + " in good condition" +
+             "</description>\n";
+      out += "      </item>\n";
+      ++item_id;
+    }
+    out += "    </region>\n";
+  }
+  out += "  </regions>\n";
+
+  // People.
+  out += "  <people>\n";
+  for (size_t p = 0; p < options.num_people; ++p) {
+    size_t where = rng.Uniform(kCities.size());
+    out += "    <person>\n";
+    out += "      <name>Person " + std::to_string(p) + "</name>\n";
+    out += "      <city>" + std::string(kCities[where]) + "</city>\n";
+    out += "      <country>" + std::string(kCountries[where]) + "</country>\n";
+    size_t interests = rng.Uniform(3);
+    for (size_t i = 0; i < interests; ++i) {
+      out += "      <interest>" +
+             std::string(kCategories[category_zipf.Sample(&rng)]) +
+             "</interest>\n";
+    }
+    out += "    </person>\n";
+  }
+  out += "  </people>\n";
+
+  // Open auctions with bidder entities.
+  out += "  <open_auctions>\n";
+  for (size_t a = 0; a < options.num_open_auctions; ++a) {
+    out += "    <open_auction>\n";
+    out += "      <itemref>item" + std::to_string(rng.Uniform(options.num_items)) +
+           "</itemref>\n";
+    out += "      <seller>Person " +
+           std::to_string(rng.Uniform(options.num_people)) + "</seller>\n";
+    size_t base = 10 + rng.Uniform(200);
+    out += "      <current>" + std::to_string(base) + "</current>\n";
+    size_t bidders = rng.Uniform(4);
+    for (size_t b = 0; b < bidders; ++b) {
+      out += "      <bidder>\n";
+      out += "        <personref>Person " +
+             std::to_string(rng.Uniform(options.num_people)) +
+             "</personref>\n";
+      out += "        <amount>" + std::to_string(base + (b + 1) * 5) +
+             "</amount>\n";
+      out += "      </bidder>\n";
+    }
+    out += "    </open_auction>\n";
+  }
+  out += "  </open_auctions>\n";
+  out += "</site>\n";
+  return out;
+}
+
+std::string GenerateAuctionXml() {
+  return GenerateAuctionXml(AuctionDatasetOptions{});
+}
+
+}  // namespace extract

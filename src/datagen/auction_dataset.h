@@ -1,0 +1,33 @@
+// XMark-style auction dataset: the de-facto standard synthetic benchmark
+// schema for XML systems (sites with regions, items, people, open auctions
+// with bidders). Used here as the heterogeneous-schema workload: deeper
+// nesting, mixed entity arities and cross-cutting attribute types, which
+// stress classification, key mining and snippet generation harder than the
+// retail/movies schemas.
+
+#ifndef EXTRACT_DATAGEN_AUCTION_DATASET_H_
+#define EXTRACT_DATAGEN_AUCTION_DATASET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace extract {
+
+/// Generation knobs.
+struct AuctionDatasetOptions {
+  size_t num_items = 40;
+  size_t num_people = 25;
+  size_t num_open_auctions = 30;
+  bool include_dtd = true;
+  uint64_t seed = 21;
+};
+
+/// Generates <site> with regions/items, people and open auctions, XMark
+/// style: items have name/category/location/description; people have
+/// name/city/country; auctions reference items and carry bidder entities.
+std::string GenerateAuctionXml(const AuctionDatasetOptions& options);
+std::string GenerateAuctionXml();
+
+}  // namespace extract
+
+#endif  // EXTRACT_DATAGEN_AUCTION_DATASET_H_

@@ -1,0 +1,89 @@
+#include "datagen/movies_dataset.h"
+
+#include <array>
+
+#include "common/random.h"
+
+namespace extract {
+
+namespace {
+
+constexpr std::string_view kDtd = R"(<!DOCTYPE movies [
+  <!ELEMENT movies (movie*)>
+  <!ELEMENT movie (title, year, director, genre, cast)>
+  <!ELEMENT cast (actor*)>
+  <!ELEMENT actor (name, role)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT year (#PCDATA)>
+  <!ELEMENT director (#PCDATA)>
+  <!ELEMENT genre (#PCDATA)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT role (#PCDATA)>
+]>
+)";
+
+constexpr std::array<std::string_view, 12> kTitleA = {
+    "Silent", "Crimson", "Golden", "Broken", "Hidden", "Midnight",
+    "Electric", "Frozen", "Burning", "Lost",   "Iron",   "Velvet"};
+constexpr std::array<std::string_view, 12> kTitleB = {
+    "Horizon", "River",  "Empire", "Garden", "Symphony", "Mirage",
+    "Journey", "Harbor", "Canyon", "Twilight", "Reckoning", "Odyssey"};
+constexpr std::array<std::string_view, 10> kFirstNames = {
+    "Ava",  "Liam", "Noah", "Emma", "Mia",
+    "Ethan", "Sofia", "Lucas", "Olivia", "Mason"};
+constexpr std::array<std::string_view, 10> kLastNames = {
+    "Stone", "Rivera", "Chen", "Novak", "Haines",
+    "Okafor", "Larsen", "Vega", "Moreau", "Tanaka"};
+// Skewed genre distribution: drama dominates (the planted dominant feature
+// for whole-database queries).
+constexpr std::array<std::string_view, 6> kGenres = {
+    "drama", "drama", "drama", "comedy", "thriller", "documentary"};
+constexpr std::array<std::string_view, 5> kRoles = {
+    "lead", "lead", "supporting", "villain", "cameo"};
+
+}  // namespace
+
+std::string GenerateMoviesXml(const MoviesDatasetOptions& options) {
+  Rng rng(options.seed);
+  std::string out;
+  if (options.include_dtd) out += kDtd;
+  out += "<movies>\n";
+  for (size_t m = 0; m < options.num_movies; ++m) {
+    // Unique title: word pair plus a disambiguating number past one cycle.
+    std::string title = std::string(kTitleA[m % kTitleA.size()]) + " " +
+                        std::string(kTitleB[(m / kTitleA.size() + m) % kTitleB.size()]);
+    if (m >= kTitleA.size() * kTitleB.size()) {
+      title += " " + std::to_string(m);
+    }
+    std::string director = std::string(kFirstNames[rng.Uniform(10)]) + " " +
+                           std::string(kLastNames[rng.Uniform(10)]);
+    int year = 1990 + static_cast<int>(rng.Uniform(35));
+    std::string_view genre = kGenres[rng.Uniform(kGenres.size())];
+
+    out += "  <movie>\n";
+    out += "    <title>" + title + "</title>\n";
+    out += "    <year>" + std::to_string(year) + "</year>\n";
+    out += "    <director>" + director + "</director>\n";
+    out += "    <genre>" + std::string(genre) + "</genre>\n";
+    out += "    <cast>\n";
+    size_t cast_size = 2 + rng.Uniform(4);
+    for (size_t a = 0; a < cast_size; ++a) {
+      std::string name = std::string(kFirstNames[rng.Uniform(10)]) + " " +
+                         std::string(kLastNames[rng.Uniform(10)]) + " " +
+                         std::to_string(m) + std::to_string(a);
+      out += "      <actor>\n";
+      out += "        <name>" + name + "</name>\n";
+      out += "        <role>" + std::string(kRoles[rng.Uniform(kRoles.size())]) +
+             "</role>\n";
+      out += "      </actor>\n";
+    }
+    out += "    </cast>\n";
+    out += "  </movie>\n";
+  }
+  out += "</movies>\n";
+  return out;
+}
+
+std::string GenerateMoviesXml() { return GenerateMoviesXml(MoviesDatasetOptions{}); }
+
+}  // namespace extract

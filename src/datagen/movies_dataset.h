@@ -1,0 +1,29 @@
+// The movies dataset of the demonstration ("we will show various example
+// scenarios, such as movies and stores", paper §4): a synthetic movie
+// database with entities movie and actor.
+
+#ifndef EXTRACT_DATAGEN_MOVIES_DATASET_H_
+#define EXTRACT_DATAGEN_MOVIES_DATASET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace extract {
+
+/// Generation knobs.
+struct MoviesDatasetOptions {
+  size_t num_movies = 50;
+  bool include_dtd = true;
+  uint64_t seed = 11;
+};
+
+/// Generates <movies> with `num_movies` movie entities, each carrying
+/// title, year, director, genre and a cast of actor entities (name, role).
+/// Titles and names are unique (mined as keys); genres/years are skewed so
+/// dominant features emerge.
+std::string GenerateMoviesXml(const MoviesDatasetOptions& options);
+std::string GenerateMoviesXml();
+
+}  // namespace extract
+
+#endif  // EXTRACT_DATAGEN_MOVIES_DATASET_H_

@@ -1,0 +1,94 @@
+#include "datagen/random_xml.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace extract {
+
+namespace {
+
+std::string EntityLabel(size_t level) { return "e" + std::to_string(level); }
+
+std::string AttrLabel(size_t level, size_t j) {
+  return "a" + std::to_string(level) + "_" + std::to_string(j);
+}
+
+std::string Value(size_t level, size_t j, size_t rank) {
+  return "v" + std::to_string(level) + std::to_string(j) + "r" +
+         std::to_string(rank);
+}
+
+void EmitEntity(std::string* out, const RandomXmlOptions& options,
+                size_t level, Rng* rng, const std::vector<ZipfSampler>& zipf,
+                size_t* count, int indent) {
+  std::string tag = EntityLabel(level);
+  out->append(static_cast<size_t>(indent), ' ');
+  *out += "<" + tag + ">\n";
+  ++*count;
+  for (size_t j = 0; j < options.attributes_per_entity; ++j) {
+    size_t rank = zipf[level * options.attributes_per_entity + j].Sample(rng);
+    std::string attr = AttrLabel(level, j);
+    out->append(static_cast<size_t>(indent + 2), ' ');
+    *out += "<" + attr + ">" + Value(level, j, rank) + "</" + attr + ">\n";
+    ++*count;
+  }
+  if (level + 1 < options.levels) {
+    for (size_t c = 0; c < options.entities_per_parent; ++c) {
+      EmitEntity(out, options, level + 1, rng, zipf, count, indent + 2);
+    }
+  }
+  out->append(static_cast<size_t>(indent), ' ');
+  *out += "</" + tag + ">\n";
+}
+
+}  // namespace
+
+RandomXmlData GenerateRandomXml(const RandomXmlOptions& options) {
+  RandomXmlData data;
+  Rng rng(options.seed);
+
+  std::vector<ZipfSampler> zipf;
+  zipf.reserve(options.levels * options.attributes_per_entity);
+  for (size_t level = 0; level < options.levels; ++level) {
+    for (size_t j = 0; j < options.attributes_per_entity; ++j) {
+      zipf.emplace_back(options.domain_size, options.zipf_skew);
+      data.planted_values.emplace_back(AttrLabel(level, j),
+                                       Value(level, j, 0));
+      // Mid-frequency values make selective but non-trivial keywords.
+      data.keyword_pool.push_back(
+          Value(level, j, std::min(options.domain_size - 1, size_t{3})));
+    }
+  }
+
+  if (options.include_dtd) {
+    data.xml += "<!DOCTYPE db [\n";
+    data.xml += "  <!ELEMENT db (" + EntityLabel(0) + "*)>\n";
+    for (size_t level = 0; level < options.levels; ++level) {
+      data.xml += "  <!ELEMENT " + EntityLabel(level) + " (";
+      for (size_t j = 0; j < options.attributes_per_entity; ++j) {
+        if (j > 0) data.xml += ", ";
+        data.xml += AttrLabel(level, j);
+      }
+      if (level + 1 < options.levels) {
+        data.xml += ", " + EntityLabel(level + 1) + "*";
+      }
+      data.xml += ")>\n";
+      for (size_t j = 0; j < options.attributes_per_entity; ++j) {
+        data.xml += "  <!ELEMENT " + AttrLabel(level, j) + " (#PCDATA)>\n";
+      }
+    }
+    data.xml += "]>\n";
+  }
+
+  data.xml += "<db>\n";
+  size_t count = 1;
+  for (size_t c = 0; c < options.entities_per_parent; ++c) {
+    EmitEntity(&data.xml, options, 0, &rng, zipf, &count, 2);
+  }
+  data.xml += "</db>\n";
+  data.approx_elements = count;
+  return data;
+}
+
+}  // namespace extract

@@ -1,0 +1,49 @@
+// Parameterized random XML generator for scaling benchmarks and property
+// tests: nested entity levels, attributes with Zipf-distributed values
+// (skew is what makes dominant features emerge), deterministic from a seed.
+
+#ifndef EXTRACT_DATAGEN_RANDOM_XML_H_
+#define EXTRACT_DATAGEN_RANDOM_XML_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace extract {
+
+/// Shape parameters of the generated document.
+struct RandomXmlOptions {
+  /// Entity nesting levels below the root connection node.
+  size_t levels = 2;
+  /// Entities per parent at each level (top level hangs off the root).
+  size_t entities_per_parent = 10;
+  /// Attributes per entity.
+  size_t attributes_per_entity = 3;
+  /// Distinct values per attribute domain.
+  size_t domain_size = 20;
+  /// Zipf skew of value selection; 0 = uniform.
+  double zipf_skew = 1.0;
+  /// Emit a DOCTYPE describing the structure.
+  bool include_dtd = true;
+  uint64_t seed = 1;
+};
+
+/// A generated document plus its ground truth for quality experiments.
+struct RandomXmlData {
+  std::string xml;
+  /// Approximate element count (entities + attributes), for scaling axes.
+  size_t approx_elements = 0;
+  /// The most frequent ("planted dominant") value of each attribute label,
+  /// e.g. planted_values["a0_1"] == "v1_0". Zipf rank 0.
+  std::vector<std::pair<std::string, std::string>> planted_values;
+  /// Sample attribute values usable as query keywords (mid-frequency).
+  std::vector<std::string> keyword_pool;
+};
+
+/// Generates a random document. Entity labels are "e<level>", attribute
+/// labels "a<level>_<j>", values "v<level><j>r<rank>".
+RandomXmlData GenerateRandomXml(const RandomXmlOptions& options);
+
+}  // namespace extract
+
+#endif  // EXTRACT_DATAGEN_RANDOM_XML_H_

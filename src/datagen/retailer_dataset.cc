@@ -1,0 +1,229 @@
+#include "datagen/retailer_dataset.h"
+
+#include <array>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace extract {
+
+namespace {
+
+constexpr std::string_view kDtd = R"(<!DOCTYPE retailers [
+  <!ELEMENT retailers (retailer*)>
+  <!ELEMENT retailer (name, product, store*)>
+  <!ELEMENT store (name, state, city, merchandises)>
+  <!ELEMENT merchandises (clothes*)>
+  <!ELEMENT clothes (fitting?, situation?, category)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT product (#PCDATA)>
+  <!ELEMENT state (#PCDATA)>
+  <!ELEMENT city (#PCDATA)>
+  <!ELEMENT fitting (#PCDATA)>
+  <!ELEMENT situation (#PCDATA)>
+  <!ELEMENT category (#PCDATA)>
+]>
+)";
+
+void AppendAttr(std::string* out, std::string_view name,
+                std::string_view value, int indent) {
+  out->append(static_cast<size_t>(indent), ' ');
+  *out += "<";
+  *out += name;
+  *out += ">";
+  *out += value;
+  *out += "</";
+  *out += name;
+  *out += ">\n";
+}
+
+struct ClothesSpec {
+  std::string fitting;    // empty = absent
+  std::string situation;  // empty = absent
+  std::string category;
+};
+
+void AppendClothes(std::string* out, const ClothesSpec& spec, int indent) {
+  out->append(static_cast<size_t>(indent), ' ');
+  *out += "<clothes>\n";
+  if (!spec.fitting.empty()) AppendAttr(out, "fitting", spec.fitting, indent + 2);
+  if (!spec.situation.empty()) {
+    AppendAttr(out, "situation", spec.situation, indent + 2);
+  }
+  AppendAttr(out, "category", spec.category, indent + 2);
+  out->append(static_cast<size_t>(indent), ' ');
+  *out += "</clothes>\n";
+}
+
+void AppendStore(std::string* out, std::string_view name,
+                 std::string_view state, std::string_view city,
+                 const std::vector<ClothesSpec>& clothes, int indent) {
+  out->append(static_cast<size_t>(indent), ' ');
+  *out += "<store>\n";
+  AppendAttr(out, "name", name, indent + 2);
+  AppendAttr(out, "state", state, indent + 2);
+  AppendAttr(out, "city", city, indent + 2);
+  out->append(static_cast<size_t>(indent + 2), ' ');
+  *out += "<merchandises>\n";
+  for (const ClothesSpec& c : clothes) AppendClothes(out, c, indent + 4);
+  out->append(static_cast<size_t>(indent + 2), ' ');
+  *out += "</merchandises>\n";
+  out->append(static_cast<size_t>(indent), ' ');
+  *out += "</store>\n";
+}
+
+// The exact Figure-1 clothes inventory: 1070 items. The first 1000 carry
+// fitting and situation; the last 70 only a category. Values are assigned
+// deterministically by index so the counts are exact.
+std::vector<ClothesSpec> FigureOneClothes() {
+  std::vector<ClothesSpec> out;
+  out.reserve(1070);
+  // category: outwear 220, suit 120, skirt 80, sweaters 70, then 7 others
+  // summing to 580: 83+83+83+83+83+83+82.
+  const std::array<std::pair<std::string_view, size_t>, 11> categories = {{
+      {"outwear", 220},
+      {"suit", 120},
+      {"skirt", 80},
+      {"sweaters", 70},
+      {"jeans", 83},
+      {"shirt", 83},
+      {"dress", 83},
+      {"coat", 83},
+      {"hat", 83},
+      {"socks", 83},
+      {"scarf", 82},
+  }};
+  std::vector<std::string> category_by_index;
+  category_by_index.reserve(1070);
+  for (const auto& [value, count] : categories) {
+    for (size_t i = 0; i < count; ++i) {
+      category_by_index.emplace_back(value);
+    }
+  }
+  // fitting (first 1000): man 600, woman 360, children 40.
+  // situation (first 1000): casual 700, formal 300. Assign by independent
+  // index thresholds; the per-type counts are what matters.
+  for (size_t i = 0; i < 1070; ++i) {
+    ClothesSpec spec;
+    spec.category = category_by_index[i];
+    if (i < 1000) {
+      spec.fitting = i < 600 ? "man" : (i < 960 ? "woman" : "children");
+      // Rotate situation against fitting so combinations mix.
+      size_t j = (i * 7 + 3) % 1000;
+      spec.situation = j < 700 ? "casual" : "formal";
+    }
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+void AppendBrookBrothers(std::string* out, int indent) {
+  out->append(static_cast<size_t>(indent), ' ');
+  *out += "<retailer>\n";
+  AppendAttr(out, "name", "Brook Brothers", indent + 2);
+  AppendAttr(out, "product", "apparel", indent + 2);
+
+  // 10 stores: 6 Houston, 1 Austin, 3 other cities. Figure 1 names the
+  // first Houston store "Galleria" and the Austin store "West Village".
+  struct StoreSpec {
+    std::string_view name;
+    std::string_view city;
+  };
+  const std::array<StoreSpec, 10> stores = {{
+      {"Galleria", "Houston"},
+      {"West Village", "Austin"},
+      {"Uptown Park", "Houston"},
+      {"Memorial City", "Houston"},
+      {"Willowbrook", "Houston"},
+      {"Baybrook", "Houston"},
+      {"Deerbrook", "Houston"},
+      {"NorthPark", "Dallas"},
+      {"La Cantera", "San Antonio"},
+      {"Sunland Park", "El Paso"},
+  }};
+
+  // Distribute the 1070 clothes across the 10 stores: 107 each.
+  std::vector<ClothesSpec> clothes = FigureOneClothes();
+  size_t next = 0;
+  for (const StoreSpec& store : stores) {
+    std::vector<ClothesSpec> inventory(
+        clothes.begin() + static_cast<long>(next),
+        clothes.begin() + static_cast<long>(next + 107));
+    next += 107;
+    AppendStore(out, store.name, "Texas", store.city, inventory, indent + 2);
+  }
+  out->append(static_cast<size_t>(indent), ' ');
+  *out += "</retailer>\n";
+}
+
+void AppendGeneratedRetailer(std::string* out, const std::string& name,
+                             std::string_view product, std::string_view state,
+                             size_t num_clothes, size_t store_tag, Rng* rng,
+                             int indent) {
+  out->append(static_cast<size_t>(indent), ' ');
+  *out += "<retailer>\n";
+  AppendAttr(out, "name", name, indent + 2);
+  AppendAttr(out, "product", product, indent + 2);
+
+  const std::array<std::string_view, 5> cities = {
+      "Houston", "Austin", "Dallas", "Phoenix", "Seattle"};
+  const std::array<std::string_view, 3> fittings = {"man", "woman", "children"};
+  const std::array<std::string_view, 2> situations = {"casual", "formal"};
+  const std::array<std::string_view, 6> categories = {
+      "outwear", "suit", "jeans", "shirt", "dress", "hat"};
+
+  size_t num_stores = 2 + rng->Uniform(3);
+  for (size_t s = 0; s < num_stores; ++s) {
+    std::vector<ClothesSpec> inventory;
+    size_t per_store = num_clothes / num_stores + (s == 0 ? num_clothes % num_stores : 0);
+    for (size_t c = 0; c < per_store; ++c) {
+      ClothesSpec spec;
+      spec.fitting = fittings[rng->Uniform(fittings.size())];
+      spec.situation = situations[rng->Uniform(situations.size())];
+      spec.category = categories[rng->Uniform(categories.size())];
+      inventory.push_back(std::move(spec));
+    }
+    std::string store_name =
+        "Outlet-" + std::to_string(store_tag) + "-" + std::to_string(s);
+    AppendStore(out, store_name, state, cities[rng->Uniform(cities.size())],
+                inventory, indent + 2);
+  }
+  out->append(static_cast<size_t>(indent), ' ');
+  *out += "</retailer>\n";
+}
+
+}  // namespace
+
+std::string GenerateRetailerXml(const RetailerDatasetOptions& options) {
+  Rng rng(options.seed);
+  std::string out;
+  if (options.include_dtd) out += kDtd;
+  out += "<retailers>\n";
+  AppendBrookBrothers(&out, 2);
+  for (size_t i = 1; i < options.num_matching_retailers; ++i) {
+    AppendGeneratedRetailer(&out, "Texas Outfitters " + std::to_string(i),
+                            "apparel", "Texas",
+                            options.clothes_per_extra_retailer, i, &rng, 2);
+  }
+  const std::array<std::pair<std::string_view, std::string_view>, 4> others = {{
+      {"electronics", "California"},
+      {"furniture", "Oregon"},
+      {"groceries", "Nevada"},
+      {"books", "Washington"},
+  }};
+  for (size_t i = 0; i < options.num_other_retailers; ++i) {
+    const auto& [product, state] = others[i % others.size()];
+    AppendGeneratedRetailer(
+        &out, "Pacific Trading " + std::to_string(i), product, state,
+        options.clothes_per_extra_retailer, 1000 + i, &rng, 2);
+  }
+  out += "</retailers>\n";
+  return out;
+}
+
+std::string GenerateRetailerXml() {
+  return GenerateRetailerXml(RetailerDatasetOptions{});
+}
+
+}  // namespace extract

@@ -1,0 +1,102 @@
+#include "datagen/stores_dataset.h"
+
+#include <array>
+#include <vector>
+
+#include "common/random.h"
+
+namespace extract {
+
+namespace {
+
+constexpr std::string_view kDtd = R"(<!DOCTYPE stores [
+  <!ELEMENT stores (store*)>
+  <!ELEMENT store (name, state, city, merchandises)>
+  <!ELEMENT merchandises (clothes*)>
+  <!ELEMENT clothes (category, fitting, situation)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT state (#PCDATA)>
+  <!ELEMENT city (#PCDATA)>
+  <!ELEMENT category (#PCDATA)>
+  <!ELEMENT fitting (#PCDATA)>
+  <!ELEMENT situation (#PCDATA)>
+]>
+)";
+
+struct Item {
+  std::string_view category;
+  std::string_view fitting;
+  std::string_view situation;
+};
+
+void AppendStore(std::string* out, std::string_view name,
+                 std::string_view state, std::string_view city,
+                 const std::vector<Item>& items) {
+  *out += "  <store>\n";
+  *out += "    <name>" + std::string(name) + "</name>\n";
+  *out += "    <state>" + std::string(state) + "</state>\n";
+  *out += "    <city>" + std::string(city) + "</city>\n";
+  *out += "    <merchandises>\n";
+  for (const Item& item : items) {
+    *out += "      <clothes>\n";
+    *out += "        <category>" + std::string(item.category) + "</category>\n";
+    *out += "        <fitting>" + std::string(item.fitting) + "</fitting>\n";
+    *out += "        <situation>" + std::string(item.situation) +
+            "</situation>\n";
+    *out += "      </clothes>\n";
+  }
+  *out += "    </merchandises>\n";
+  *out += "  </store>\n";
+}
+
+}  // namespace
+
+std::string GenerateStoresXml(const StoresDatasetOptions& options) {
+  Rng rng(options.seed);
+  std::string out;
+  if (options.include_dtd) out += kDtd;
+  out += "<stores>\n";
+
+  // Levis: jeans-dominated, mostly man, casual.
+  std::vector<Item> levis;
+  for (int i = 0; i < 12; ++i) levis.push_back({"jeans", "man", "casual"});
+  for (int i = 0; i < 3; ++i) levis.push_back({"jeans", "woman", "casual"});
+  levis.push_back({"shirt", "man", "casual"});
+  levis.push_back({"shirt", "woman", "formal"});
+  AppendStore(&out, "Levis", "Texas", "Houston", levis);
+
+  // ESprit: outwear-dominated, mostly woman.
+  std::vector<Item> esprit;
+  for (int i = 0; i < 10; ++i) esprit.push_back({"outwear", "woman", "casual"});
+  for (int i = 0; i < 2; ++i) esprit.push_back({"outwear", "man", "casual"});
+  esprit.push_back({"dress", "woman", "formal"});
+  esprit.push_back({"skirt", "woman", "formal"});
+  AppendStore(&out, "ESprit", "Texas", "Austin", esprit);
+
+  // Other states: never matched by "store texas"+state filter; they do
+  // match the keyword "store" alone.
+  const std::array<std::pair<std::string_view, std::string_view>, 4> locations =
+      {{{"California", "Fresno"},
+        {"Oregon", "Portland"},
+        {"Arizona", "Tucson"},
+        {"Nevada", "Reno"}}};
+  const std::array<std::string_view, 4> categories = {"hat", "coat", "socks",
+                                                      "scarf"};
+  for (size_t s = 0; s < options.num_other_stores; ++s) {
+    const auto& [state, city] = locations[s % locations.size()];
+    std::vector<Item> items;
+    size_t count = 3 + rng.Uniform(4);
+    for (size_t i = 0; i < count; ++i) {
+      items.push_back({categories[rng.Uniform(categories.size())],
+                       rng.Bernoulli(0.5) ? "man" : "woman",
+                       rng.Bernoulli(0.5) ? "casual" : "formal"});
+    }
+    AppendStore(&out, "Generic-" + std::to_string(s), state, city, items);
+  }
+  out += "</stores>\n";
+  return out;
+}
+
+std::string GenerateStoresXml() { return GenerateStoresXml(StoresDatasetOptions{}); }
+
+}  // namespace extract

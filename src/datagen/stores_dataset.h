@@ -1,0 +1,31 @@
+// The stores dataset of the paper's demonstration walkthrough (Figure 5):
+// a query "store texas" with snippet size bound 6 should let the user see
+// that "the store named as Levis features jeans, especially for man; while
+// the store named as ESprit focuses on the outwear clothes, mostly for
+// woman".
+
+#ifndef EXTRACT_DATAGEN_STORES_DATASET_H_
+#define EXTRACT_DATAGEN_STORES_DATASET_H_
+
+#include <cstdint>
+#include <string>
+
+namespace extract {
+
+/// Generation knobs.
+struct StoresDatasetOptions {
+  bool include_dtd = true;
+  /// Additional non-Texas stores (not matched by the demo query).
+  size_t num_other_stores = 3;
+  uint64_t seed = 7;
+};
+
+/// Generates the document as XML text. Contains the two Texas stores of the
+/// demo — Levis (jeans, mostly man, casual) and ESprit (outwear, mostly
+/// woman) — plus `num_other_stores` stores in other states.
+std::string GenerateStoresXml(const StoresDatasetOptions& options);
+std::string GenerateStoresXml();
+
+}  // namespace extract
+
+#endif  // EXTRACT_DATAGEN_STORES_DATASET_H_

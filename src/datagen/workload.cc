@@ -1,0 +1,47 @@
+#include "datagen/workload.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "search/search_engine.h"
+
+namespace extract {
+
+std::vector<Query> GenerateWorkload(const XmlDatabase& db,
+                                    const WorkloadOptions& options) {
+  // Stable vocabulary order: by posting frequency then token.
+  struct TokenFreq {
+    std::string token;
+    size_t frequency;
+  };
+  std::vector<TokenFreq> vocab;
+  for (const std::string& token : db.inverted().Tokens()) {
+    vocab.push_back({token, db.inverted().Find(token)->size()});
+  }
+  std::sort(vocab.begin(), vocab.end(), [](const auto& a, const auto& b) {
+    if (a.frequency != b.frequency) return a.frequency < b.frequency;
+    return a.token < b.token;
+  });
+
+  Rng rng(options.seed);
+  std::vector<Query> out;
+  if (vocab.empty()) return out;
+  for (size_t q = 0; q < options.num_queries; ++q) {
+    Query query;
+    for (size_t k = 0; k < options.keywords_per_query; ++k) {
+      // Beta-ish sampling: square the uniform draw toward the preferred end
+      // of the frequency-sorted vocabulary.
+      double u = rng.UniformDouble();
+      double biased = options.frequency_bias * (1.0 - (1.0 - u) * (1.0 - u)) +
+                      (1.0 - options.frequency_bias) * u * u;
+      size_t idx = std::min(vocab.size() - 1,
+                            static_cast<size_t>(biased * vocab.size()));
+      query.keywords.push_back(vocab[idx].token);
+      query.raw_keywords.push_back(vocab[idx].token);
+    }
+    out.push_back(std::move(query));
+  }
+  return out;
+}
+
+}  // namespace extract

@@ -1,0 +1,36 @@
+// Keyword query workload generation for benchmarks: samples query keywords
+// from a loaded database's vocabulary with controllable selectivity.
+
+#ifndef EXTRACT_DATAGEN_WORKLOAD_H_
+#define EXTRACT_DATAGEN_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace extract {
+
+class XmlDatabase;
+struct Query;
+
+/// Workload knobs.
+struct WorkloadOptions {
+  size_t num_queries = 20;
+  size_t keywords_per_query = 3;
+  /// Bias: 0 = prefer rare tokens (selective queries), 1 = prefer frequent
+  /// tokens (broad queries), 0.5 = mixed.
+  double frequency_bias = 0.5;
+  uint64_t seed = 99;
+};
+
+/// \brief Samples keyword queries from `db`'s indexed vocabulary.
+///
+/// Deterministic for a given (database, options): the vocabulary is sorted
+/// by (frequency, token) before sampling. Every generated query is
+/// satisfiable (all keywords exist in the document).
+std::vector<Query> GenerateWorkload(const XmlDatabase& db,
+                                    const WorkloadOptions& options);
+
+}  // namespace extract
+
+#endif  // EXTRACT_DATAGEN_WORKLOAD_H_

@@ -1,0 +1,66 @@
+#include "index/dewey.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace extract {
+
+int CompareDewey(DeweyView a, DeweyView b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+bool IsDeweyAncestor(DeweyView a, DeweyView b) {
+  if (a.size() >= b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+bool IsDeweyAncestorOrSelf(DeweyView a, DeweyView b) {
+  if (a.size() > b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+size_t DeweyCommonPrefix(DeweyView a, DeweyView b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+std::string DeweyToString(DeweyView d) {
+  if (d.empty()) return "ε";
+  std::string out;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(d[i]);
+  }
+  return out;
+}
+
+size_t DeweyStore::Append(DeweyView dewey) {
+  assert(pool_.size() + dewey.size() <= UINT32_MAX);
+  Span span;
+  span.offset = static_cast<uint32_t>(pool_.size());
+  span.length = static_cast<uint32_t>(dewey.size());
+  pool_.insert(pool_.end(), dewey.begin(), dewey.end());
+  spans_.push_back(span);
+  return spans_.size() - 1;
+}
+
+DeweyView DeweyStore::Get(size_t index) const {
+  assert(index < spans_.size());
+  const Span& s = spans_[index];
+  return DeweyView(pool_.data() + s.offset, s.length);
+}
+
+}  // namespace extract

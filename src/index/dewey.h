@@ -1,0 +1,61 @@
+// Dewey identifiers: hierarchical node labels (e.g. 0.2.5) that make
+// document order, ancestry and lowest-common-ancestor computations cheap.
+// The indexed document assigns one Dewey ID per node; they are stored in a
+// single flat pool and exposed as spans.
+
+#ifndef EXTRACT_INDEX_DEWEY_H_
+#define EXTRACT_INDEX_DEWEY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace extract {
+
+/// A borrowed view of a Dewey ID: the child-ordinal path from the root.
+/// The root's Dewey ID is the empty span.
+using DeweyView = std::span<const uint32_t>;
+
+/// Three-way comparison in document (lexicographic, prefix-first) order.
+/// Returns <0, 0, >0 like strcmp.
+int CompareDewey(DeweyView a, DeweyView b);
+
+/// True iff `a` is an ancestor of `b` (strict) — `a` is a proper prefix.
+bool IsDeweyAncestor(DeweyView a, DeweyView b);
+
+/// True iff `a` equals `b` or is an ancestor of `b`.
+bool IsDeweyAncestorOrSelf(DeweyView a, DeweyView b);
+
+/// Length of the longest common prefix — the depth of the LCA.
+size_t DeweyCommonPrefix(DeweyView a, DeweyView b);
+
+/// Renders "0.2.5"; the empty (root) Dewey renders as "ε".
+std::string DeweyToString(DeweyView d);
+
+/// \brief Append-only pool of Dewey IDs, one per node, indexed densely.
+///
+/// IDs must be appended in pre-order (the builder's natural order); the pool
+/// stores components contiguously to avoid per-node allocations.
+class DeweyStore {
+ public:
+  /// Appends the Dewey ID for the next node; returns its dense index.
+  size_t Append(DeweyView dewey);
+
+  /// The Dewey ID of node `index`.
+  DeweyView Get(size_t index) const;
+
+  size_t size() const { return spans_.size(); }
+
+ private:
+  struct Span {
+    uint32_t offset;
+    uint32_t length;
+  };
+  std::vector<uint32_t> pool_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_INDEX_DEWEY_H_

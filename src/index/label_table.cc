@@ -1,0 +1,26 @@
+#include "index/label_table.h"
+
+#include <cassert>
+
+namespace extract {
+
+LabelId LabelTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+LabelId LabelTable::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kInvalidLabel : it->second;
+}
+
+const std::string& LabelTable::Name(LabelId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace extract

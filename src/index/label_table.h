@@ -1,0 +1,40 @@
+// Label interning: element tag names are mapped to dense integer LabelIds so
+// the rest of the system compares labels by integer.
+
+#ifndef EXTRACT_INDEX_LABEL_TABLE_H_
+#define EXTRACT_INDEX_LABEL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace extract {
+
+/// Dense identifier of an interned label. kInvalidLabel means "none".
+using LabelId = uint32_t;
+inline constexpr LabelId kInvalidLabel = UINT32_MAX;
+
+/// \brief Bidirectional string <-> LabelId mapping.
+class LabelTable {
+ public:
+  /// Interns `name`, returning its id (existing or fresh).
+  LabelId Intern(std::string_view name);
+
+  /// The id of `name`, or kInvalidLabel if never interned.
+  LabelId Find(std::string_view name) const;
+
+  /// The string for `id`. Requires a valid id.
+  const std::string& Name(LabelId id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_INDEX_LABEL_TABLE_H_

@@ -1,0 +1,45 @@
+// HTML rendering of snippets and result pages — the output format of the
+// demo's web UI (Figure 5): each result shows its snippet with highlighted
+// keyword matches and a link to the complete query result.
+
+#ifndef EXTRACT_RENDER_HTML_RENDERER_H_
+#define EXTRACT_RENDER_HTML_RENDERER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "search/search_engine.h"
+#include "snippet/snippet_tree.h"
+
+namespace extract {
+
+/// Rendering knobs.
+struct HtmlRenderOptions {
+  /// Wrap tokens matching query keywords in <b>...</b>.
+  bool highlight_keywords = true;
+  /// href prefix of each result's "view full result" link; the 1-based
+  /// result rank is appended.
+  std::string link_base = "#result-";
+  /// Include the result key as the snippet heading (the "title" role the
+  /// key plays per §2.2).
+  bool key_as_heading = true;
+};
+
+/// Escapes &, <, >, " for HTML text/attribute contexts.
+std::string EscapeHtml(std::string_view s);
+
+/// Renders one snippet as a nested <ul> tree.
+std::string RenderSnippetHtml(const Snippet& snippet, const Query& query,
+                              const HtmlRenderOptions& options);
+
+/// \brief Renders a whole results page: the query header and, per result,
+/// the key heading, the snippet tree and the full-result link — the layout
+/// of the paper's Figure 5 screenshot.
+std::string RenderResultsPageHtml(const Query& query,
+                                  const std::vector<Snippet>& snippets,
+                                  const HtmlRenderOptions& options);
+
+}  // namespace extract
+
+#endif  // EXTRACT_RENDER_HTML_RENDERER_H_

@@ -1,0 +1,118 @@
+#include "schema/key_miner.h"
+
+#include <algorithm>
+#include <set>
+
+namespace extract {
+
+const std::vector<KeyCandidate> KeyIndex::kEmpty;
+
+KeyIndex KeyIndex::Mine(const IndexedDocument& doc,
+                        const NodeClassification& classification) {
+  // Per (entity label, attribute label): instance counts and value sets.
+  struct PairAgg {
+    size_t instances_with_one = 0;   // entity instances with exactly one a
+    size_t instances_with_many = 0;  // entity instances with > one a
+    std::set<std::string> values;
+    size_t value_occurrences = 0;
+    double position_sum = 0.0;
+  };
+  std::map<std::pair<LabelId, LabelId>, PairAgg> agg;
+  std::map<LabelId, size_t> entity_instances;
+
+  const NodeId n = static_cast<NodeId>(doc.num_nodes());
+  for (NodeId id = 0; id < n; ++id) {
+    if (!doc.is_element(id) || !classification.IsEntity(id)) continue;
+    ++entity_instances[doc.label(id)];
+    // Count attribute children per label within this instance.
+    std::map<LabelId, int> counts;
+    int position = 0;
+    std::map<LabelId, int> first_position;
+    std::map<LabelId, std::string> first_value;
+    for (NodeId c : doc.children(id)) {
+      if (!doc.is_element(c)) continue;
+      if (classification.IsAttribute(c)) {
+        LabelId a = doc.label(c);
+        if (counts[a]++ == 0) {
+          first_position[a] = position;
+          NodeId t = doc.sole_text_child(c);
+          first_value[a] = t == kInvalidNode ? std::string() : doc.text(t);
+        }
+      }
+      ++position;
+    }
+    for (const auto& [a, count] : counts) {
+      PairAgg& pa = agg[{doc.label(id), a}];
+      if (count == 1) {
+        ++pa.instances_with_one;
+        pa.values.insert(first_value[a]);
+        ++pa.value_occurrences;
+        pa.position_sum += first_position[a];
+      } else {
+        ++pa.instances_with_many;
+      }
+    }
+  }
+
+  KeyIndex out;
+  for (const auto& [key, pa] : agg) {
+    const auto& [entity_label, attribute_label] = key;
+    size_t total = entity_instances[entity_label];
+    if (total == 0) continue;
+    KeyCandidate cand;
+    cand.entity_label = entity_label;
+    cand.attribute_label = attribute_label;
+    cand.coverage =
+        static_cast<double>(pa.instances_with_one) / static_cast<double>(total);
+    cand.distinct_ratio =
+        pa.value_occurrences == 0
+            ? 0.0
+            : static_cast<double>(pa.values.size()) /
+                  static_cast<double>(pa.value_occurrences);
+    cand.mean_position = pa.instances_with_one == 0
+                             ? 1e9
+                             : pa.position_sum /
+                                   static_cast<double>(pa.instances_with_one);
+    cand.strict = pa.instances_with_many == 0 &&
+                  pa.instances_with_one == total &&
+                  pa.values.size() == pa.value_occurrences;
+    out.candidates_[entity_label].push_back(cand);
+  }
+
+  for (auto& [entity_label, cands] : out.candidates_) {
+    std::sort(cands.begin(), cands.end(),
+              [](const KeyCandidate& a, const KeyCandidate& b) {
+                if (a.strict != b.strict) return a.strict;
+                if (a.distinct_ratio != b.distinct_ratio) {
+                  return a.distinct_ratio > b.distinct_ratio;
+                }
+                if (a.coverage != b.coverage) return a.coverage > b.coverage;
+                if (a.mean_position != b.mean_position) {
+                  return a.mean_position < b.mean_position;
+                }
+                return a.attribute_label < b.attribute_label;
+              });
+  }
+  return out;
+}
+
+std::optional<LabelId> KeyIndex::KeyAttributeOf(LabelId entity_label) const {
+  auto it = candidates_.find(entity_label);
+  if (it == candidates_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front().attribute_label;
+}
+
+const std::vector<KeyCandidate>& KeyIndex::CandidatesOf(
+    LabelId entity_label) const {
+  auto it = candidates_.find(entity_label);
+  return it == candidates_.end() ? kEmpty : it->second;
+}
+
+std::vector<LabelId> KeyIndex::EntityLabels() const {
+  std::vector<LabelId> out;
+  out.reserve(candidates_.size());
+  for (const auto& [label, cands] : candidates_) out.push_back(label);
+  return out;
+}
+
+}  // namespace extract

@@ -1,0 +1,63 @@
+// Key mining (paper §2.2: "After mining the keys of entities in the data,
+// eXtract adds the value of the key attribute of [the return entity] to
+// IList").
+//
+// For each entity label e, an attribute label a is a key candidate when
+// every instance of e has exactly one a child and the a-values are pairwise
+// distinct across all instances of e. Candidates are ranked by
+// (strict uniqueness, coverage, earliest average child position), so "name"
+// or "id"-like attributes naturally win without hard-coding.
+
+#ifndef EXTRACT_SCHEMA_KEY_MINER_H_
+#define EXTRACT_SCHEMA_KEY_MINER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "index/indexed_document.h"
+#include "schema/node_classifier.h"
+
+namespace extract {
+
+/// One mined key candidate for an entity label.
+struct KeyCandidate {
+  LabelId entity_label = kInvalidLabel;
+  LabelId attribute_label = kInvalidLabel;
+  /// distinct values / instances having the attribute, in (0, 1].
+  double distinct_ratio = 0.0;
+  /// Fraction of entity instances that carry exactly one such attribute.
+  double coverage = 0.0;
+  /// Average 0-based position of the attribute among its entity's children
+  /// (keys tend to come first in real schemas; used as a tie-breaker).
+  double mean_position = 0.0;
+  /// True iff distinct_ratio == 1 and coverage == 1 (a strict key).
+  bool strict = false;
+};
+
+/// \brief Mined keys for every entity label of a document.
+class KeyIndex {
+ public:
+  /// Mines keys over all entity instances of `doc`.
+  static KeyIndex Mine(const IndexedDocument& doc,
+                       const NodeClassification& classification);
+
+  /// The best key attribute label for `entity_label`, or nullopt if the
+  /// entity has no attribute children at all.
+  std::optional<LabelId> KeyAttributeOf(LabelId entity_label) const;
+
+  /// All candidates for `entity_label`, best first.
+  const std::vector<KeyCandidate>& CandidatesOf(LabelId entity_label) const;
+
+  /// Entity labels with at least one candidate.
+  std::vector<LabelId> EntityLabels() const;
+
+ private:
+  std::map<LabelId, std::vector<KeyCandidate>> candidates_;
+  static const std::vector<KeyCandidate> kEmpty;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_SCHEMA_KEY_MINER_H_

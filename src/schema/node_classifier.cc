@@ -1,0 +1,121 @@
+#include "schema/node_classifier.h"
+
+#include <algorithm>
+#include <set>
+
+namespace extract {
+
+std::string_view NodeCategoryToString(NodeCategory c) {
+  switch (c) {
+    case NodeCategory::kEntity:
+      return "entity";
+    case NodeCategory::kAttribute:
+      return "attribute";
+    case NodeCategory::kConnection:
+      return "connection";
+    case NodeCategory::kValue:
+      return "value";
+  }
+  return "?";
+}
+
+NodeClassification NodeClassification::Classify(const IndexedDocument& doc,
+                                                const Dtd* dtd) {
+  return Classify(doc, dtd, ClassifyOptions{});
+}
+
+NodeClassification NodeClassification::Classify(const IndexedDocument& doc,
+                                                const Dtd* dtd,
+                                                const ClassifyOptions& options) {
+  NodeClassification out;
+  const size_t n = doc.num_nodes();
+  out.per_node_.resize(n, NodeCategory::kConnection);
+
+  const bool have_dtd = options.use_dtd && dtd != nullptr && !dtd->empty();
+
+  // Pass 1: per (parent label, label) pair, gather the evidence the rules
+  // need: star inference (some parent instance has >= 2 children with this
+  // label) and attribute shape (every instance's children are a single text
+  // node, or none).
+  struct PairStats {
+    bool starred = false;
+    bool attribute_shape = true;
+  };
+  std::map<std::pair<LabelId, LabelId>, PairStats> stats;
+
+  for (size_t i = 0; i < n; ++i) {
+    NodeId id = static_cast<NodeId>(i);
+    if (!doc.is_element(id)) continue;
+    LabelId parent_label =
+        doc.parent(id) == kInvalidNode ? kInvalidLabel : doc.label(doc.parent(id));
+    PairStats& my = stats[{parent_label, doc.label(id)}];
+    auto kids = doc.children(id);
+    bool shape_ok = kids.empty() || (kids.size() == 1 && doc.is_text(kids[0]));
+    my.attribute_shape = my.attribute_shape && shape_ok;
+
+    std::map<LabelId, int> child_label_count;
+    for (NodeId c : kids) {
+      if (doc.is_element(c)) child_label_count[doc.label(c)]++;
+    }
+    for (const auto& [child_label, count] : child_label_count) {
+      if (count >= 2) stats[{doc.label(id), child_label}].starred = true;
+    }
+  }
+
+  // Decide pair categories.
+  for (const auto& [key, pair_stats] : stats) {
+    const auto& [parent_label, label] = key;
+    bool starred;
+    if (have_dtd && parent_label != kInvalidLabel) {
+      starred = dtd->IsStarChild(doc.labels().Name(parent_label),
+                                 doc.labels().Name(label));
+    } else {
+      starred = pair_stats.starred;
+    }
+    NodeCategory category;
+    if (starred) {
+      category = NodeCategory::kEntity;
+    } else if (pair_stats.attribute_shape) {
+      category = NodeCategory::kAttribute;
+    } else {
+      category = NodeCategory::kConnection;
+    }
+    out.pair_category_[key] = category;
+  }
+
+  // Materialize per node and collect entity labels.
+  std::set<LabelId> entity_label_set;
+  for (size_t i = 0; i < n; ++i) {
+    NodeId id = static_cast<NodeId>(i);
+    if (doc.is_text(id)) {
+      out.per_node_[i] = NodeCategory::kValue;
+      continue;
+    }
+    LabelId parent_label =
+        doc.parent(id) == kInvalidNode ? kInvalidLabel : doc.label(doc.parent(id));
+    NodeCategory category = out.PairCategory(parent_label, doc.label(id));
+    out.per_node_[i] = category;
+    if (category == NodeCategory::kEntity) entity_label_set.insert(doc.label(id));
+  }
+  out.entity_labels_.assign(entity_label_set.begin(), entity_label_set.end());
+  out.is_entity_label_.resize(doc.labels().size(), false);
+  for (LabelId label : out.entity_labels_) out.is_entity_label_[label] = true;
+  return out;
+}
+
+NodeCategory NodeClassification::PairCategory(LabelId parent_label,
+                                              LabelId label) const {
+  auto it = pair_category_.find({parent_label, label});
+  return it == pair_category_.end() ? NodeCategory::kConnection : it->second;
+}
+
+bool NodeClassification::IsEntityLabel(LabelId label) const {
+  return label < is_entity_label_.size() && is_entity_label_[label];
+}
+
+size_t NodeClassification::CountCategory(NodeCategory c) const {
+  return static_cast<size_t>(
+      std::count(per_node_.begin(), per_node_.end(), c));
+}
+
+}  // namespace extract

@@ -1,0 +1,47 @@
+#include "schema/schema_summary.h"
+
+#include <map>
+
+#include "common/tree_printer.h"
+
+namespace extract {
+
+std::string RenderSchemaSummary(const IndexedDocument& doc,
+                                const NodeClassification& classification,
+                                const KeyIndex& keys) {
+  // Aggregate per label: dominant category (labels can differ per context;
+  // report the most frequent) and instance count.
+  std::map<LabelId, std::map<NodeCategory, size_t>> per_label;
+  const NodeId n = static_cast<NodeId>(doc.num_nodes());
+  for (NodeId id = 0; id < n; ++id) {
+    if (!doc.is_element(id)) continue;
+    per_label[doc.label(id)][classification.category(id)]++;
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"label", "category", "instances", "key"});
+  for (const auto& [label, cats] : per_label) {
+    NodeCategory best = NodeCategory::kConnection;
+    size_t best_count = 0;
+    size_t total = 0;
+    for (const auto& [cat, count] : cats) {
+      total += count;
+      if (count > best_count) {
+        best_count = count;
+        best = cat;
+      }
+    }
+    std::string key_name = "-";
+    if (best == NodeCategory::kEntity) {
+      if (auto key = keys.KeyAttributeOf(label); key.has_value()) {
+        key_name = doc.labels().Name(*key);
+      }
+    }
+    rows.push_back({doc.labels().Name(label),
+                    std::string(NodeCategoryToString(best)),
+                    std::to_string(total), key_name});
+  }
+  return RenderTable(rows);
+}
+
+}  // namespace extract

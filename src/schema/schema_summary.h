@@ -1,0 +1,28 @@
+// Human-readable summary of the Data Analyzer's findings: per-label
+// categories, instance counts and mined keys. Used by examples and by the
+// `view data` flow of the demo UI reproduction.
+
+#ifndef EXTRACT_SCHEMA_SCHEMA_SUMMARY_H_
+#define EXTRACT_SCHEMA_SCHEMA_SUMMARY_H_
+
+#include <string>
+
+#include "index/indexed_document.h"
+#include "schema/key_miner.h"
+#include "schema/node_classifier.h"
+
+namespace extract {
+
+/// \brief Renders a table like:
+///
+///     label     category    instances  key
+///     retailer  entity      3          name
+///     store     entity      30         name
+///     city      attribute   30         -
+std::string RenderSchemaSummary(const IndexedDocument& doc,
+                                const NodeClassification& classification,
+                                const KeyIndex& keys);
+
+}  // namespace extract
+
+#endif  // EXTRACT_SCHEMA_SCHEMA_SUMMARY_H_

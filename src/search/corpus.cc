@@ -1,0 +1,64 @@
+#include "search/corpus.h"
+
+#include <algorithm>
+
+namespace extract {
+
+Status XmlCorpus::AddDocument(const std::string& name, std::string_view xml) {
+  return AddDocument(name, xml, LoadOptions{});
+}
+
+Status XmlCorpus::AddDocument(const std::string& name, std::string_view xml,
+                              const LoadOptions& options) {
+  auto db = XmlDatabase::Load(xml, options);
+  EXTRACT_RETURN_IF_ERROR(db.status());
+  return AddDatabase(name, std::move(*db));
+}
+
+Status XmlCorpus::AddDatabase(const std::string& name, XmlDatabase db) {
+  if (databases_.find(name) != databases_.end()) {
+    return Status::InvalidArgument("document '" + name +
+                                   "' already registered");
+  }
+  databases_.emplace(name, std::move(db));
+  return Status::OK();
+}
+
+const XmlDatabase* XmlCorpus::Find(std::string_view name) const {
+  auto it = databases_.find(name);
+  return it == databases_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> XmlCorpus::DocumentNames() const {
+  std::vector<std::string> names;
+  names.reserve(databases_.size());
+  for (const auto& [name, db] : databases_) names.push_back(name);
+  return names;
+}
+
+Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
+    const Query& query, const SearchEngine& engine) const {
+  return SearchAll(query, engine, RankingOptions{});
+}
+
+Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
+    const Query& query, const SearchEngine& engine,
+    const RankingOptions& ranking) const {
+  std::vector<CorpusResult> out;
+  for (const auto& [name, db] : databases_) {
+    std::vector<QueryResult> results;
+    EXTRACT_ASSIGN_OR_RETURN(results, engine.Search(db, query));
+    for (RankedResult& ranked : RankResults(db, results, ranking)) {
+      out.push_back(CorpusResult{name, std::move(ranked.result), ranked.score});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CorpusResult& a, const CorpusResult& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     if (a.document != b.document) return a.document < b.document;
+                     return a.result.root < b.result.root;
+                   });
+  return out;
+}
+
+}  // namespace extract

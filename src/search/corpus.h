@@ -1,0 +1,60 @@
+// Multi-document corpus: the demo UI lets users pick among several XML
+// data sets (movies, stores, ...) and query whichever is selected; a full
+// deployment searches across all of them. XmlCorpus owns named databases
+// and merges cross-document search results by ranking score.
+
+#ifndef EXTRACT_SEARCH_CORPUS_H_
+#define EXTRACT_SEARCH_CORPUS_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "search/ranking.h"
+#include "search/search_engine.h"
+
+namespace extract {
+
+/// One cross-corpus search hit.
+struct CorpusResult {
+  /// Name of the document the hit came from.
+  std::string document;
+  QueryResult result;
+  double score = 0.0;
+};
+
+/// \brief A named collection of loaded databases.
+class XmlCorpus {
+ public:
+  /// Parses and adds a document. Fails on malformed XML or duplicate name.
+  Status AddDocument(const std::string& name, std::string_view xml);
+  Status AddDocument(const std::string& name, std::string_view xml,
+                     const LoadOptions& options);
+
+  /// Adds an already-loaded database. Fails on duplicate name.
+  Status AddDatabase(const std::string& name, XmlDatabase db);
+
+  /// The database registered under `name`, or nullptr.
+  const XmlDatabase* Find(std::string_view name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> DocumentNames() const;
+
+  size_t size() const { return databases_.size(); }
+
+  /// \brief Searches every document and merges the hits best-score-first
+  /// (ties: document name, then document order).
+  Result<std::vector<CorpusResult>> SearchAll(
+      const Query& query, const SearchEngine& engine,
+      const RankingOptions& ranking) const;
+  Result<std::vector<CorpusResult>> SearchAll(const Query& query,
+                                              const SearchEngine& engine) const;
+
+ private:
+  std::map<std::string, XmlDatabase, std::less<>> databases_;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_SEARCH_CORPUS_H_

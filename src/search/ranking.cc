@@ -1,0 +1,42 @@
+#include "search/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace extract {
+
+double ScoreResult(const XmlDatabase& db, const QueryResult& result,
+                   const RankingOptions& options) {
+  const IndexedDocument& doc = db.index();
+  double score = 0.0;
+  // Specificity: depth of the SLCA witness (falls back to the root depth).
+  NodeId slca = result.slca != kInvalidNode ? result.slca : result.root;
+  score += options.specificity_weight * static_cast<double>(doc.depth(slca));
+  // Frequency: damped match counts per keyword.
+  for (const auto& matches : result.matches) {
+    score += options.frequency_weight *
+             std::log2(1.0 + static_cast<double>(matches.size()));
+  }
+  // Compactness: small subtrees score higher.
+  score += options.compactness_weight /
+           std::log2(2.0 + static_cast<double>(doc.subtree_edges(result.root)));
+  return score;
+}
+
+std::vector<RankedResult> RankResults(const XmlDatabase& db,
+                                      const std::vector<QueryResult>& results,
+                                      const RankingOptions& options) {
+  std::vector<RankedResult> out;
+  out.reserve(results.size());
+  for (const QueryResult& result : results) {
+    out.push_back(RankedResult{result, ScoreResult(db, result, options)});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RankedResult& a, const RankedResult& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     return a.result.root < b.result.root;
+                   });
+  return out;
+}
+
+}  // namespace extract

@@ -1,0 +1,50 @@
+// Result ranking: the paper (§1) positions snippets as the complement of
+// ranking schemes (XRANK [2], XSearch [1]); a full engine needs both. This
+// module scores and orders query results with the standard structural
+// signals those systems use:
+//
+//   * specificity — deeper SLCAs are more specific matches (XRANK's
+//     decay-with-distance rationale);
+//   * keyword frequency — more matches, with logarithmic damping;
+//   * compactness — smaller result subtrees focus the user faster.
+//
+// Snippet generation is orthogonal (§3): ranking reorders QueryResults, and
+// eXtract summarizes whatever order it is given.
+
+#ifndef EXTRACT_SEARCH_RANKING_H_
+#define EXTRACT_SEARCH_RANKING_H_
+
+#include <vector>
+
+#include "search/search_engine.h"
+
+namespace extract {
+
+/// Scoring weights; defaults follow the usual structural-IR mix.
+struct RankingOptions {
+  double specificity_weight = 1.0;   ///< per SLCA depth level
+  double frequency_weight = 0.5;     ///< per log2(1 + matches) per keyword
+  double compactness_weight = 2.0;   ///< 1 / log2(2 + result edges)
+};
+
+/// A result with its score.
+struct RankedResult {
+  QueryResult result;
+  double score = 0.0;
+};
+
+/// Score of a single result under `options`.
+double ScoreResult(const XmlDatabase& db, const QueryResult& result,
+                   const RankingOptions& options);
+
+/// \brief Scores and sorts results best-first.
+///
+/// Ties break toward document order, so ranking is deterministic and stable
+/// against permutations of the input.
+std::vector<RankedResult> RankResults(const XmlDatabase& db,
+                                      const std::vector<QueryResult>& results,
+                                      const RankingOptions& options);
+
+}  // namespace extract
+
+#endif  // EXTRACT_SEARCH_RANKING_H_

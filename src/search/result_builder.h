@@ -1,0 +1,47 @@
+// Materialization of query results: turning result views (pre-order
+// intervals of the IndexedDocument) back into DOM trees for display,
+// serialization or feeding to external tools.
+
+#ifndef EXTRACT_SEARCH_RESULT_BUILDER_H_
+#define EXTRACT_SEARCH_RESULT_BUILDER_H_
+
+#include <memory>
+
+#include "search/search_engine.h"
+#include "xml/dom.h"
+
+namespace extract {
+
+/// Materializes the full subtree of `db` rooted at `root` as a DOM tree.
+std::unique_ptr<XmlNode> MaterializeSubtree(const IndexedDocument& doc,
+                                            NodeId root);
+
+/// Materializes a query result (its whole subtree).
+std::unique_ptr<XmlNode> MaterializeResult(const XmlDatabase& db,
+                                           const QueryResult& result);
+
+/// \brief Materializes the *partial* subtree of `doc` induced by `nodes`:
+/// the tree containing exactly the ids in `nodes` (which must be closed
+/// under parents within the subtree of `root`, root included). This is how
+/// snippets are turned into trees.
+std::unique_ptr<XmlNode> MaterializeInducedTree(
+    const IndexedDocument& doc, NodeId root, const std::vector<NodeId>& nodes);
+
+/// \brief Materializes a query result with XSeek's *pruned* output semantics
+/// ([6]: "identifying meaningful return information").
+///
+/// The output keeps, within the result subtree:
+///   * every node on a path from the result root to a keyword match
+///     (with the match's value),
+///   * the attributes (with values) of entity nodes that are kept,
+///   * for every other entity child of a kept node, an empty placeholder
+///     element so the user sees what else exists without its contents.
+///
+/// The paper's demo uses full master-entity subtrees as results; this mode
+/// reproduces XSeek's more aggressive pruning for comparison.
+std::unique_ptr<XmlNode> MaterializeXSeekResult(const XmlDatabase& db,
+                                                const QueryResult& result);
+
+}  // namespace extract
+
+#endif  // EXTRACT_SEARCH_RESULT_BUILDER_H_

@@ -1,0 +1,158 @@
+#include "search/search_engine.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+#include "search/slca.h"
+#include "xml/parser.h"
+
+namespace extract {
+
+Result<XmlDatabase> XmlDatabase::Load(std::string_view xml,
+                                      const LoadOptions& options) {
+  std::unique_ptr<XmlDocument> doc;
+  EXTRACT_ASSIGN_OR_RETURN(doc, ParseXml(xml, options.parse));
+  return FromDocument(std::move(doc), options);
+}
+
+Result<XmlDatabase> XmlDatabase::Load(std::string_view xml) {
+  return Load(xml, LoadOptions{});
+}
+
+Result<XmlDatabase> XmlDatabase::FromDocument(std::unique_ptr<XmlDocument> doc,
+                                              const LoadOptions& options) {
+  IndexedDocument index;
+  EXTRACT_ASSIGN_OR_RETURN(index,
+                           IndexedDocument::Build(*doc, options.indexing));
+  return FromIndexedDocument(std::move(index),
+                             doc->has_dtd() ? &doc->dtd() : nullptr, options);
+}
+
+Result<XmlDatabase> XmlDatabase::FromIndexedDocument(IndexedDocument index,
+                                                     const Dtd* dtd,
+                                                     const LoadOptions& options) {
+  XmlDatabase db;
+  db.index_ = std::make_unique<IndexedDocument>(std::move(index));
+  if (dtd != nullptr) {
+    db.dtd_ = *dtd;
+    db.has_dtd_ = true;
+  }
+  db.classification_ = NodeClassification::Classify(
+      *db.index_, db.has_dtd_ ? &db.dtd_ : nullptr, options.classify);
+  db.keys_ = KeyIndex::Mine(*db.index_, db.classification_);
+  db.analyzer_ = TextAnalyzer(options.analysis);
+  db.inverted_ = InvertedIndex::Build(*db.index_, db.analyzer_);
+  return db;
+}
+
+Query Query::Parse(std::string_view text) {
+  Query q;
+  // Tokenize twice: once preserving case for display, once folded for
+  // matching. TokenizeWords folds, so extract raw tokens by position.
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isalnum(static_cast<unsigned char>(text[i])) == 0) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() &&
+           std::isalnum(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+    if (i > start) {
+      std::string raw(text.substr(start, i - start));
+      q.keywords.push_back(ToLowerCopy(raw));
+      q.raw_keywords.push_back(std::move(raw));
+    }
+  }
+  return q;
+}
+
+std::string Query::ToString() const { return Join(keywords, " "); }
+
+NodeId MasterEntityOf(const IndexedDocument& doc,
+                      const NodeClassification& classification, NodeId n) {
+  for (NodeId cur = n; cur != kInvalidNode; cur = doc.parent(cur)) {
+    if (doc.is_element(cur) && classification.IsEntity(cur)) return cur;
+  }
+  return doc.root();
+}
+
+Result<std::vector<QueryResult>> XSeekEngine::Search(const XmlDatabase& db,
+                                                     const Query& query) const {
+  if (query.keywords.empty()) {
+    return Status::InvalidArgument("query has no keywords");
+  }
+  // Analyze keywords with the database's analyzer. Stopword keywords are
+  // dropped (standard IR behaviour); a keyword that survives analysis but
+  // matches nothing makes the result set empty.
+  std::vector<const PostingList*> lists;
+  std::vector<size_t> keyword_of_list;  // original keyword index per list
+  lists.reserve(query.keywords.size());
+  for (size_t k = 0; k < query.keywords.size(); ++k) {
+    std::string analyzed = db.analyzer().AnalyzeToken(query.keywords[k]);
+    if (analyzed.empty()) continue;  // stopword
+    const PostingList* list = db.inverted().Find(analyzed);
+    if (list == nullptr || list->empty()) {
+      return std::vector<QueryResult>{};  // some keyword matches nothing
+    }
+    lists.push_back(list);
+    keyword_of_list.push_back(k);
+  }
+  if (lists.empty()) {
+    return std::vector<QueryResult>{};  // all keywords were stopwords
+  }
+
+  std::vector<NodeId> slcas =
+      ComputeSlcaIndexedLookupEager(db.index(), lists);
+
+  // Scope each SLCA to its result root; collapse results that share a root
+  // (two SLCAs can live under one master entity).
+  std::vector<QueryResult> results;
+  for (NodeId slca : slcas) {
+    NodeId root = slca;
+    if (options_.scope == ResultScope::kMasterEntity) {
+      root = MasterEntityOf(db.index(), db.classification(), slca);
+    }
+    if (!results.empty() && results.back().root == root) continue;
+    QueryResult result;
+    result.root = root;
+    result.slca = slca;
+    results.push_back(std::move(result));
+  }
+  // Deduplicate non-adjacent repeats (possible when master entities repeat
+  // out of order — they cannot, since slcas are in document order, but a
+  // later SLCA can map into an earlier, larger master subtree).
+  std::vector<QueryResult> dedup;
+  for (auto& r : results) {
+    if (!dedup.empty() && (dedup.back().root == r.root ||
+                           db.index().IsAncestorOrSelf(dedup.back().root, r.root))) {
+      continue;
+    }
+    dedup.push_back(std::move(r));
+  }
+  results = std::move(dedup);
+
+  // Attach per-keyword matches restricted to each result subtree (dropped
+  // stopword keywords keep empty match lists).
+  for (QueryResult& result : results) {
+    NodeId begin = result.root;
+    NodeId end = db.index().subtree_end(result.root);
+    result.matches.resize(query.keywords.size());
+    for (size_t i = 0; i < lists.size(); ++i) {
+      const std::vector<NodeId>& nodes = lists[i]->nodes;
+      auto lo = std::lower_bound(nodes.begin(), nodes.end(), begin);
+      auto hi = std::lower_bound(nodes.begin(), nodes.end(), end);
+      result.matches[keyword_of_list[i]].assign(lo, hi);
+    }
+  }
+
+  if (options_.max_results > 0 && results.size() > options_.max_results) {
+    results.resize(options_.max_results);
+  }
+  return results;
+}
+
+}  // namespace extract

@@ -1,0 +1,304 @@
+#include "search/snapshot.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace extract {
+
+namespace {
+
+constexpr std::string_view kMagic = "XSNP";
+constexpr uint32_t kVersion = 1;
+
+// ----------------------------------------------------------- encoding ----
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// ----------------------------------------------------------- decoding ----
+
+// Cursor over the snapshot payload; every Get* checks bounds.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint32_t> GetU32() {
+    if (pos_ + 4 > bytes_.size()) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> GetU64() {
+    if (pos_ + 8 > bytes_.size()) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<uint8_t> GetByte() {
+    if (pos_ + 1 > bytes_.size()) return Truncated();
+    return static_cast<uint8_t>(static_cast<unsigned char>(bytes_[pos_++]));
+  }
+
+  Result<std::string> GetString() {
+    uint32_t len;
+    EXTRACT_ASSIGN_OR_RETURN(len, GetU32());
+    if (pos_ + len > bytes_.size()) return Truncated();
+    std::string s(bytes_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t pos() const { return pos_; }
+
+ private:
+  Status Truncated() const {
+    return Status::ParseError("snapshot truncated at offset " +
+                              std::to_string(pos_));
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- DTD ----
+
+void EncodeParticle(std::string* out, const DtdContentParticle& p) {
+  PutU32(out, static_cast<uint32_t>(p.kind));
+  PutU32(out, static_cast<uint32_t>(p.occurrence));
+  PutString(out, p.name);
+  PutU32(out, static_cast<uint32_t>(p.children.size()));
+  for (const auto& child : p.children) EncodeParticle(out, child);
+}
+
+Result<DtdContentParticle> DecodeParticle(Reader* reader, int depth) {
+  if (depth > 64) return Status::ParseError("snapshot DTD nesting too deep");
+  DtdContentParticle p;
+  uint32_t kind;
+  EXTRACT_ASSIGN_OR_RETURN(kind, reader->GetU32());
+  if (kind > 2) return Status::ParseError("snapshot bad particle kind");
+  p.kind = static_cast<DtdContentParticle::Kind>(kind);
+  uint32_t occurrence;
+  EXTRACT_ASSIGN_OR_RETURN(occurrence, reader->GetU32());
+  if (occurrence > 3) return Status::ParseError("snapshot bad occurrence");
+  p.occurrence = static_cast<DtdOccurrence>(occurrence);
+  EXTRACT_ASSIGN_OR_RETURN(p.name, reader->GetString());
+  uint32_t num_children;
+  EXTRACT_ASSIGN_OR_RETURN(num_children, reader->GetU32());
+  for (uint32_t i = 0; i < num_children; ++i) {
+    DtdContentParticle child;
+    EXTRACT_ASSIGN_OR_RETURN(child, DecodeParticle(reader, depth + 1));
+    p.children.push_back(std::move(child));
+  }
+  return p;
+}
+
+void EncodeDtd(std::string* out, const Dtd& dtd) {
+  PutString(out, dtd.root_name());
+  std::vector<std::string> names = dtd.ElementNames();
+  PutU32(out, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    const DtdElementDecl* decl = dtd.FindElement(name);
+    PutString(out, decl->name);
+    PutU32(out, static_cast<uint32_t>(decl->category));
+    EncodeParticle(out, decl->content);
+  }
+}
+
+Result<Dtd> DecodeDtd(Reader* reader) {
+  Dtd dtd;
+  std::string root_name;
+  EXTRACT_ASSIGN_OR_RETURN(root_name, reader->GetString());
+  dtd.set_root_name(std::move(root_name));
+  uint32_t count;
+  EXTRACT_ASSIGN_OR_RETURN(count, reader->GetU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    DtdElementDecl decl;
+    EXTRACT_ASSIGN_OR_RETURN(decl.name, reader->GetString());
+    uint32_t category;
+    EXTRACT_ASSIGN_OR_RETURN(category, reader->GetU32());
+    if (category > 3) return Status::ParseError("snapshot bad DTD category");
+    decl.category = static_cast<DtdElementDecl::Category>(category);
+    EXTRACT_ASSIGN_OR_RETURN(decl.content, DecodeParticle(reader, 0));
+    dtd.AddElement(std::move(decl));
+  }
+  return dtd;
+}
+
+}  // namespace
+
+namespace internal {
+
+uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+}  // namespace internal
+
+std::string SaveDatabaseSnapshot(const XmlDatabase& db) {
+  const IndexedDocument& doc = db.index();
+  std::string payload;
+
+  // Label table.
+  PutU32(&payload, static_cast<uint32_t>(doc.labels().size()));
+  for (LabelId id = 0; id < doc.labels().size(); ++id) {
+    PutString(&payload, doc.labels().Name(id));
+  }
+
+  // Node columns.
+  const uint32_t n = static_cast<uint32_t>(doc.num_nodes());
+  PutU32(&payload, n);
+  for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
+    PutU32(&payload, static_cast<uint32_t>(doc.parent(i)));
+    PutU32(&payload, doc.is_element(i) ? doc.label(i) : kInvalidLabel);
+    payload.push_back(doc.is_element(i) ? 0 : 1);
+    PutString(&payload, doc.is_element(i) ? std::string_view() : doc.text(i));
+  }
+
+  // Optional DTD.
+  payload.push_back(db.dtd() != nullptr ? 1 : 0);
+  if (db.dtd() != nullptr) EncodeDtd(&payload, *db.dtd());
+
+  std::string out;
+  out.append(kMagic);
+  PutU32(&out, kVersion);
+  PutU64(&out, internal::Fnv1a(payload));
+  out += payload;
+  return out;
+}
+
+Result<XmlDatabase> LoadDatabaseSnapshot(std::string_view bytes,
+                                         const LoadOptions& options) {
+  if (bytes.size() < kMagic.size() + 12) {
+    return Status::ParseError("snapshot too short");
+  }
+  if (bytes.substr(0, kMagic.size()) != kMagic) {
+    return Status::ParseError("snapshot bad magic");
+  }
+  Reader header(bytes.substr(kMagic.size()));
+  uint32_t version;
+  EXTRACT_ASSIGN_OR_RETURN(version, header.GetU32());
+  if (version != kVersion) {
+    return Status::ParseError("snapshot unsupported version " +
+                              std::to_string(version));
+  }
+  uint64_t checksum;
+  EXTRACT_ASSIGN_OR_RETURN(checksum, header.GetU64());
+  std::string_view payload = bytes.substr(kMagic.size() + header.pos());
+  if (internal::Fnv1a(payload) != checksum) {
+    return Status::ParseError("snapshot checksum mismatch");
+  }
+
+  Reader reader(payload);
+  // Label table.
+  LabelTable labels;
+  uint32_t num_labels;
+  EXTRACT_ASSIGN_OR_RETURN(num_labels, reader.GetU32());
+  for (uint32_t i = 0; i < num_labels; ++i) {
+    std::string name;
+    EXTRACT_ASSIGN_OR_RETURN(name, reader.GetString());
+    if (labels.Intern(name) != i) {
+      return Status::ParseError("snapshot duplicate label");
+    }
+  }
+
+  // Node columns.
+  uint32_t n;
+  EXTRACT_ASSIGN_OR_RETURN(n, reader.GetU32());
+  std::vector<NodeId> parent;
+  std::vector<LabelId> label;
+  std::vector<IndexedNodeKind> kind;
+  std::vector<std::string> text;
+  parent.reserve(n);
+  label.reserve(n);
+  kind.reserve(n);
+  text.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t p;
+    EXTRACT_ASSIGN_OR_RETURN(p, reader.GetU32());
+    parent.push_back(static_cast<NodeId>(p));
+    uint32_t l;
+    EXTRACT_ASSIGN_OR_RETURN(l, reader.GetU32());
+    label.push_back(l);
+    uint8_t k;
+    EXTRACT_ASSIGN_OR_RETURN(k, reader.GetByte());
+    if (k > 1) return Status::ParseError("snapshot bad node kind");
+    kind.push_back(k == 0 ? IndexedNodeKind::kElement : IndexedNodeKind::kText);
+    std::string value;
+    EXTRACT_ASSIGN_OR_RETURN(value, reader.GetString());
+    text.push_back(std::move(value));
+  }
+
+  // Optional DTD.
+  uint8_t has_dtd;
+  EXTRACT_ASSIGN_OR_RETURN(has_dtd, reader.GetByte());
+  Dtd dtd;
+  if (has_dtd == 1) {
+    EXTRACT_ASSIGN_OR_RETURN(dtd, DecodeDtd(&reader));
+  } else if (has_dtd != 0) {
+    return Status::ParseError("snapshot bad DTD flag");
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError("snapshot has trailing bytes");
+  }
+
+  IndexedDocument doc;
+  EXTRACT_ASSIGN_OR_RETURN(
+      doc, IndexedDocument::FromFlatColumns(std::move(labels),
+                                            std::move(parent), std::move(label),
+                                            std::move(kind), std::move(text)));
+  return XmlDatabase::FromIndexedDocument(
+      std::move(doc), has_dtd == 1 ? &dtd : nullptr, options);
+}
+
+Result<XmlDatabase> LoadDatabaseSnapshot(std::string_view bytes) {
+  return LoadDatabaseSnapshot(bytes, LoadOptions{});
+}
+
+Status SaveDatabaseSnapshotToFile(const XmlDatabase& db,
+                                  const std::string& path) {
+  std::string bytes = SaveDatabaseSnapshot(db);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Result<XmlDatabase> LoadDatabaseSnapshotFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadDatabaseSnapshot(buffer.str());
+}
+
+}  // namespace extract

@@ -1,0 +1,47 @@
+// Binary persistence of a loaded database — the "Index" store the Index
+// Builder writes in the paper's Figure 4 architecture. Reloading a snapshot
+// skips XML parsing and DOM flattening; the derived structures (node
+// classification, keys, inverted index) are rebuilt from the stored
+// columns, exactly as at load time.
+//
+// Format (all integers little-endian, strings length-prefixed):
+//   magic "XSNP" | u32 version | u64 fnv1a(payload) | payload
+// payload:
+//   label table | node columns (parent, label, kind, text) | optional DTD
+// The loader rejects bad magic, unknown versions, checksum mismatches and
+// malformed framing with ParseError.
+
+#ifndef EXTRACT_SEARCH_SNAPSHOT_H_
+#define EXTRACT_SEARCH_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "search/search_engine.h"
+
+namespace extract {
+
+/// Serializes `db` to a byte string.
+std::string SaveDatabaseSnapshot(const XmlDatabase& db);
+
+/// Restores a database from SaveDatabaseSnapshot output.
+Result<XmlDatabase> LoadDatabaseSnapshot(std::string_view bytes);
+Result<XmlDatabase> LoadDatabaseSnapshot(std::string_view bytes,
+                                         const LoadOptions& options);
+
+/// Convenience wrappers over files.
+Status SaveDatabaseSnapshotToFile(const XmlDatabase& db,
+                                  const std::string& path);
+Result<XmlDatabase> LoadDatabaseSnapshotFromFile(const std::string& path);
+
+namespace internal {
+
+/// FNV-1a 64-bit hash of `bytes` (exposed for tests).
+uint64_t Fnv1a(std::string_view bytes);
+
+}  // namespace internal
+
+}  // namespace extract
+
+#endif  // EXTRACT_SEARCH_SNAPSHOT_H_

@@ -1,0 +1,70 @@
+#include "snippet/baselines.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace extract {
+
+Selection BfsTruncationSelection(const IndexedDocument& doc, NodeId result_root,
+                                 size_t size_bound) {
+  Selection out;
+  std::deque<NodeId> queue;
+  queue.push_back(result_root);
+  out.nodes.push_back(result_root);
+  size_t edges = 0;
+  while (!queue.empty() && edges < size_bound) {
+    NodeId n = queue.front();
+    queue.pop_front();
+    for (NodeId c : doc.children(n)) {
+      if (edges == size_bound) break;
+      out.nodes.push_back(c);
+      ++edges;
+      queue.push_back(c);
+    }
+  }
+  std::sort(out.nodes.begin(), out.nodes.end());
+  return out;
+}
+
+Selection PathToMatchesSelection(const IndexedDocument& doc,
+                                 NodeId result_root,
+                                 const QueryResult& result, size_t size_bound) {
+  Selection out;
+  std::unordered_set<NodeId> selected{result_root};
+  size_t edges = 0;
+  for (const std::vector<NodeId>& match_list : result.matches) {
+    if (match_list.empty()) continue;
+    NodeId target = match_list.front();
+    // Collect the unselected suffix of the path root -> target.
+    std::vector<NodeId> path;
+    for (NodeId cur = target; selected.find(cur) == selected.end();
+         cur = doc.parent(cur)) {
+      path.push_back(cur);
+    }
+    if (edges + path.size() > size_bound) continue;
+    edges += path.size();
+    selected.insert(path.begin(), path.end());
+  }
+  out.nodes.assign(selected.begin(), selected.end());
+  std::sort(out.nodes.begin(), out.nodes.end());
+  return out;
+}
+
+std::vector<bool> CoverageOfNodeSet(
+    const std::vector<NodeId>& nodes,
+    const std::vector<ItemInstances>& instances) {
+  std::unordered_set<NodeId> set(nodes.begin(), nodes.end());
+  std::vector<bool> covered(instances.size(), false);
+  for (size_t i = 0; i < instances.size(); ++i) {
+    for (NodeId inst : instances[i].nodes) {
+      if (set.count(inst) > 0) {
+        covered[i] = true;
+        break;
+      }
+    }
+  }
+  return covered;
+}
+
+}  // namespace extract

@@ -1,0 +1,40 @@
+// Snippet baselines used by the evaluation (experiments E8/E9):
+//
+//   * BFS truncation — the obvious structural baseline: keep the first B
+//     edges of the result in breadth-first order (what a UI showing "the
+//     top of the result tree" would display).
+//   * Path-to-matches — paths from the result root to the first instance of
+//     each query keyword (classic keyword-proximity XML summarization).
+//
+// The raw-count feature ranking ablation lives in dominant_features.h
+// (DominantFeatureOptions::normalize = false); the flat-text baseline lives
+// in textsnippet/.
+
+#ifndef EXTRACT_SNIPPET_BASELINES_H_
+#define EXTRACT_SNIPPET_BASELINES_H_
+
+#include "search/search_engine.h"
+#include "snippet/instance_selector.h"
+
+namespace extract {
+
+/// First-B-edges breadth-first truncation of the result subtree.
+Selection BfsTruncationSelection(const IndexedDocument& doc, NodeId result_root,
+                                 size_t size_bound);
+
+/// Root-to-first-match paths for each keyword, added in keyword order while
+/// the budget lasts.
+Selection PathToMatchesSelection(const IndexedDocument& doc,
+                                 NodeId result_root,
+                                 const QueryResult& result, size_t size_bound);
+
+/// \brief Which IList items a given node set covers — evaluates any
+/// baseline's selection against the same IList-coverage metric the greedy
+/// selector optimizes. `instances` comes from FindItemInstances.
+std::vector<bool> CoverageOfNodeSet(
+    const std::vector<NodeId>& nodes,
+    const std::vector<ItemInstances>& instances);
+
+}  // namespace extract
+
+#endif  // EXTRACT_SNIPPET_BASELINES_H_

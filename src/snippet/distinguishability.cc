@@ -1,0 +1,143 @@
+#include "snippet/distinguishability.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "snippet/feature_statistics.h"
+
+namespace extract {
+
+double SnippetItemOverlap(const Snippet& a, const Snippet& b) {
+  auto covered_set = [](const Snippet& s) {
+    std::set<std::string> out;
+    for (size_t i = 0; i < s.ilist.size() && i < s.covered.size(); ++i) {
+      if (s.covered[i]) out.insert(ToLowerCopy(s.ilist[i].display));
+    }
+    return out;
+  };
+  std::set<std::string> sa = covered_set(a);
+  std::set<std::string> sb = covered_set(b);
+  if (sa.empty() && sb.empty()) return 0.0;
+  size_t intersection = 0;
+  for (const std::string& item : sa) {
+    if (sb.count(item) > 0) ++intersection;
+  }
+  size_t union_size = sa.size() + sb.size() - intersection;
+  return union_size == 0
+             ? 0.0
+             : static_cast<double>(intersection) /
+                   static_cast<double>(union_size);
+}
+
+BatchDistinctness MeasureDistinctness(const std::vector<Snippet>& snippets) {
+  BatchDistinctness out;
+  out.results = snippets.size();
+  std::set<std::string> keys;
+  for (const Snippet& s : snippets) {
+    if (s.key.found()) {
+      ++out.keyed_snippets;
+      keys.insert(s.key.value);
+    }
+  }
+  out.distinct_keys = keys.size();
+  if (snippets.size() < 2) return out;
+  double total = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < snippets.size(); ++i) {
+    for (size_t j = i + 1; j < snippets.size(); ++j) {
+      total += SnippetItemOverlap(snippets[i], snippets[j]);
+      ++pairs;
+    }
+  }
+  out.mean_pairwise_overlap = total / static_cast<double>(pairs);
+  return out;
+}
+
+Result<std::vector<Snippet>> GenerateDiverseSnippets(
+    const XmlDatabase& db, const Query& query,
+    const std::vector<QueryResult>& results, const SnippetOptions& options,
+    const DiversifyOptions& diversify) {
+  const IndexedDocument& doc = db.index();
+  const NodeClassification& classification = db.classification();
+  const size_t R = results.size();
+
+  // Phase 1: per-result analysis (statistics, return entity, key, dominant
+  // features under the paper's ranking).
+  struct PerResult {
+    ReturnEntityInfo return_entity;
+    ResultKeyInfo key;
+    std::vector<RankedFeature> features;
+  };
+  std::vector<PerResult> analysis;
+  analysis.reserve(R);
+  std::map<Feature, size_t> feature_result_count;
+  for (const QueryResult& result : results) {
+    if (result.root == kInvalidNode ||
+        static_cast<size_t>(result.root) >= doc.num_nodes()) {
+      return Status::InvalidArgument("query result root is not a valid node");
+    }
+    PerResult per;
+    FeatureStatistics stats =
+        FeatureStatistics::Compute(doc, classification, result.root);
+    per.return_entity =
+        IdentifyReturnEntity(doc, classification, query, result.root);
+    per.key = IdentifyResultKey(doc, classification, db.keys(),
+                                per.return_entity, result.root);
+    per.features = IdentifyDominantFeatures(stats, options.features);
+    for (const RankedFeature& rf : per.features) {
+      feature_result_count[rf.feature]++;
+    }
+    analysis.push_back(std::move(per));
+  }
+
+  // Phase 2: re-weight features by how many results share them, then
+  // rebuild each IList and run instance selection as usual.
+  std::vector<Snippet> out;
+  out.reserve(R);
+  for (size_t r = 0; r < R; ++r) {
+    const QueryResult& result = results[r];
+    PerResult& per = analysis[r];
+    if (R > 1 && diversify.commonality_penalty > 0.0) {
+      for (RankedFeature& rf : per.features) {
+        size_t shared = feature_result_count[rf.feature];
+        double boost = 1.0 + diversify.commonality_penalty *
+                                 static_cast<double>(R - shared) /
+                                 static_cast<double>(std::max<size_t>(1, R - 1));
+        rf.score *= boost;
+      }
+      std::stable_sort(per.features.begin(), per.features.end(),
+                       [](const RankedFeature& a, const RankedFeature& b) {
+                         return a.score > b.score;
+                       });
+    }
+
+    Snippet snippet;
+    snippet.result_root = result.root;
+    snippet.return_entity = per.return_entity;
+    snippet.key = per.key;
+    snippet.ilist =
+        BuildIListWithFeatures(doc, query, result.root, per.return_entity,
+                               per.key, per.features, classification);
+    std::vector<ItemInstances> instances =
+        FindItemInstances(doc, classification, result.root, snippet.ilist,
+                          db.analyzer());
+    SelectorOptions selector_options;
+    selector_options.size_bound = options.size_bound;
+    selector_options.stop_on_first_overflow = options.stop_on_first_overflow;
+    Selection selection =
+        options.use_exact_selector
+            ? SelectInstancesExact(doc, result.root, instances,
+                                   selector_options)
+            : SelectInstancesGreedy(doc, result.root, instances,
+                                    selector_options);
+    snippet.nodes = selection.nodes;
+    snippet.covered = selection.covered;
+    snippet.tree = MaterializeSelection(doc, result.root, selection);
+    out.push_back(std::move(snippet));
+  }
+  return out;
+}
+
+}  // namespace extract

@@ -1,0 +1,36 @@
+#include "snippet/dominant_features.h"
+
+#include <algorithm>
+
+namespace extract {
+
+std::vector<RankedFeature> IdentifyDominantFeatures(
+    const FeatureStatistics& stats, const DominantFeatureOptions& options) {
+  std::vector<RankedFeature> out;
+  for (const auto& [type, type_stats] : stats.types()) {
+    for (const auto& [value, count] : type_stats.value_occurrences) {
+      Feature f{type, value};
+      if (options.normalize) {
+        if (!stats.IsDominant(f)) continue;
+        out.push_back(RankedFeature{f, stats.DominanceScore(f), count});
+      } else {
+        out.push_back(
+            RankedFeature{f, static_cast<double>(count), count});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RankedFeature& a, const RankedFeature& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.occurrences != b.occurrences) {
+                return a.occurrences > b.occurrences;
+              }
+              return a.feature < b.feature;
+            });
+  if (options.max_features > 0 && out.size() > options.max_features) {
+    out.resize(options.max_features);
+  }
+  return out;
+}
+
+}  // namespace extract

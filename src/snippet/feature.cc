@@ -1,0 +1,16 @@
+#include "snippet/feature.h"
+
+namespace extract {
+
+std::string FeatureTypeToString(const LabelTable& labels,
+                                const FeatureType& type) {
+  return "(" + labels.Name(type.entity_label) + ", " +
+         labels.Name(type.attribute_label) + ")";
+}
+
+std::string FeatureToString(const LabelTable& labels, const Feature& feature) {
+  return "(" + labels.Name(feature.type.entity_label) + ", " +
+         labels.Name(feature.type.attribute_label) + ", " + feature.value + ")";
+}
+
+}  // namespace extract

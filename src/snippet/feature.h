@@ -1,0 +1,39 @@
+// Features (paper §2.3): a feature is a triplet (entity name e, attribute
+// name a, attribute value v); the pair (e, a) is the feature's *type*.
+
+#ifndef EXTRACT_SNIPPET_FEATURE_H_
+#define EXTRACT_SNIPPET_FEATURE_H_
+
+#include <compare>
+#include <string>
+
+#include "index/label_table.h"
+
+namespace extract {
+
+/// The type of a feature: (entity label, attribute label).
+struct FeatureType {
+  LabelId entity_label = kInvalidLabel;
+  LabelId attribute_label = kInvalidLabel;
+
+  friend auto operator<=>(const FeatureType&, const FeatureType&) = default;
+};
+
+/// A feature (e, a, v): entity e has an attribute a with value v.
+struct Feature {
+  FeatureType type;
+  std::string value;
+
+  friend auto operator<=>(const Feature&, const Feature&) = default;
+};
+
+/// Renders "(store, city, Houston)".
+std::string FeatureToString(const LabelTable& labels, const Feature& feature);
+
+/// Renders "(store, city)".
+std::string FeatureTypeToString(const LabelTable& labels,
+                                const FeatureType& type);
+
+}  // namespace extract
+
+#endif  // EXTRACT_SNIPPET_FEATURE_H_

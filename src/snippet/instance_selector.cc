@@ -1,0 +1,304 @@
+#include "snippet/instance_selector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace extract {
+
+size_t Selection::covered_count() const {
+  return static_cast<size_t>(std::count(covered.begin(), covered.end(), true));
+}
+
+std::vector<ItemInstances> FindItemInstances(
+    const IndexedDocument& doc, const NodeClassification& classification,
+    NodeId result_root, const IList& ilist) {
+  return FindItemInstances(doc, classification, result_root, ilist,
+                           TextAnalyzer());
+}
+
+std::vector<ItemInstances> FindItemInstances(
+    const IndexedDocument& doc, const NodeClassification& classification,
+    NodeId result_root, const IList& ilist, const TextAnalyzer& analyzer) {
+  std::vector<ItemInstances> out(ilist.size());
+  const NodeId end = doc.subtree_end(result_root);
+
+  // Pre-analyze keyword tokens once; a keyword that the analyzer drops
+  // (stopword) can never be matched and keeps an empty instance list.
+  std::vector<std::string> analyzed_token(ilist.size());
+  for (size_t i = 0; i < ilist.size(); ++i) {
+    if (ilist[i].kind == IListItemKind::kKeyword) {
+      analyzed_token[i] = analyzer.AnalyzeToken(ilist[i].token);
+    }
+  }
+
+  // Nearest entity ancestor cache (within the result) for feature matching.
+  // Computed lazily per attribute node encountered.
+  auto nearest_entity_label = [&](NodeId n) -> LabelId {
+    for (NodeId cur = doc.parent(n);
+         cur != kInvalidNode && doc.IsAncestorOrSelf(result_root, cur);
+         cur = doc.parent(cur)) {
+      if (classification.IsEntity(cur)) return doc.label(cur);
+    }
+    return doc.label(result_root);
+  };
+
+  for (NodeId id = result_root; id < end; ++id) {
+    if (doc.is_element(id)) {
+      for (size_t i = 0; i < ilist.size(); ++i) {
+        const IListItem& item = ilist[i];
+        switch (item.kind) {
+          case IListItemKind::kKeyword:
+            if (!analyzed_token[i].empty() &&
+                analyzer.ContainsAnalyzedToken(doc.label_name(id),
+                                               analyzed_token[i])) {
+              out[i].nodes.push_back(id);
+            }
+            break;
+          case IListItemKind::kEntityName:
+            if (classification.IsEntity(id) && doc.label(id) == item.entity_label) {
+              out[i].nodes.push_back(id);
+            }
+            break;
+          case IListItemKind::kResultKey:
+          case IListItemKind::kDominantFeature:
+            break;  // matched on text nodes below
+        }
+      }
+    } else {
+      // Text node: keyword value matches and feature/key value matches.
+      NodeId owner = doc.parent(id);
+      for (size_t i = 0; i < ilist.size(); ++i) {
+        const IListItem& item = ilist[i];
+        switch (item.kind) {
+          case IListItemKind::kKeyword:
+            if (!analyzed_token[i].empty() &&
+                analyzer.ContainsAnalyzedToken(doc.text(id),
+                                               analyzed_token[i])) {
+              out[i].nodes.push_back(id);
+            }
+            break;
+          case IListItemKind::kEntityName:
+            break;
+          case IListItemKind::kResultKey:
+          case IListItemKind::kDominantFeature: {
+            if (doc.text(id) != item.value) break;
+            if (owner == kInvalidNode || !doc.is_element(owner)) break;
+            if (doc.label(owner) != item.attribute_label) break;
+            if (!classification.IsAttribute(owner)) break;
+            if (nearest_entity_label(owner) != item.entity_label) break;
+            out[i].nodes.push_back(id);
+            break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Incremental snippet tree: a set of selected node ids (closed under
+// parents, seeded with the result root) supporting "cost to connect" and
+// "commit path" in O(path length).
+class SnippetTreeSet {
+ public:
+  SnippetTreeSet(const IndexedDocument& doc, NodeId root)
+      : doc_(&doc), root_(root) {
+    members_.insert(root);
+  }
+
+  // Number of new edges needed to include `n`; fills `path` with the nodes
+  // to add (n and its not-yet-selected ancestors). Requires n to be in the
+  // result subtree.
+  size_t ConnectCost(NodeId n, std::vector<NodeId>* path) const {
+    path->clear();
+    NodeId cur = n;
+    while (members_.find(cur) == members_.end()) {
+      path->push_back(cur);
+      cur = doc_->parent(cur);
+      assert(cur != kInvalidNode && "instance outside the result subtree");
+    }
+    return path->size();
+  }
+
+  void Commit(const std::vector<NodeId>& path) {
+    members_.insert(path.begin(), path.end());
+  }
+
+  bool Contains(NodeId n) const { return members_.count(n) > 0; }
+
+  std::vector<NodeId> SortedMembers() const {
+    std::vector<NodeId> out(members_.begin(), members_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  size_t edges() const { return members_.size() - 1; }
+
+ private:
+  const IndexedDocument* doc_;
+  NodeId root_;
+  std::unordered_set<NodeId> members_;
+};
+
+}  // namespace
+
+Selection SelectInstancesGreedy(const IndexedDocument& doc, NodeId result_root,
+                                const std::vector<ItemInstances>& instances,
+                                const SelectorOptions& options) {
+  SnippetTreeSet tree(doc, result_root);
+  Selection selection;
+  selection.covered.assign(instances.size(), false);
+
+  std::vector<NodeId> path;
+  std::vector<NodeId> best_path;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    size_t best_cost = SIZE_MAX;
+    for (NodeId inst : instances[i].nodes) {
+      size_t cost = tree.ConnectCost(inst, &path);
+      if (cost < best_cost) {  // ties: first in document order wins
+        best_cost = cost;
+        best_path = path;
+        if (cost == 0) break;  // cannot do better
+      }
+    }
+    if (best_cost == SIZE_MAX) continue;  // item has no instance
+    if (tree.edges() + best_cost <= options.size_bound) {
+      tree.Commit(best_path);
+      selection.covered[i] = true;
+    } else if (options.stop_on_first_overflow) {
+      break;
+    }
+  }
+  selection.nodes = tree.SortedMembers();
+  return selection;
+}
+
+namespace {
+
+// Branch-and-bound state for the exact solver.
+struct ExactSearch {
+  const IndexedDocument& doc;
+  NodeId root;
+  const std::vector<ItemInstances>& instances;
+  size_t bound;
+
+  // Best solution so far.
+  size_t best_count = 0;
+  size_t best_edges = SIZE_MAX;
+  std::vector<bool> best_covered;
+  std::vector<NodeId> best_nodes;
+
+  // Current partial solution.
+  SnippetTreeSet tree;
+  std::vector<bool> covered;
+
+  ExactSearch(const IndexedDocument& d, NodeId r,
+              const std::vector<ItemInstances>& inst, size_t b)
+      : doc(d), root(r), instances(inst), bound(b), tree(d, r) {
+    covered.assign(inst.size(), false);
+  }
+
+  // Lexicographic preference for tie-breaking on equal coverage count and
+  // edges: covering higher-ranked items is better.
+  bool CoveredBetterOnTie() const {
+    for (size_t i = 0; i < covered.size(); ++i) {
+      if (covered[i] != best_covered[i]) return covered[i];
+    }
+    return false;
+  }
+
+  void MaybeUpdateBest() {
+    size_t count = static_cast<size_t>(
+        std::count(covered.begin(), covered.end(), true));
+    size_t edges = tree.edges();
+    bool better = false;
+    if (count > best_count) {
+      better = true;
+    } else if (count == best_count) {
+      if (edges < best_edges) {
+        better = true;
+      } else if (edges == best_edges && !best_covered.empty() &&
+                 CoveredBetterOnTie()) {
+        better = true;
+      }
+    }
+    if (better || best_covered.empty()) {
+      best_count = count;
+      best_edges = edges;
+      best_covered = covered;
+      best_nodes = tree.SortedMembers();
+    }
+  }
+
+  void Recurse(size_t item) {
+    if (item == instances.size()) {
+      MaybeUpdateBest();
+      return;
+    }
+    // Admissible bound: even covering every remaining item cannot beat best.
+    size_t covered_so_far = static_cast<size_t>(
+        std::count(covered.begin(), covered.end(), true));
+    if (covered_so_far + (instances.size() - item) < best_count) return;
+    if (covered_so_far + (instances.size() - item) == best_count &&
+        tree.edges() >= best_edges) {
+      // Can at most tie on count but never improve edges (adding instances
+      // never removes edges) — still explore only if a tie-break win is
+      // possible; conservatively continue (cheap for the small inputs the
+      // exact solver is documented for).
+    }
+
+    // Branch 1..k: cover with each instance (deduplicate by path cost 0:
+    // if some instance is already in the tree, covering is free and any
+    // other choice is dominated).
+    std::vector<NodeId> path;
+    bool free_cover = false;
+    for (NodeId inst : instances[item].nodes) {
+      if (tree.Contains(inst)) {
+        free_cover = true;
+        break;
+      }
+    }
+    if (free_cover) {
+      covered[item] = true;
+      Recurse(item + 1);
+      covered[item] = false;
+      return;  // skipping a freely-covered item is dominated
+    }
+    for (NodeId inst : instances[item].nodes) {
+      size_t cost = tree.ConnectCost(inst, &path);
+      if (tree.edges() + cost > bound) continue;
+      SnippetTreeSet saved = tree;  // small trees; copy is acceptable here
+      tree.Commit(path);
+      covered[item] = true;
+      Recurse(item + 1);
+      covered[item] = false;
+      tree = saved;
+    }
+    // Branch 0: skip this item.
+    Recurse(item + 1);
+  }
+};
+
+}  // namespace
+
+Selection SelectInstancesExact(const IndexedDocument& doc, NodeId result_root,
+                               const std::vector<ItemInstances>& instances,
+                               const SelectorOptions& options) {
+  ExactSearch search(doc, result_root, instances, options.size_bound);
+  search.Recurse(0);
+  Selection selection;
+  selection.covered = search.best_covered;
+  selection.nodes = search.best_nodes;
+  if (selection.nodes.empty()) selection.nodes.push_back(result_root);
+  if (selection.covered.empty()) {
+    selection.covered.assign(instances.size(), false);
+  }
+  return selection;
+}
+
+}  // namespace extract

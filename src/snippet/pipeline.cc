@@ -1,0 +1,70 @@
+#include "snippet/pipeline.h"
+
+#include "snippet/feature_statistics.h"
+
+namespace extract {
+
+Result<Snippet> SnippetGenerator::Generate(const Query& query,
+                                           const QueryResult& result,
+                                           const SnippetOptions& options) const {
+  if (result.root == kInvalidNode ||
+      static_cast<size_t>(result.root) >= db_->index().num_nodes()) {
+    return Status::InvalidArgument("query result root is not a valid node");
+  }
+  const IndexedDocument& doc = db_->index();
+  const NodeClassification& classification = db_->classification();
+
+  Snippet snippet;
+  snippet.result_root = result.root;
+
+  // Dominant Feature Identifier input: per-result statistics.
+  FeatureStatistics stats =
+      FeatureStatistics::Compute(doc, classification, result.root);
+
+  // Return Entity Identifier.
+  snippet.return_entity =
+      IdentifyReturnEntity(doc, classification, query, result.root);
+
+  // Query Result Key Identifier.
+  snippet.key = IdentifyResultKey(doc, classification, db_->keys(),
+                                  snippet.return_entity, result.root);
+
+  // IList assembly (keywords, entity names, key, dominant features).
+  IListOptions ilist_options;
+  ilist_options.features = options.features;
+  snippet.ilist = BuildIList(doc, query, result.root, snippet.return_entity,
+                             snippet.key, stats, classification, ilist_options);
+
+  // Instance Selector.
+  std::vector<ItemInstances> instances =
+      FindItemInstances(doc, classification, result.root, snippet.ilist,
+                        db_->analyzer());
+  SelectorOptions selector_options;
+  selector_options.size_bound = options.size_bound;
+  selector_options.stop_on_first_overflow = options.stop_on_first_overflow;
+  Selection selection =
+      options.use_exact_selector
+          ? SelectInstancesExact(doc, result.root, instances, selector_options)
+          : SelectInstancesGreedy(doc, result.root, instances,
+                                  selector_options);
+
+  snippet.nodes = selection.nodes;
+  snippet.covered = selection.covered;
+  snippet.tree = MaterializeSelection(doc, result.root, selection);
+  return snippet;
+}
+
+Result<std::vector<Snippet>> SnippetGenerator::GenerateAll(
+    const Query& query, const std::vector<QueryResult>& results,
+    const SnippetOptions& options) const {
+  std::vector<Snippet> out;
+  out.reserve(results.size());
+  for (const QueryResult& result : results) {
+    Snippet snippet;
+    EXTRACT_ASSIGN_OR_RETURN(snippet, Generate(query, result, options));
+    out.push_back(std::move(snippet));
+  }
+  return out;
+}
+
+}  // namespace extract

@@ -1,0 +1,59 @@
+// The eXtract snippet generation pipeline (paper Figure 4): the core
+// public API of this library.
+//
+//   XmlDatabase db = *XmlDatabase::Load(xml);
+//   XSeekEngine engine;
+//   auto results = *engine.Search(db, Query::Parse("Texas apparel retailer"));
+//   SnippetGenerator generator(&db);
+//   Snippet snippet = *generator.Generate(query, results[0], {.size_bound = 14});
+
+#ifndef EXTRACT_SNIPPET_PIPELINE_H_
+#define EXTRACT_SNIPPET_PIPELINE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "search/search_engine.h"
+#include "snippet/snippet_tree.h"
+
+namespace extract {
+
+/// Pipeline knobs.
+struct SnippetOptions {
+  /// Snippet size upper bound, in edges (the demo's user-settable knob).
+  size_t size_bound = 10;
+  /// Dominant feature ranking (normalize=false is the ablation baseline).
+  DominantFeatureOptions features;
+  /// Instance selector behaviour on overflow (see SelectorOptions).
+  bool stop_on_first_overflow = false;
+  /// Use the exact branch-and-bound selector instead of greedy (small
+  /// results only; exponential worst case).
+  bool use_exact_selector = false;
+};
+
+/// \brief Generates snippets for query results against one database.
+///
+/// Stateless apart from the database pointer; safe to share across threads.
+class SnippetGenerator {
+ public:
+  /// `db` must outlive the generator.
+  explicit SnippetGenerator(const XmlDatabase* db) : db_(db) {}
+
+  /// Runs the full pipeline for one result: feature statistics -> return
+  /// entity -> result key -> dominant features -> IList -> instance
+  /// selection -> materialized snippet tree.
+  Result<Snippet> Generate(const Query& query, const QueryResult& result,
+                           const SnippetOptions& options) const;
+
+  /// Generates one snippet per result.
+  Result<std::vector<Snippet>> GenerateAll(
+      const Query& query, const std::vector<QueryResult>& results,
+      const SnippetOptions& options) const;
+
+ private:
+  const XmlDatabase* db_;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_SNIPPET_PIPELINE_H_

@@ -1,0 +1,31 @@
+#include "snippet/result_key.h"
+
+namespace extract {
+
+ResultKeyInfo IdentifyResultKey(const IndexedDocument& doc,
+                                const NodeClassification& classification,
+                                const KeyIndex& keys,
+                                const ReturnEntityInfo& return_entity,
+                                NodeId /*result_root*/) {
+  ResultKeyInfo out;
+  if (!return_entity.found()) return out;
+  auto key_attribute = keys.KeyAttributeOf(return_entity.label);
+  if (!key_attribute.has_value()) return out;
+
+  for (NodeId instance : return_entity.instances) {
+    for (NodeId c : doc.children(instance)) {
+      if (!doc.is_element(c) || doc.label(c) != *key_attribute) continue;
+      if (!classification.IsAttribute(c)) continue;
+      NodeId text = doc.sole_text_child(c);
+      if (text == kInvalidNode) continue;
+      out.entity_label = return_entity.label;
+      out.attribute_label = *key_attribute;
+      out.value = doc.text(text);
+      out.value_node = text;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace extract

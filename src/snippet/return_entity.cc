@@ -1,0 +1,93 @@
+#include "snippet/return_entity.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace extract {
+
+namespace {
+
+bool LabelMatchesAnyKeyword(const std::string& label_name,
+                            const Query& query) {
+  for (const std::string& keyword : query.keywords) {
+    if (ContainsToken(label_name, keyword)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ReturnEntityInfo IdentifyReturnEntity(const IndexedDocument& doc,
+                                      const NodeClassification& classification,
+                                      const Query& query, NodeId result_root) {
+  // Gather entity instances per label, and the best (minimal) depth of each.
+  struct LabelInfo {
+    std::vector<NodeId> instances;
+    uint32_t min_depth = UINT32_MAX;
+    bool name_match = false;
+    bool attribute_match = false;
+  };
+  std::map<LabelId, LabelInfo> by_label;
+
+  const NodeId end = doc.subtree_end(result_root);
+  for (NodeId id = result_root; id < end; ++id) {
+    if (!doc.is_element(id) || !classification.IsEntity(id)) continue;
+    LabelInfo& info = by_label[doc.label(id)];
+    info.instances.push_back(id);
+    info.min_depth = std::min(info.min_depth, doc.depth(id));
+    if (!info.name_match && LabelMatchesAnyKeyword(doc.label_name(id), query)) {
+      info.name_match = true;
+    }
+    if (!info.attribute_match) {
+      for (NodeId c : doc.children(id)) {
+        if (doc.is_element(c) && classification.IsAttribute(c) &&
+            LabelMatchesAnyKeyword(doc.label_name(c), query)) {
+          info.attribute_match = true;
+          break;
+        }
+      }
+    }
+  }
+
+  ReturnEntityInfo out;
+  if (by_label.empty()) return out;  // kNone
+
+  auto pick = [&](auto predicate, ReturnEntityEvidence evidence) -> bool {
+    LabelId best = kInvalidLabel;
+    uint32_t best_depth = UINT32_MAX;
+    NodeId best_first = kInvalidNode;
+    for (const auto& [label, info] : by_label) {
+      if (!predicate(info)) continue;
+      // Highest (smallest depth) wins; then earliest in document order.
+      if (best == kInvalidLabel || info.min_depth < best_depth ||
+          (info.min_depth == best_depth && info.instances[0] < best_first)) {
+        best = label;
+        best_depth = info.min_depth;
+        best_first = info.instances[0];
+      }
+    }
+    if (best == kInvalidLabel) return false;
+    out.label = best;
+    out.instances = by_label[best].instances;
+    out.evidence = evidence;
+    return true;
+  };
+
+  if (pick([](const LabelInfo& i) { return i.name_match; },
+           ReturnEntityEvidence::kNameMatch)) {
+    return out;
+  }
+  if (pick([](const LabelInfo& i) { return i.attribute_match; },
+           ReturnEntityEvidence::kAttributeMatch)) {
+    return out;
+  }
+  // Default: the highest entities (no entity ancestor). With per-label
+  // aggregation this is the label achieving the minimal depth.
+  pick([](const LabelInfo&) { return true; },
+       ReturnEntityEvidence::kDefaultHighest);
+  return out;
+}
+
+}  // namespace extract

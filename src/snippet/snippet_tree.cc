@@ -1,0 +1,35 @@
+#include "snippet/snippet_tree.h"
+
+#include <algorithm>
+
+#include "search/result_builder.h"
+#include "xml/serializer.h"
+
+namespace extract {
+
+size_t Snippet::covered_count() const {
+  return static_cast<size_t>(std::count(covered.begin(), covered.end(), true));
+}
+
+std::unique_ptr<XmlNode> MaterializeSelection(const IndexedDocument& doc,
+                                              NodeId result_root,
+                                              const Selection& selection) {
+  return MaterializeInducedTree(doc, result_root, selection.nodes);
+}
+
+std::string RenderSnippet(const Snippet& snippet) {
+  if (snippet.tree == nullptr) return "(empty snippet)";
+  return RenderXmlTree(*snippet.tree);
+}
+
+std::string RenderCoverage(const Snippet& snippet) {
+  std::string out = "IList: ";
+  for (size_t i = 0; i < snippet.ilist.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += snippet.ilist[i].display;
+    out += (i < snippet.covered.size() && snippet.covered[i]) ? "(+)" : "(-)";
+  }
+  return out;
+}
+
+}  // namespace extract

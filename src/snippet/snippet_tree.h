@@ -1,0 +1,50 @@
+// The final snippet artifact: the selected nodes materialized as a tree,
+// together with all the evidence that produced it (IList, coverage, return
+// entity, key, dominant features).
+
+#ifndef EXTRACT_SNIPPET_SNIPPET_TREE_H_
+#define EXTRACT_SNIPPET_SNIPPET_TREE_H_
+
+#include <memory>
+#include <string>
+
+#include "snippet/instance_selector.h"
+#include "xml/dom.h"
+
+namespace extract {
+
+/// \brief One generated snippet.
+struct Snippet {
+  /// Root of the query result the snippet summarizes.
+  NodeId result_root = kInvalidNode;
+  /// Selected node ids (closed under parents), document order.
+  std::vector<NodeId> nodes;
+  /// The IList and which of its items made it into the snippet.
+  IList ilist;
+  std::vector<bool> covered;
+  /// Pipeline evidence.
+  ReturnEntityInfo return_entity;
+  ResultKeyInfo key;
+  /// The snippet as a DOM tree (materialized from `nodes`).
+  std::unique_ptr<XmlNode> tree;
+
+  /// Edges of the snippet tree (the paper's size measure).
+  size_t edges() const { return nodes.empty() ? 0 : nodes.size() - 1; }
+  /// Number of IList items covered.
+  size_t covered_count() const;
+};
+
+/// Materializes `selection` (from the instance selector) into a DOM tree.
+std::unique_ptr<XmlNode> MaterializeSelection(const IndexedDocument& doc,
+                                              NodeId result_root,
+                                              const Selection& selection);
+
+/// Renders the snippet tree as ASCII art (paper Figure 2 style).
+std::string RenderSnippet(const Snippet& snippet);
+
+/// Renders "IList: Texas, apparel, ... | covered: Texas(+), woman(-)".
+std::string RenderCoverage(const Snippet& snippet);
+
+}  // namespace extract
+
+#endif  // EXTRACT_SNIPPET_SNIPPET_TREE_H_

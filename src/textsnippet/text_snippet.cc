@@ -1,0 +1,115 @@
+#include "textsnippet/text_snippet.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace extract {
+
+TextSnippet GenerateTextSnippet(const IndexedDocument& doc, NodeId result_root,
+                                const std::vector<std::string>& keywords,
+                                const TextSnippetOptions& options) {
+  // Flatten the subtree's text values into a word stream.
+  std::vector<std::string> words;
+  const NodeId end = doc.subtree_end(result_root);
+  for (NodeId id = result_root; id < end; ++id) {
+    if (!doc.is_text(id)) continue;
+    for (std::string& w : TokenizeWords(doc.text(id))) {
+      words.push_back(std::move(w));
+    }
+  }
+
+  TextSnippet out;
+  out.keyword_covered.assign(keywords.size(), false);
+  if (words.empty()) return out;
+
+  // Mark which word positions to keep: a window around the first occurrence
+  // of each keyword, in keyword order, within the word budget.
+  std::vector<bool> keep(words.size(), false);
+  size_t kept = 0;
+  for (size_t k = 0; k < keywords.size(); ++k) {
+    auto it = std::find(words.begin(), words.end(), keywords[k]);
+    if (it == words.end()) continue;
+    size_t pos = static_cast<size_t>(it - words.begin());
+    size_t lo = pos >= options.context_words ? pos - options.context_words : 0;
+    size_t hi = std::min(words.size() - 1, pos + options.context_words);
+    // Count the new words this window adds; stop if over budget (but always
+    // keep at least the keyword itself if it fits).
+    size_t added = 0;
+    for (size_t i = lo; i <= hi; ++i) {
+      if (!keep[i]) ++added;
+    }
+    if (kept + added > options.max_words) {
+      if (!keep[pos] && kept + 1 <= options.max_words) {
+        keep[pos] = true;
+        ++kept;
+        out.keyword_covered[k] = true;
+      }
+      continue;
+    }
+    for (size_t i = lo; i <= hi; ++i) {
+      if (!keep[i]) {
+        keep[i] = true;
+        ++kept;
+      }
+    }
+    out.keyword_covered[k] = true;
+  }
+  // Fill any remaining budget with the leading words (what a text engine
+  // shows when it has room: the start of the document).
+  for (size_t i = 0; i < words.size() && kept < options.max_words; ++i) {
+    if (!keep[i]) {
+      keep[i] = true;
+      ++kept;
+    }
+  }
+
+  // Emit with "..." at gaps.
+  bool in_gap = true;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (!keep[i]) {
+      in_gap = true;
+      continue;
+    }
+    if (in_gap && !out.text.empty()) out.text += " ...";
+    if (!out.text.empty()) out.text += ' ';
+    out.text += words[i];
+    out.words.push_back(words[i]);
+    in_gap = false;
+  }
+  if (!out.text.empty()) {
+    out.text = "... " + out.text + " ...";
+  }
+  return out;
+}
+
+size_t CountCoveredTargets(const TextSnippet& snippet,
+                           const std::vector<std::string>& targets) {
+  size_t covered = 0;
+  for (const std::string& target : targets) {
+    std::vector<std::string> target_words = TokenizeWords(target);
+    if (target_words.empty()) continue;
+    // Phrase containment over the snippet's word sequence.
+    bool found = false;
+    if (snippet.words.size() >= target_words.size()) {
+      for (size_t i = 0; i + target_words.size() <= snippet.words.size();
+           ++i) {
+        bool match = true;
+        for (size_t j = 0; j < target_words.size(); ++j) {
+          if (snippet.words[i + j] != target_words[j]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (found) ++covered;
+  }
+  return covered;
+}
+
+}  // namespace extract

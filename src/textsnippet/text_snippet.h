@@ -1,0 +1,53 @@
+// Flat-text snippet baseline — what a text search engine that "ignores XML
+// tags and all structural information" (paper §4, the Google Desktop
+// comparison) produces for an XML query result: keyword-in-context windows
+// over the tag-stripped text.
+
+#ifndef EXTRACT_TEXTSNIPPET_TEXT_SNIPPET_H_
+#define EXTRACT_TEXTSNIPPET_TEXT_SNIPPET_H_
+
+#include <string>
+#include <vector>
+
+#include "index/indexed_document.h"
+
+namespace extract {
+
+/// Text baseline knobs.
+struct TextSnippetOptions {
+  /// Total word budget of the snippet. For fair comparison against tree
+  /// snippets, benches set this to the edge bound (a tree edge displays
+  /// roughly one label or value word).
+  size_t max_words = 20;
+  /// Context words kept on each side of a keyword hit inside a window.
+  size_t context_words = 2;
+};
+
+/// A generated text snippet.
+struct TextSnippet {
+  /// "... Brook Brothers apparel ... Texas Houston ..."
+  std::string text;
+  /// Words of the snippet in order (for coverage evaluation).
+  std::vector<std::string> words;
+  /// Which query keywords appear in the snippet.
+  std::vector<bool> keyword_covered;
+};
+
+/// \brief Generates a text snippet for the subtree rooted at `result_root`.
+///
+/// The subtree's text values are concatenated in document order (tags
+/// dropped — the baseline is structure-blind), then greedy keyword-centered
+/// windows are emitted around the first occurrence of each (lower-cased)
+/// keyword until the word budget is exhausted.
+TextSnippet GenerateTextSnippet(const IndexedDocument& doc, NodeId result_root,
+                                const std::vector<std::string>& keywords,
+                                const TextSnippetOptions& options);
+
+/// How many of `targets` (lower-cased single tokens or multi-token phrases)
+/// occur in `snippet` — the IList-coverage metric for the text baseline.
+size_t CountCoveredTargets(const TextSnippet& snippet,
+                           const std::vector<std::string>& targets);
+
+}  // namespace extract
+
+#endif  // EXTRACT_TEXTSNIPPET_TEXT_SNIPPET_H_

@@ -1,0 +1,292 @@
+#include "xml/dtd.h"
+
+#include <cctype>
+
+#include "xml/tokenizer.h"
+
+namespace extract {
+
+void Dtd::AddElement(DtdElementDecl decl) {
+  elements_[decl.name] = std::move(decl);
+}
+
+const DtdElementDecl* Dtd::FindElement(std::string_view name) const {
+  auto it = elements_.find(name);
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+// Counts occurrences of `child` in the particle tree and records whether any
+// occurrence sits under a repeating modifier.
+void VisitParticle(const DtdContentParticle& p, std::string_view child,
+                   bool under_repeat, int* occurrences, bool* repeated) {
+  bool repeat_here =
+      under_repeat || p.occurrence == DtdOccurrence::kStar ||
+      p.occurrence == DtdOccurrence::kPlus;
+  if (p.kind == DtdContentParticle::Kind::kName) {
+    if (p.name == child) {
+      ++*occurrences;
+      if (repeat_here) *repeated = true;
+    }
+    return;
+  }
+  for (const auto& sub : p.children) {
+    VisitParticle(sub, child, repeat_here, occurrences, repeated);
+  }
+}
+
+}  // namespace
+
+bool Dtd::IsStarChild(std::string_view parent, std::string_view child) const {
+  const DtdElementDecl* decl = FindElement(parent);
+  if (decl == nullptr) return false;
+  switch (decl->category) {
+    case DtdElementDecl::Category::kEmpty:
+      return false;
+    case DtdElementDecl::Category::kAny:
+      // ANY places no constraint; treat every child as repeatable.
+      return FindElement(child) != nullptr;
+    case DtdElementDecl::Category::kMixed: {
+      // Mixed content (#PCDATA | a | b)* always allows repetition.
+      for (const auto& sub : decl->content.children) {
+        if (sub.name == child) return true;
+      }
+      return false;
+    }
+    case DtdElementDecl::Category::kChildren: {
+      int occurrences = 0;
+      bool repeated = false;
+      VisitParticle(decl->content, child, /*under_repeat=*/false, &occurrences,
+                    &repeated);
+      return repeated || occurrences > 1;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Dtd::ElementNames() const {
+  std::vector<std::string> names;
+  names.reserve(elements_.size());
+  for (const auto& [name, decl] : elements_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+// Recursive-descent parser over a DTD internal subset.
+class DtdParser {
+ public:
+  explicit DtdParser(std::string_view input) : input_(input) {}
+
+  Result<Dtd> Parse(std::string root_name) {
+    Dtd dtd;
+    dtd.set_root_name(std::move(root_name));
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) break;
+      if (ConsumePrefix("<!ELEMENT")) {
+        DtdElementDecl decl;
+        EXTRACT_ASSIGN_OR_RETURN(decl, ParseElementDecl());
+        dtd.AddElement(std::move(decl));
+      } else if (ConsumePrefix("<!ATTLIST") || ConsumePrefix("<!ENTITY") ||
+                 ConsumePrefix("<!NOTATION")) {
+        EXTRACT_RETURN_IF_ERROR(SkipToDeclEnd());
+      } else if (ConsumePrefix("<?")) {
+        size_t end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated PI in DTD");
+        }
+        pos_ = end + 2;
+      } else {
+        return Status::ParseError("unrecognized declaration in DTD near '" +
+                                  std::string(input_.substr(pos_, 16)) + "'");
+      }
+    }
+    return dtd;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+
+  bool ConsumePrefix(std::string_view prefix) {
+    if (input_.substr(pos_, prefix.size()) != prefix) return false;
+    pos_ += prefix.size();
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      SkipWhitespace();
+      if (ConsumePrefix("<!--")) {
+        size_t end = input_.find("-->", pos_);
+        pos_ = end == std::string_view::npos ? input_.size() : end + 3;
+        continue;
+      }
+      return;
+    }
+  }
+
+  Status SkipToDeclEnd() {
+    // Skips to the '>' terminating the current declaration, honoring quotes.
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == '>') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c == '"' || c == '\'') {
+        char quote = c;
+        ++pos_;
+        while (!AtEnd() && Peek() != quote) ++pos_;
+        if (AtEnd()) return Status::ParseError("unterminated literal in DTD");
+      }
+      ++pos_;
+    }
+    return Status::ParseError("unterminated declaration in DTD");
+  }
+
+  Result<std::string> ParseName() {
+    SkipWhitespace();
+    if (AtEnd() || !IsXmlNameStartChar(static_cast<unsigned char>(Peek()))) {
+      return Status::ParseError("expected name in DTD");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsXmlNameChar(static_cast<unsigned char>(Peek()))) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  DtdOccurrence ParseOccurrence() {
+    if (AtEnd()) return DtdOccurrence::kOne;
+    switch (Peek()) {
+      case '?':
+        ++pos_;
+        return DtdOccurrence::kOptional;
+      case '*':
+        ++pos_;
+        return DtdOccurrence::kStar;
+      case '+':
+        ++pos_;
+        return DtdOccurrence::kPlus;
+      default:
+        return DtdOccurrence::kOne;
+    }
+  }
+
+  Result<DtdElementDecl> ParseElementDecl() {
+    DtdElementDecl decl;
+    EXTRACT_ASSIGN_OR_RETURN(decl.name, ParseName());
+    SkipWhitespace();
+    if (ConsumePrefix("EMPTY")) {
+      decl.category = DtdElementDecl::Category::kEmpty;
+    } else if (ConsumePrefix("ANY")) {
+      decl.category = DtdElementDecl::Category::kAny;
+    } else if (!AtEnd() && Peek() == '(') {
+      // Mixed or children content. Peek inside for #PCDATA.
+      size_t save = pos_;
+      ++pos_;
+      SkipWhitespace();
+      if (ConsumePrefix("#PCDATA")) {
+        decl.category = DtdElementDecl::Category::kMixed;
+        decl.content.kind = DtdContentParticle::Kind::kChoice;
+        decl.content.occurrence = DtdOccurrence::kStar;
+        for (;;) {
+          SkipWhitespace();
+          if (AtEnd()) return Status::ParseError("unterminated mixed content");
+          if (Peek() == ')') {
+            ++pos_;
+            ParseOccurrence();  // optional trailing '*'
+            break;
+          }
+          if (Peek() == '|') {
+            ++pos_;
+            DtdContentParticle name_particle;
+            name_particle.kind = DtdContentParticle::Kind::kName;
+            EXTRACT_ASSIGN_OR_RETURN(name_particle.name, ParseName());
+            decl.content.children.push_back(std::move(name_particle));
+          } else {
+            return Status::ParseError("expected '|' or ')' in mixed content");
+          }
+        }
+      } else {
+        pos_ = save;
+        decl.category = DtdElementDecl::Category::kChildren;
+        EXTRACT_ASSIGN_OR_RETURN(decl.content, ParseGroup());
+      }
+    } else {
+      return Status::ParseError("expected content model for element " +
+                                decl.name);
+    }
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '>') {
+      return Status::ParseError("expected '>' ending <!ELEMENT " + decl.name);
+    }
+    ++pos_;
+    return decl;
+  }
+
+  // Parses a parenthesized group: '(' cp (',' cp)* ')' or '(' cp ('|' cp)* ')'.
+  Result<DtdContentParticle> ParseGroup() {
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '(') {
+      return Status::ParseError("expected '(' in content model");
+    }
+    ++pos_;
+    DtdContentParticle group;
+    group.kind = DtdContentParticle::Kind::kSequence;  // refined on separator
+    char separator = '\0';
+    for (;;) {
+      DtdContentParticle item;
+      EXTRACT_ASSIGN_OR_RETURN(item, ParseParticle());
+      group.children.push_back(std::move(item));
+      SkipWhitespace();
+      if (AtEnd()) return Status::ParseError("unterminated content group");
+      char c = Peek();
+      if (c == ')') {
+        ++pos_;
+        break;
+      }
+      if (c != ',' && c != '|') {
+        return Status::ParseError("expected ',', '|' or ')' in content model");
+      }
+      if (separator == '\0') {
+        separator = c;
+        group.kind = c == ',' ? DtdContentParticle::Kind::kSequence
+                              : DtdContentParticle::Kind::kChoice;
+      } else if (separator != c) {
+        return Status::ParseError("mixed ',' and '|' in one content group");
+      }
+      ++pos_;
+    }
+    group.occurrence = ParseOccurrence();
+    return group;
+  }
+
+  // Parses a name or a nested group, with its occurrence modifier.
+  Result<DtdContentParticle> ParseParticle() {
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '(') return ParseGroup();
+    DtdContentParticle p;
+    p.kind = DtdContentParticle::Kind::kName;
+    EXTRACT_ASSIGN_OR_RETURN(p.name, ParseName());
+    p.occurrence = ParseOccurrence();
+    return p;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Dtd> ParseDtd(std::string_view internal_subset, std::string root_name) {
+  DtdParser parser(internal_subset);
+  return parser.Parse(std::move(root_name));
+}
+
+}  // namespace extract

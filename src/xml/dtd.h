@@ -1,0 +1,105 @@
+// Document Type Definition (internal subset) model and parser.
+//
+// eXtract's node classification (XSeek, [6] in the paper) distinguishes
+// entity nodes as "*-nodes in the DTD": element types that can occur
+// multiple times in their parent's content model. This module parses
+// <!ELEMENT> declarations from a DOCTYPE internal subset into content-model
+// trees and answers the one question the classifier needs: can child label c
+// repeat under parent label p?
+
+#ifndef EXTRACT_XML_DTD_H_
+#define EXTRACT_XML_DTD_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace extract {
+
+/// Occurrence modifier on a content particle.
+enum class DtdOccurrence {
+  kOne,       ///< exactly once (no modifier)
+  kOptional,  ///< ?
+  kStar,      ///< *
+  kPlus,      ///< +
+};
+
+/// \brief A node of a DTD content model: a name, a sequence (a, b, c) or a
+/// choice (a | b | c), each with an occurrence modifier.
+struct DtdContentParticle {
+  enum class Kind { kName, kSequence, kChoice };
+
+  Kind kind = Kind::kName;
+  std::string name;  ///< for kName
+  std::vector<DtdContentParticle> children;
+  DtdOccurrence occurrence = DtdOccurrence::kOne;
+};
+
+/// \brief One <!ELEMENT name ...> declaration.
+struct DtdElementDecl {
+  enum class Category {
+    kEmpty,     ///< EMPTY
+    kAny,       ///< ANY
+    kMixed,     ///< (#PCDATA | a | b)* or (#PCDATA)
+    kChildren,  ///< a structured content model
+  };
+
+  std::string name;
+  Category category = Category::kEmpty;
+  /// For kChildren: the content model. For kMixed: names listed after
+  /// #PCDATA appear as a kChoice of kName children.
+  DtdContentParticle content;
+};
+
+/// \brief A parsed DTD: element declarations keyed by element name.
+class Dtd {
+ public:
+  /// Name of the document root element from the DOCTYPE declaration.
+  const std::string& root_name() const { return root_name_; }
+  void set_root_name(std::string name) { root_name_ = std::move(name); }
+
+  /// Adds or replaces a declaration.
+  void AddElement(DtdElementDecl decl);
+
+  /// The declaration for `name`, or nullptr if not declared.
+  const DtdElementDecl* FindElement(std::string_view name) const;
+
+  /// Number of <!ELEMENT> declarations.
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+
+  /// \brief True iff child label `child` may occur more than once inside an
+  /// instance of `parent` according to the content model — i.e. `child` is a
+  /// "*-node" under `parent` (the XSeek entity signal).
+  ///
+  /// A child repeats if it is reached through any particle with * or +
+  /// occurrence (including itself), if it appears in the name list of a
+  /// mixed-content declaration (mixed repetition is always starred), if it
+  /// occurs lexically more than once in the model, or if the parent is ANY.
+  /// Returns false if `parent` is undeclared or `child` cannot occur.
+  bool IsStarChild(std::string_view parent, std::string_view child) const;
+
+  /// All element names declared in this DTD, sorted.
+  std::vector<std::string> ElementNames() const;
+
+ private:
+  std::string root_name_;
+  std::map<std::string, DtdElementDecl, std::less<>> elements_;
+};
+
+/// \brief Parses the internal subset of a DOCTYPE (the text between '[' and
+/// ']') into a Dtd.
+///
+/// Handles <!ELEMENT> declarations with EMPTY / ANY / mixed / children
+/// content models, including nested groups, ',' sequences, '|' choices and
+/// the ?, *, + modifiers. <!ATTLIST>, <!ENTITY> and <!NOTATION> declarations
+/// and comments are skipped. `root_name` is the name from the DOCTYPE.
+Result<Dtd> ParseDtd(std::string_view internal_subset, std::string root_name);
+
+}  // namespace extract
+
+#endif  // EXTRACT_XML_DTD_H_

@@ -1,0 +1,141 @@
+#include "xml/escape.h"
+
+#include <cstdint>
+
+namespace extract {
+
+namespace {
+
+// Appends the UTF-8 encoding of `cp` to `out`. Returns false for invalid
+// code points (surrogates, > U+10FFFF).
+bool AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp >= 0xD800 && cp <= 0xDFFF) return false;
+  if (cp > 0x10FFFF) return false;
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EscapeXmlText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeXmlAttribute(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeXml(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    if (c != '&') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t semi = s.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return Status::ParseError("unterminated entity reference");
+    }
+    std::string_view name = s.substr(i + 1, semi - i - 1);
+    if (name == "amp") {
+      out.push_back('&');
+    } else if (name == "lt") {
+      out.push_back('<');
+    } else if (name == "gt") {
+      out.push_back('>');
+    } else if (name == "apos") {
+      out.push_back('\'');
+    } else if (name == "quot") {
+      out.push_back('"');
+    } else if (!name.empty() && name[0] == '#') {
+      uint32_t cp = 0;
+      bool hex = name.size() > 1 && (name[1] == 'x' || name[1] == 'X');
+      std::string_view digits = name.substr(hex ? 2 : 1);
+      if (digits.empty()) {
+        return Status::ParseError("empty numeric character reference");
+      }
+      for (char d : digits) {
+        uint32_t v;
+        if (d >= '0' && d <= '9') {
+          v = static_cast<uint32_t>(d - '0');
+        } else if (hex && d >= 'a' && d <= 'f') {
+          v = static_cast<uint32_t>(d - 'a' + 10);
+        } else if (hex && d >= 'A' && d <= 'F') {
+          v = static_cast<uint32_t>(d - 'A' + 10);
+        } else {
+          return Status::ParseError("bad digit in character reference: &" +
+                                    std::string(name) + ";");
+        }
+        cp = cp * (hex ? 16 : 10) + v;
+        if (cp > 0x10FFFF) {
+          return Status::ParseError("character reference out of range");
+        }
+      }
+      if (!AppendUtf8(cp, &out)) {
+        return Status::ParseError("invalid code point in character reference");
+      }
+    } else {
+      return Status::ParseError("unknown entity reference: &" +
+                                std::string(name) + ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace extract

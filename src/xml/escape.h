@@ -1,0 +1,29 @@
+// XML character escaping and entity-reference resolution.
+
+#ifndef EXTRACT_XML_ESCAPE_H_
+#define EXTRACT_XML_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace extract {
+
+/// Escapes `s` for use as XML element text (escapes & < >).
+std::string EscapeXmlText(std::string_view s);
+
+/// Escapes `s` for use as a double-quoted XML attribute value
+/// (escapes & < > ").
+std::string EscapeXmlAttribute(std::string_view s);
+
+/// \brief Resolves the predefined entity references (&amp; &lt; &gt; &apos;
+/// &quot;) and numeric character references (&#NN; / &#xNN;, ASCII and
+/// UTF-8-encoded code points) in `s`.
+///
+/// Returns ParseError for malformed or unknown references.
+Result<std::string> UnescapeXml(std::string_view s);
+
+}  // namespace extract
+
+#endif  // EXTRACT_XML_ESCAPE_H_

@@ -1,0 +1,176 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "xml/tokenizer.h"
+
+namespace extract {
+
+namespace {
+
+bool IsAllWhitespace(std::string_view s) {
+  for (unsigned char c : s) {
+    if (!std::isspace(c)) return false;
+  }
+  return true;
+}
+
+// Shared tag-soup-to-tree loop for documents and fragments.
+//
+// Appends parsed nodes under `parent` until end-of-input (document mode) or
+// until the stack empties. Enforces tag balance.
+Status BuildTree(XmlTokenizer* tokenizer, XmlNode* document_node,
+                 XmlDocument* doc_or_null, const XmlParseOptions& options) {
+  std::vector<XmlNode*> stack;  // open elements; document_node is implicit
+  XmlNode* root_seen = nullptr;
+  bool doctype_seen = false;
+
+  for (;;) {
+    XmlToken token;
+    EXTRACT_ASSIGN_OR_RETURN(token, tokenizer->Next());
+    XmlNode* parent = stack.empty() ? document_node : stack.back();
+
+    switch (token.type) {
+      case XmlTokenType::kEndOfInput: {
+        if (!stack.empty()) {
+          return Status::ParseError("unexpected end of input: <" +
+                                    stack.back()->name() + "> is not closed");
+        }
+        if (root_seen == nullptr) {
+          return Status::ParseError("document has no root element");
+        }
+        return Status::OK();
+      }
+      case XmlTokenType::kStartElement: {
+        if (stack.empty()) {
+          if (root_seen != nullptr) {
+            return Status::ParseError(
+                "multiple root elements: second root <" + token.name +
+                "> at line " + std::to_string(token.line));
+          }
+        }
+        XmlNode* element = parent->AppendChild(XmlNode::MakeElement(token.name));
+        for (auto& attr : token.attributes) {
+          element->AddAttribute(std::move(attr.name), std::move(attr.value));
+        }
+        if (stack.empty()) root_seen = element;
+        if (!token.self_closing) stack.push_back(element);
+        break;
+      }
+      case XmlTokenType::kEndElement: {
+        if (stack.empty()) {
+          return Status::ParseError("unexpected closing tag </" + token.name +
+                                    "> at line " + std::to_string(token.line));
+        }
+        if (stack.back()->name() != token.name) {
+          return Status::ParseError(
+              "mismatched closing tag </" + token.name + "> for <" +
+              stack.back()->name() + "> at line " + std::to_string(token.line));
+        }
+        stack.pop_back();
+        break;
+      }
+      case XmlTokenType::kText: {
+        if (stack.empty()) {
+          if (!IsAllWhitespace(token.content)) {
+            return Status::ParseError("text outside the root element at line " +
+                                      std::to_string(token.line));
+          }
+          break;
+        }
+        if (!options.keep_whitespace_text && IsAllWhitespace(token.content)) {
+          break;
+        }
+        // Merge adjacent text (e.g. split around an elided comment).
+        if (!parent->children().empty() &&
+            parent->children().back()->kind() == XmlNodeKind::kText) {
+          XmlNode* last = parent->children().back().get();
+          last->set_content(last->content() + token.content);
+        } else {
+          parent->AppendChild(XmlNode::MakeText(std::move(token.content)));
+        }
+        break;
+      }
+      case XmlTokenType::kCData: {
+        if (stack.empty()) {
+          return Status::ParseError("CDATA outside the root element at line " +
+                                    std::to_string(token.line));
+        }
+        parent->AppendChild(XmlNode::MakeCData(std::move(token.content)));
+        break;
+      }
+      case XmlTokenType::kComment: {
+        if (options.keep_comments && !stack.empty()) {
+          parent->AppendChild(XmlNode::MakeComment(std::move(token.content)));
+        }
+        break;
+      }
+      case XmlTokenType::kProcessingInstruction: {
+        if (options.keep_processing_instructions) {
+          parent->AppendChild(XmlNode::MakeProcessingInstruction(
+              std::move(token.name), std::move(token.content)));
+        }
+        break;
+      }
+      case XmlTokenType::kXmlDeclaration: {
+        // Accepted anywhere before the root; contents are not interpreted.
+        break;
+      }
+      case XmlTokenType::kDoctype: {
+        if (doc_or_null == nullptr) {
+          return Status::ParseError("DOCTYPE not allowed in a fragment");
+        }
+        if (root_seen != nullptr) {
+          return Status::ParseError("DOCTYPE after the root element at line " +
+                                    std::to_string(token.line));
+        }
+        if (doctype_seen) {
+          return Status::ParseError("multiple DOCTYPE declarations");
+        }
+        doctype_seen = true;
+        if (options.parse_dtd && !token.content.empty()) {
+          Dtd dtd;
+          EXTRACT_ASSIGN_OR_RETURN(dtd,
+                                   ParseDtd(token.content, token.name));
+          doc_or_null->set_dtd(std::move(dtd));
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<XmlDocument>> ParseXml(std::string_view input,
+                                              const XmlParseOptions& options) {
+  auto doc = std::make_unique<XmlDocument>();
+  XmlTokenizer tokenizer(input);
+  EXTRACT_RETURN_IF_ERROR(
+      BuildTree(&tokenizer, doc->document(), doc.get(), options));
+  return doc;
+}
+
+Result<std::unique_ptr<XmlDocument>> ParseXml(std::string_view input) {
+  return ParseXml(input, XmlParseOptions{});
+}
+
+Result<std::unique_ptr<XmlNode>> ParseXmlFragment(std::string_view input) {
+  auto holder = XmlNode::MakeDocument();
+  XmlTokenizer tokenizer(input);
+  XmlParseOptions options;
+  EXTRACT_RETURN_IF_ERROR(
+      BuildTree(&tokenizer, holder.get(), /*doc_or_null=*/nullptr, options));
+  // Detach the single root element.
+  for (const auto& child : holder->children()) {
+    if (child->kind() == XmlNodeKind::kElement) {
+      return child->Clone();
+    }
+  }
+  return Status::ParseError("fragment has no element");
+}
+
+}  // namespace extract

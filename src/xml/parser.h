@@ -1,0 +1,46 @@
+// DOM parser: builds an XmlDocument from text using the pull tokenizer.
+
+#ifndef EXTRACT_XML_PARSER_H_
+#define EXTRACT_XML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace extract {
+
+/// Parsing knobs.
+struct XmlParseOptions {
+  /// Keep comment nodes in the DOM. Default drops them: search and snippet
+  /// generation never use comments.
+  bool keep_comments = false;
+  /// Keep processing-instruction nodes.
+  bool keep_processing_instructions = false;
+  /// Keep text nodes that consist entirely of whitespace (indentation).
+  bool keep_whitespace_text = false;
+  /// Parse the DOCTYPE internal subset into the document's Dtd. When false
+  /// the DOCTYPE is skipped; node classification then falls back to data
+  /// inference.
+  bool parse_dtd = true;
+};
+
+/// \brief Parses a complete XML document.
+///
+/// Enforces well-formedness: single root element, balanced and properly
+/// nested tags, no text outside the root. Returns ParseError with
+/// line/column context on malformed input.
+Result<std::unique_ptr<XmlDocument>> ParseXml(std::string_view input,
+                                              const XmlParseOptions& options);
+
+/// ParseXml with default options.
+Result<std::unique_ptr<XmlDocument>> ParseXml(std::string_view input);
+
+/// \brief Parses a free-standing XML fragment (a single element subtree),
+/// e.g. a serialized query result or snippet. No prolog is allowed.
+Result<std::unique_ptr<XmlNode>> ParseXmlFragment(std::string_view input);
+
+}  // namespace extract
+
+#endif  // EXTRACT_XML_PARSER_H_

@@ -1,0 +1,164 @@
+#include "xml/serializer.h"
+
+#include <functional>
+
+#include "common/tree_printer.h"
+#include "xml/escape.h"
+
+namespace extract {
+
+namespace {
+
+void WriteNode(const XmlNode& node, const XmlWriteOptions& options, int depth,
+               std::string* out) {
+  auto indent = [&](int d) {
+    if (options.pretty) out->append(static_cast<size_t>(d) * options.indent_width, ' ');
+  };
+  auto newline = [&]() {
+    if (options.pretty) out->push_back('\n');
+  };
+
+  switch (node.kind()) {
+    case XmlNodeKind::kDocument: {
+      for (const auto& child : node.children()) {
+        WriteNode(*child, options, depth, out);
+      }
+      return;
+    }
+    case XmlNodeKind::kElement: {
+      indent(depth);
+      out->push_back('<');
+      out->append(node.name());
+      for (const auto& attr : node.attributes()) {
+        out->push_back(' ');
+        out->append(attr.name);
+        out->append("=\"");
+        out->append(EscapeXmlAttribute(attr.value));
+        out->push_back('"');
+      }
+      if (node.children().empty()) {
+        out->append("/>");
+        newline();
+        return;
+      }
+      out->push_back('>');
+      // A single text child stays inline even in pretty mode.
+      bool inline_content =
+          node.children().size() == 1 &&
+          (node.children()[0]->kind() == XmlNodeKind::kText ||
+           node.children()[0]->kind() == XmlNodeKind::kCData);
+      if (inline_content) {
+        WriteNode(*node.children()[0], XmlWriteOptions{}, 0, out);
+      } else {
+        newline();
+        for (const auto& child : node.children()) {
+          WriteNode(*child, options, depth + 1, out);
+        }
+        indent(depth);
+      }
+      out->append("</");
+      out->append(node.name());
+      out->push_back('>');
+      newline();
+      return;
+    }
+    case XmlNodeKind::kText: {
+      indent(depth);
+      out->append(EscapeXmlText(node.content()));
+      newline();
+      return;
+    }
+    case XmlNodeKind::kCData: {
+      indent(depth);
+      out->append("<![CDATA[");
+      out->append(node.content());
+      out->append("]]>");
+      newline();
+      return;
+    }
+    case XmlNodeKind::kComment: {
+      indent(depth);
+      out->append("<!--");
+      out->append(node.content());
+      out->append("-->");
+      newline();
+      return;
+    }
+    case XmlNodeKind::kProcessingInstruction: {
+      indent(depth);
+      out->append("<?");
+      out->append(node.name());
+      if (!node.content().empty()) {
+        out->push_back(' ');
+        out->append(node.content());
+      }
+      out->append("?>");
+      newline();
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options) {
+  std::string out;
+  WriteNode(node, options, 0, &out);
+  // Trim one trailing newline from pretty output for composability.
+  if (options.pretty && !out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+std::string WriteXml(const XmlNode& node) {
+  return WriteXml(node, XmlWriteOptions{});
+}
+
+std::string WriteXmlDocument(const XmlDocument& doc,
+                             const XmlWriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.pretty) out += '\n';
+  }
+  out += WriteXml(*doc.document(), options);
+  return out;
+}
+
+std::string RenderXmlTree(const XmlNode& node) {
+  std::function<std::string(const XmlNode*)> label =
+      [](const XmlNode* n) -> std::string {
+    switch (n->kind()) {
+      case XmlNodeKind::kElement: {
+        // Inline a sole text child: `city "Houston"`.
+        if (n->children().size() == 1 &&
+            n->children()[0]->kind() == XmlNodeKind::kText) {
+          return n->name() + " \"" + n->children()[0]->content() + "\"";
+        }
+        return n->name();
+      }
+      case XmlNodeKind::kText:
+      case XmlNodeKind::kCData:
+        return "\"" + n->content() + "\"";
+      case XmlNodeKind::kComment:
+        return "<!--" + n->content() + "-->";
+      case XmlNodeKind::kProcessingInstruction:
+        return "<?" + n->name() + "?>";
+      case XmlNodeKind::kDocument:
+        return "(document)";
+    }
+    return "?";
+  };
+  std::function<std::vector<const XmlNode*>(const XmlNode*)> children =
+      [](const XmlNode* n) -> std::vector<const XmlNode*> {
+    std::vector<const XmlNode*> out;
+    if (n->kind() == XmlNodeKind::kElement && n->children().size() == 1 &&
+        n->children()[0]->kind() == XmlNodeKind::kText) {
+      return out;  // inlined into the label
+    }
+    for (const auto& child : n->children()) out.push_back(child.get());
+    return out;
+  };
+  return RenderTree<const XmlNode*>(&node, label, children);
+}
+
+}  // namespace extract

@@ -1,0 +1,39 @@
+// XML serialization: DOM tree back to text, compact or pretty-printed, and
+// an ASCII-art rendering used by examples and golden tests.
+
+#ifndef EXTRACT_XML_SERIALIZER_H_
+#define EXTRACT_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace extract {
+
+/// Serialization knobs.
+struct XmlWriteOptions {
+  /// Pretty-print with newlines and `indent_width` spaces per level.
+  bool pretty = false;
+  int indent_width = 2;
+  /// Emit an <?xml version="1.0"?> declaration (document serialization only).
+  bool declaration = false;
+};
+
+/// Serializes the subtree rooted at `node` (element, text, ...) to XML text.
+std::string WriteXml(const XmlNode& node, const XmlWriteOptions& options);
+
+/// WriteXml with default (compact) options.
+std::string WriteXml(const XmlNode& node);
+
+/// Serializes a whole document including prolog children.
+std::string WriteXmlDocument(const XmlDocument& doc,
+                             const XmlWriteOptions& options);
+
+/// \brief Renders an element subtree as an ASCII tree, the format used in
+/// the paper's figures: element names as labels, text children inlined as
+/// `name "value"`.
+std::string RenderXmlTree(const XmlNode& node);
+
+}  // namespace extract
+
+#endif  // EXTRACT_XML_SERIALIZER_H_

@@ -1,0 +1,275 @@
+#include "xml/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "xml/escape.h"
+
+namespace extract {
+
+bool IsXmlNameStartChar(unsigned char c) {
+  return std::isalpha(c) != 0 || c == '_' || c == ':' || c >= 0x80;
+}
+
+bool IsXmlNameChar(unsigned char c) {
+  return IsXmlNameStartChar(c) || std::isdigit(c) != 0 || c == '-' || c == '.';
+}
+
+XmlTokenizer::XmlTokenizer(std::string_view input) : input_(input) {}
+
+char XmlTokenizer::PeekAt(size_t offset) const {
+  size_t p = pos_ + offset;
+  return p < input_.size() ? input_[p] : '\0';
+}
+
+void XmlTokenizer::Advance() {
+  if (AtEnd()) return;
+  if (input_[pos_] == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  ++pos_;
+}
+
+bool XmlTokenizer::ConsumePrefix(std::string_view prefix) {
+  if (input_.substr(pos_, prefix.size()) != prefix) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) Advance();
+  return true;
+}
+
+void XmlTokenizer::SkipWhitespace() {
+  while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Advance();
+}
+
+Status XmlTokenizer::Error(const std::string& message) const {
+  return Status::ParseError(message + " at line " + std::to_string(line_) +
+                            ", column " + std::to_string(column_));
+}
+
+Result<std::string> XmlTokenizer::ReadName() {
+  if (AtEnd() || !IsXmlNameStartChar(static_cast<unsigned char>(Peek()))) {
+    return Error("expected name");
+  }
+  size_t start = pos_;
+  while (!AtEnd() && IsXmlNameChar(static_cast<unsigned char>(Peek()))) Advance();
+  return std::string(input_.substr(start, pos_ - start));
+}
+
+Result<XmlToken> XmlTokenizer::Next() {
+  if (AtEnd()) {
+    XmlToken t;
+    t.type = XmlTokenType::kEndOfInput;
+    t.line = line_;
+    t.column = column_;
+    return t;
+  }
+  if (Peek() == '<') return ReadMarkup();
+  return ReadText();
+}
+
+Result<XmlToken> XmlTokenizer::ReadMarkup() {
+  // Caller guarantees Peek() == '<'.
+  if (PeekAt(1) == '/') return ReadEndTag();
+  if (PeekAt(1) == '?') return ReadPiOrXmlDecl();
+  if (PeekAt(1) == '!') {
+    if (input_.substr(pos_, 4) == "<!--") return ReadComment();
+    if (input_.substr(pos_, 9) == "<![CDATA[") return ReadCData();
+    if (input_.substr(pos_, 9) == "<!DOCTYPE") return ReadDoctype();
+    return Error("unrecognized markup declaration");
+  }
+  return ReadStartTag();
+}
+
+Result<XmlToken> XmlTokenizer::ReadStartTag() {
+  XmlToken t;
+  t.type = XmlTokenType::kStartElement;
+  t.line = line_;
+  t.column = column_;
+  Advance();  // '<'
+  EXTRACT_ASSIGN_OR_RETURN(t.name, ReadName());
+  for (;;) {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated start tag <" + t.name);
+    char c = Peek();
+    if (c == '>') {
+      Advance();
+      return t;
+    }
+    if (c == '/') {
+      Advance();
+      if (AtEnd() || Peek() != '>') return Error("expected '>' after '/'");
+      Advance();
+      t.self_closing = true;
+      return t;
+    }
+    // Attribute.
+    XmlTokenAttribute attr;
+    EXTRACT_ASSIGN_OR_RETURN(attr.name, ReadName());
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '=') return Error("expected '=' in attribute");
+    Advance();
+    SkipWhitespace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '<') return Error("'<' in attribute value");
+      Advance();
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    EXTRACT_ASSIGN_OR_RETURN(
+        attr.value, UnescapeXml(input_.substr(start, pos_ - start)));
+    Advance();  // closing quote
+    t.attributes.push_back(std::move(attr));
+  }
+}
+
+Result<XmlToken> XmlTokenizer::ReadEndTag() {
+  XmlToken t;
+  t.type = XmlTokenType::kEndElement;
+  t.line = line_;
+  t.column = column_;
+  Advance();  // '<'
+  Advance();  // '/'
+  EXTRACT_ASSIGN_OR_RETURN(t.name, ReadName());
+  SkipWhitespace();
+  if (AtEnd() || Peek() != '>') return Error("expected '>' in end tag");
+  Advance();
+  return t;
+}
+
+Result<XmlToken> XmlTokenizer::ReadComment() {
+  XmlToken t;
+  t.type = XmlTokenType::kComment;
+  t.line = line_;
+  t.column = column_;
+  ConsumePrefix("<!--");
+  size_t start = pos_;
+  size_t end = input_.find("-->", pos_);
+  if (end == std::string_view::npos) return Error("unterminated comment");
+  // XML forbids "--" inside comments; tolerate it but still find the end.
+  t.content = std::string(input_.substr(start, end - start));
+  while (pos_ < end + 3) Advance();
+  return t;
+}
+
+Result<XmlToken> XmlTokenizer::ReadCData() {
+  XmlToken t;
+  t.type = XmlTokenType::kCData;
+  t.line = line_;
+  t.column = column_;
+  ConsumePrefix("<![CDATA[");
+  size_t start = pos_;
+  size_t end = input_.find("]]>", pos_);
+  if (end == std::string_view::npos) return Error("unterminated CDATA section");
+  t.content = std::string(input_.substr(start, end - start));
+  while (pos_ < end + 3) Advance();
+  return t;
+}
+
+Result<XmlToken> XmlTokenizer::ReadPiOrXmlDecl() {
+  XmlToken t;
+  t.line = line_;
+  t.column = column_;
+  ConsumePrefix("<?");
+  EXTRACT_ASSIGN_OR_RETURN(t.name, ReadName());
+  t.type = EqualsIgnoreCase(t.name, "xml") ? XmlTokenType::kXmlDeclaration
+                                           : XmlTokenType::kProcessingInstruction;
+  SkipWhitespace();
+  size_t start = pos_;
+  size_t end = input_.find("?>", pos_);
+  if (end == std::string_view::npos) {
+    return Error("unterminated processing instruction");
+  }
+  t.content = std::string(input_.substr(start, end - start));
+  while (pos_ < end + 2) Advance();
+  return t;
+}
+
+Result<XmlToken> XmlTokenizer::ReadDoctype() {
+  XmlToken t;
+  t.type = XmlTokenType::kDoctype;
+  t.line = line_;
+  t.column = column_;
+  ConsumePrefix("<!DOCTYPE");
+  SkipWhitespace();
+  EXTRACT_ASSIGN_OR_RETURN(t.name, ReadName());
+  // Scan to the terminating '>', honoring an optional internal subset in
+  // [...] which may itself contain comments and quoted strings.
+  for (;;) {
+    SkipWhitespace();
+    if (AtEnd()) return Error("unterminated DOCTYPE");
+    char c = Peek();
+    if (c == '>') {
+      Advance();
+      return t;
+    }
+    if (c == '[') {
+      Advance();
+      size_t start = pos_;
+      int depth = 1;
+      while (!AtEnd() && depth > 0) {
+        if (ConsumePrefix("<!--")) {
+          size_t end = input_.find("-->", pos_);
+          if (end == std::string_view::npos) {
+            return Error("unterminated comment in DOCTYPE");
+          }
+          while (pos_ < end + 3) Advance();
+          continue;
+        }
+        char d = Peek();
+        if (d == '[') {
+          ++depth;
+        } else if (d == ']') {
+          --depth;
+          if (depth == 0) {
+            t.content = std::string(input_.substr(start, pos_ - start));
+            Advance();  // ']'
+            continue;
+          }
+        } else if (d == '"' || d == '\'') {
+          char quote = d;
+          Advance();
+          while (!AtEnd() && Peek() != quote) Advance();
+          if (AtEnd()) return Error("unterminated literal in DOCTYPE");
+        }
+        Advance();
+      }
+      if (depth > 0) return Error("unterminated internal subset in DOCTYPE");
+      continue;
+    }
+    // External ID keywords / literals (SYSTEM "..."/PUBLIC "..." "...").
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      Advance();
+      while (!AtEnd() && Peek() != quote) Advance();
+      if (AtEnd()) return Error("unterminated literal in DOCTYPE");
+      Advance();
+    } else {
+      Advance();
+    }
+  }
+}
+
+Result<XmlToken> XmlTokenizer::ReadText() {
+  XmlToken t;
+  t.type = XmlTokenType::kText;
+  t.line = line_;
+  t.column = column_;
+  size_t start = pos_;
+  while (!AtEnd() && Peek() != '<') Advance();
+  Result<std::string> unescaped = UnescapeXml(input_.substr(start, pos_ - start));
+  if (!unescaped.ok()) {
+    return Status::ParseError(unescaped.status().message() + " at line " +
+                              std::to_string(t.line));
+  }
+  t.content = std::move(unescaped).value();
+  return t;
+}
+
+}  // namespace extract

@@ -1,0 +1,119 @@
+// A pull tokenizer for XML 1.0 documents.
+//
+// The tokenizer turns raw bytes into a stream of structural events
+// (start/end element, text, CDATA, comment, processing instruction, DOCTYPE)
+// with line/column positions for error reporting. The DOM parser
+// (xml/parser.h) and the DTD parser (xml/dtd.h) are built on top of it.
+//
+// Supported XML subset (documented in README): elements, attributes,
+// character data, CDATA sections, comments, processing instructions, the XML
+// declaration, DOCTYPE with internal subset, predefined + numeric entity
+// references. Not supported: external entities (a deliberate security
+// choice — XXE), parameter entities outside the DTD, and namespaces-aware
+// processing (prefixes are kept verbatim in names).
+
+#ifndef EXTRACT_XML_TOKENIZER_H_
+#define EXTRACT_XML_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace extract {
+
+/// Kind of event produced by the tokenizer.
+enum class XmlTokenType {
+  kStartElement,            ///< <name attr="v" ...> (self_closing may be set)
+  kEndElement,              ///< </name>
+  kText,                    ///< character data (entities resolved)
+  kCData,                   ///< <![CDATA[ ... ]]>
+  kComment,                 ///< <!-- ... -->
+  kProcessingInstruction,   ///< <?target content?>
+  kXmlDeclaration,          ///< <?xml version="1.0" ...?>
+  kDoctype,                 ///< <!DOCTYPE name [internal subset]>
+  kEndOfInput,
+};
+
+/// One attribute inside a start tag.
+struct XmlTokenAttribute {
+  std::string name;
+  std::string value;  ///< entity references already resolved
+};
+
+/// One tokenizer event.
+struct XmlToken {
+  XmlTokenType type = XmlTokenType::kEndOfInput;
+  /// Element name, PI target, or DOCTYPE root name.
+  std::string name;
+  /// Text/CDATA/comment/PI content, or the DOCTYPE internal subset
+  /// (everything between '[' and ']', empty when absent).
+  std::string content;
+  std::vector<XmlTokenAttribute> attributes;
+  bool self_closing = false;  ///< for kStartElement: <name/>
+  int line = 0;               ///< 1-based position where the token begins
+  int column = 0;
+};
+
+/// \brief Streaming XML tokenizer over an in-memory buffer.
+///
+/// Usage:
+///     XmlTokenizer tok(input);
+///     for (;;) {
+///       auto t = tok.Next();
+///       if (!t.ok()) ...;
+///       if (t->type == XmlTokenType::kEndOfInput) break;
+///     }
+///
+/// The tokenizer does not check well-formedness constraints that require a
+/// stack (tag balance); the DOM parser layered on top does.
+class XmlTokenizer {
+ public:
+  /// The input must outlive the tokenizer.
+  explicit XmlTokenizer(std::string_view input);
+
+  /// Produces the next token or a ParseError with position information.
+  Result<XmlToken> Next();
+
+  /// Current 1-based line (for diagnostics).
+  int line() const { return line_; }
+  /// Current 1-based column (for diagnostics).
+  int column() const { return column_; }
+
+ private:
+  // Character-level helpers; all track line/column.
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t offset) const;
+  void Advance();
+  bool ConsumePrefix(std::string_view prefix);
+  void SkipWhitespace();
+
+  Status Error(const std::string& message) const;
+
+  Result<std::string> ReadName();
+  Result<XmlToken> ReadMarkup();       // dispatches on '<...'
+  Result<XmlToken> ReadStartTag();
+  Result<XmlToken> ReadEndTag();
+  Result<XmlToken> ReadComment();
+  Result<XmlToken> ReadCData();
+  Result<XmlToken> ReadPiOrXmlDecl();
+  Result<XmlToken> ReadDoctype();
+  Result<XmlToken> ReadText();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+/// True iff `c` may start an XML name.
+bool IsXmlNameStartChar(unsigned char c);
+/// True iff `c` may continue an XML name.
+bool IsXmlNameChar(unsigned char c);
+
+}  // namespace extract
+
+#endif  // EXTRACT_XML_TOKENIZER_H_

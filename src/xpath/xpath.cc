@@ -1,0 +1,222 @@
+#include "xpath/xpath.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "xml/tokenizer.h"  // IsXmlNameStartChar / IsXmlNameChar
+
+namespace extract {
+
+namespace {
+
+// Recursive-descent parser over the path grammar in the header.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<std::vector<XPathStep>> Parse() {
+    std::vector<XPathStep> steps;
+    if (input_.empty() || input_[0] != '/') {
+      return Status::ParseError("xpath must start with '/' or '//'");
+    }
+    while (!AtEnd()) {
+      XPathStep step;
+      if (!Consume('/')) {
+        return Error("expected '/'");
+      }
+      if (Consume('/')) step.axis = XPathStep::Axis::kDescendant;
+      if (AtEnd()) return Error("path ends after '/'");
+      if (Consume('*')) {
+        step.name.clear();
+      } else {
+        EXTRACT_ASSIGN_OR_RETURN(step.name, ParseName());
+      }
+      while (!AtEnd() && Peek() == '[') {
+        XPathStep::Predicate predicate;
+        EXTRACT_ASSIGN_OR_RETURN(predicate, ParsePredicate());
+        step.predicates.push_back(std::move(predicate));
+      }
+      steps.push_back(std::move(step));
+    }
+    if (steps.empty()) return Error("empty path");
+    return steps;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool Consume(char c) {
+    if (AtEnd() || input_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& message) const {
+    return Status::ParseError("xpath: " + message + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsXmlNameStartChar(static_cast<unsigned char>(Peek()))) {
+      return Error("expected name");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && IsXmlNameChar(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<XPathStep::Predicate> ParsePredicate() {
+    XPathStep::Predicate predicate;
+    Consume('[');
+    if (AtEnd()) return Error("unterminated predicate");
+    if (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+      size_t value = 0;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        value = value * 10 + static_cast<size_t>(Peek() - '0');
+        ++pos_;
+      }
+      if (value == 0) return Error("positions are 1-based");
+      predicate.kind = XPathStep::Predicate::Kind::kPosition;
+      predicate.position = value;
+    } else {
+      // name="text" or text()="text"
+      std::string name;
+      EXTRACT_ASSIGN_OR_RETURN(name, ParseName());
+      if (name == "text" && Consume('(')) {
+        if (!Consume(')')) return Error("expected ')' after text(");
+        predicate.kind = XPathStep::Predicate::Kind::kTextEquals;
+      } else {
+        predicate.kind = XPathStep::Predicate::Kind::kChildEquals;
+        predicate.child_name = std::move(name);
+      }
+      if (!Consume('=')) return Error("expected '=' in predicate");
+      if (!Consume('"')) return Error("expected '\"' in predicate");
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '"') ++pos_;
+      if (AtEnd()) return Error("unterminated string in predicate");
+      predicate.text = std::string(input_.substr(start, pos_ - start));
+      ++pos_;  // closing quote
+    }
+    if (!Consume(']')) return Error("expected ']'");
+    return predicate;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+bool MatchesPredicates(const IndexedDocument& doc, NodeId n,
+                       const XPathStep& step, size_t position_in_context) {
+  for (const auto& predicate : step.predicates) {
+    switch (predicate.kind) {
+      case XPathStep::Predicate::Kind::kPosition:
+        if (position_in_context != predicate.position) return false;
+        break;
+      case XPathStep::Predicate::Kind::kChildEquals: {
+        bool found = false;
+        for (NodeId c : doc.children(n)) {
+          if (!doc.is_element(c)) continue;
+          if (doc.label_name(c) != predicate.child_name) continue;
+          NodeId text = doc.sole_text_child(c);
+          if (text != kInvalidNode && doc.text(text) == predicate.text) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+        break;
+      }
+      case XPathStep::Predicate::Kind::kTextEquals: {
+        NodeId text = doc.sole_text_child(n);
+        if (text == kInvalidNode || doc.text(text) != predicate.text) {
+          return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+bool NameMatches(const IndexedDocument& doc, NodeId n, const XPathStep& step) {
+  return step.name.empty() || doc.label_name(n) == step.name;
+}
+
+}  // namespace
+
+Result<XPathExpr> XPathExpr::Parse(std::string_view text) {
+  Parser parser(text);
+  XPathExpr expr;
+  EXTRACT_ASSIGN_OR_RETURN(expr.steps_, parser.Parse());
+  return expr;
+}
+
+std::vector<NodeId> XPathExpr::Evaluate(const IndexedDocument& doc) const {
+  // Current context set; the virtual start context is "above the root":
+  // the first step's child axis matches the root element itself.
+  std::vector<NodeId> context;
+  bool first = true;
+  for (const XPathStep& step : steps_) {
+    std::vector<NodeId> next;
+    auto consider_child_axis = [&](NodeId parent) {
+      // Positional predicates count among same-name siblings.
+      size_t position = 0;
+      for (NodeId c : doc.children(parent)) {
+        if (!doc.is_element(c) || !NameMatches(doc, c, step)) continue;
+        ++position;
+        if (MatchesPredicates(doc, c, step, position)) next.push_back(c);
+      }
+    };
+    auto consider_descendant_axis = [&](NodeId base, bool include_self) {
+      // Positions for '//' count in document order within the base subtree.
+      size_t position = 0;
+      NodeId begin = include_self ? base : base + 1;
+      for (NodeId n = begin; n < doc.subtree_end(base); ++n) {
+        if (!doc.is_element(n) || !NameMatches(doc, n, step)) continue;
+        ++position;
+        if (MatchesPredicates(doc, n, step, position)) next.push_back(n);
+      }
+    };
+
+    if (first) {
+      if (step.axis == XPathStep::Axis::kChild) {
+        // "/name" matches the root element itself.
+        if (NameMatches(doc, doc.root(), step) &&
+            MatchesPredicates(doc, doc.root(), step, 1)) {
+          next.push_back(doc.root());
+        }
+      } else {
+        consider_descendant_axis(doc.root(), /*include_self=*/true);
+      }
+      first = false;
+    } else {
+      for (NodeId base : context) {
+        if (step.axis == XPathStep::Axis::kChild) {
+          consider_child_axis(base);
+        } else {
+          consider_descendant_axis(base, /*include_self=*/false);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    context = std::move(next);
+    if (context.empty()) break;
+  }
+  return context;
+}
+
+NodeId XPathExpr::EvaluateFirst(const IndexedDocument& doc) const {
+  std::vector<NodeId> matches = Evaluate(doc);
+  return matches.empty() ? kInvalidNode : matches.front();
+}
+
+Result<std::vector<NodeId>> EvaluateXPath(const IndexedDocument& doc,
+                                          std::string_view path) {
+  XPathExpr expr;
+  EXTRACT_ASSIGN_OR_RETURN(expr, XPathExpr::Parse(path));
+  return expr.Evaluate(doc);
+}
+
+}  // namespace extract

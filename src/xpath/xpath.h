@@ -1,0 +1,76 @@
+// XPath-lite: a small path query language over the IndexedDocument, used by
+// the demo's "view data" flow, by tests to pinpoint nodes, and as a
+// navigational complement to keyword search (XSeek itself combines keyword
+// and structural access; Schema-Free XQuery [5] is the full-power cousin).
+//
+// Grammar (absolute paths only):
+//
+//   path      := step+
+//   step      := ('/' | '//') (name | '*') predicate*
+//   predicate := '[' digits ']'                 positional, 1-based
+//              | '[' name '=' '"' text '"' ']'  child attribute equals text
+//              | '[' 'text()' '=' '"' text '"' ']'
+//
+// Examples:
+//   /retailers/retailer[name="Brook Brothers"]//city
+//   //store[2]/name
+//   //clothes[category="suit"]
+//
+// '/' selects children, '//' descendants-or-self. Evaluation is set-based
+// and returns matching node ids in document order, deduplicated.
+
+#ifndef EXTRACT_XPATH_XPATH_H_
+#define EXTRACT_XPATH_XPATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "index/indexed_document.h"
+
+namespace extract {
+
+/// One parsed location step.
+struct XPathStep {
+  enum class Axis { kChild, kDescendant };
+  Axis axis = Axis::kChild;
+  /// Element name to match; empty means '*' (any element).
+  std::string name;
+
+  struct Predicate {
+    enum class Kind { kPosition, kChildEquals, kTextEquals };
+    Kind kind = Kind::kPosition;
+    size_t position = 0;        ///< kPosition (1-based)
+    std::string child_name;     ///< kChildEquals
+    std::string text;           ///< kChildEquals / kTextEquals
+  };
+  std::vector<Predicate> predicates;
+};
+
+/// A parsed path expression.
+class XPathExpr {
+ public:
+  /// Parses `text`; returns ParseError with position info on bad syntax.
+  static Result<XPathExpr> Parse(std::string_view text);
+
+  const std::vector<XPathStep>& steps() const { return steps_; }
+
+  /// Evaluates against `doc`, starting at the root. Results in document
+  /// order, deduplicated. Element nodes only.
+  std::vector<NodeId> Evaluate(const IndexedDocument& doc) const;
+
+  /// Convenience: first match or kInvalidNode.
+  NodeId EvaluateFirst(const IndexedDocument& doc) const;
+
+ private:
+  std::vector<XPathStep> steps_;
+};
+
+/// One-shot parse + evaluate.
+Result<std::vector<NodeId>> EvaluateXPath(const IndexedDocument& doc,
+                                          std::string_view path);
+
+}  // namespace extract
+
+#endif  // EXTRACT_XPATH_XPATH_H_

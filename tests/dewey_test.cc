@@ -1,0 +1,66 @@
+#include "index/dewey.h"
+
+#include <gtest/gtest.h>
+
+namespace extract {
+namespace {
+
+std::vector<uint32_t> D(std::initializer_list<uint32_t> v) { return v; }
+
+TEST(DeweyTest, CompareLexicographic) {
+  auto a = D({0, 1}), b = D({0, 2}), c = D({0, 1, 0});
+  EXPECT_LT(CompareDewey(a, b), 0);
+  EXPECT_GT(CompareDewey(b, a), 0);
+  EXPECT_EQ(CompareDewey(a, a), 0);
+  // Prefix sorts before extension (document order: ancestor first).
+  EXPECT_LT(CompareDewey(a, c), 0);
+}
+
+TEST(DeweyTest, RootComparesBeforeEverything) {
+  auto root = D({});
+  auto child = D({0});
+  EXPECT_LT(CompareDewey(root, child), 0);
+  EXPECT_EQ(CompareDewey(root, root), 0);
+}
+
+TEST(DeweyTest, AncestorChecks) {
+  auto root = D({}), a = D({0}), ab = D({0, 1}), b = D({1});
+  EXPECT_TRUE(IsDeweyAncestor(root, a));
+  EXPECT_TRUE(IsDeweyAncestor(a, ab));
+  EXPECT_FALSE(IsDeweyAncestor(ab, a));
+  EXPECT_FALSE(IsDeweyAncestor(a, b));
+  EXPECT_FALSE(IsDeweyAncestor(a, a));  // strict
+  EXPECT_TRUE(IsDeweyAncestorOrSelf(a, a));
+  EXPECT_TRUE(IsDeweyAncestorOrSelf(a, ab));
+  EXPECT_FALSE(IsDeweyAncestorOrSelf(ab, a));
+}
+
+TEST(DeweyTest, CommonPrefix) {
+  EXPECT_EQ(DeweyCommonPrefix(D({0, 1, 2}), D({0, 1, 5})), 2u);
+  EXPECT_EQ(DeweyCommonPrefix(D({0}), D({1})), 0u);
+  EXPECT_EQ(DeweyCommonPrefix(D({0, 1}), D({0, 1})), 2u);
+  EXPECT_EQ(DeweyCommonPrefix(D({}), D({3, 4})), 0u);
+}
+
+TEST(DeweyTest, ToString) {
+  EXPECT_EQ(DeweyToString(D({})), "ε");
+  EXPECT_EQ(DeweyToString(D({0, 2, 5})), "0.2.5");
+}
+
+TEST(DeweyStoreTest, AppendAndGet) {
+  DeweyStore store;
+  EXPECT_EQ(store.Append(D({})), 0u);
+  EXPECT_EQ(store.Append(D({0})), 1u);
+  EXPECT_EQ(store.Append(D({0, 3})), 2u);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_TRUE(store.Get(0).empty());
+  ASSERT_EQ(store.Get(2).size(), 2u);
+  EXPECT_EQ(store.Get(2)[1], 3u);
+  // Earlier spans remain valid after later appends (pool growth).
+  for (uint32_t i = 0; i < 100; ++i) store.Append(D({i, i, i}));
+  ASSERT_EQ(store.Get(1).size(), 1u);
+  EXPECT_EQ(store.Get(1)[0], 0u);
+}
+
+}  // namespace
+}  // namespace extract

@@ -1,0 +1,131 @@
+#include "xml/dtd.h"
+
+#include <gtest/gtest.h>
+
+namespace extract {
+namespace {
+
+Dtd MustParse(std::string_view subset) {
+  auto dtd = ParseDtd(subset, "root");
+  EXPECT_TRUE(dtd.ok()) << dtd.status();
+  return std::move(*dtd);
+}
+
+TEST(DtdParseTest, SimpleStarDecl) {
+  Dtd dtd = MustParse("<!ELEMENT retailers (retailer*)>");
+  const DtdElementDecl* decl = dtd.FindElement("retailers");
+  ASSERT_NE(decl, nullptr);
+  EXPECT_EQ(decl->category, DtdElementDecl::Category::kChildren);
+  EXPECT_TRUE(dtd.IsStarChild("retailers", "retailer"));
+}
+
+TEST(DtdParseTest, SequenceWithModifiers) {
+  Dtd dtd = MustParse("<!ELEMENT store (name, state?, city, merchandises+)>");
+  EXPECT_FALSE(dtd.IsStarChild("store", "name"));
+  EXPECT_FALSE(dtd.IsStarChild("store", "state"));
+  EXPECT_TRUE(dtd.IsStarChild("store", "merchandises"));  // + repeats
+}
+
+TEST(DtdParseTest, ChoiceGroups) {
+  Dtd dtd = MustParse("<!ELEMENT media (book | cd | dvd)*>");
+  EXPECT_TRUE(dtd.IsStarChild("media", "book"));
+  EXPECT_TRUE(dtd.IsStarChild("media", "cd"));
+  EXPECT_TRUE(dtd.IsStarChild("media", "dvd"));
+  EXPECT_FALSE(dtd.IsStarChild("media", "tape"));
+}
+
+TEST(DtdParseTest, NestedGroups) {
+  Dtd dtd = MustParse("<!ELEMENT a ((b, c)*, d, (e | f)?)>");
+  EXPECT_TRUE(dtd.IsStarChild("a", "b"));
+  EXPECT_TRUE(dtd.IsStarChild("a", "c"));
+  EXPECT_FALSE(dtd.IsStarChild("a", "d"));
+  EXPECT_FALSE(dtd.IsStarChild("a", "e"));
+}
+
+TEST(DtdParseTest, RepeatedNameWithoutStarIsStarred) {
+  // <!ELEMENT a (b, b)> allows two b children: b repeats.
+  Dtd dtd = MustParse("<!ELEMENT a (b, b)>");
+  EXPECT_TRUE(dtd.IsStarChild("a", "b"));
+}
+
+TEST(DtdParseTest, PcdataOnly) {
+  Dtd dtd = MustParse("<!ELEMENT name (#PCDATA)>");
+  const DtdElementDecl* decl = dtd.FindElement("name");
+  ASSERT_NE(decl, nullptr);
+  EXPECT_EQ(decl->category, DtdElementDecl::Category::kMixed);
+  EXPECT_FALSE(dtd.IsStarChild("name", "anything"));
+}
+
+TEST(DtdParseTest, MixedContentNamesAreStarred) {
+  Dtd dtd = MustParse("<!ELEMENT p (#PCDATA | em | strong)*>");
+  EXPECT_TRUE(dtd.IsStarChild("p", "em"));
+  EXPECT_TRUE(dtd.IsStarChild("p", "strong"));
+  EXPECT_FALSE(dtd.IsStarChild("p", "div"));
+}
+
+TEST(DtdParseTest, EmptyAndAny) {
+  Dtd dtd = MustParse("<!ELEMENT br EMPTY><!ELEMENT any ANY><!ELEMENT x (#PCDATA)>");
+  EXPECT_EQ(dtd.FindElement("br")->category, DtdElementDecl::Category::kEmpty);
+  EXPECT_EQ(dtd.FindElement("any")->category, DtdElementDecl::Category::kAny);
+  EXPECT_FALSE(dtd.IsStarChild("br", "x"));
+  // ANY allows any declared element to repeat.
+  EXPECT_TRUE(dtd.IsStarChild("any", "x"));
+  EXPECT_FALSE(dtd.IsStarChild("any", "undeclared"));
+}
+
+TEST(DtdParseTest, SkipsAttlistEntityNotation) {
+  Dtd dtd = MustParse(R"dtd(
+    <!ELEMENT a (b*)>
+    <!ATTLIST a id ID #REQUIRED>
+    <!ENTITY copy "(c)">
+    <!NOTATION gif SYSTEM "viewer">
+    <!ELEMENT b (#PCDATA)>
+  )dtd");
+  EXPECT_EQ(dtd.size(), 2u);
+  EXPECT_TRUE(dtd.IsStarChild("a", "b"));
+}
+
+TEST(DtdParseTest, SkipsComments) {
+  Dtd dtd = MustParse("<!-- header --><!ELEMENT a (b*)><!-- footer -->");
+  EXPECT_EQ(dtd.size(), 1u);
+}
+
+TEST(DtdParseTest, RootNamePropagated) {
+  auto dtd = ParseDtd("<!ELEMENT r (x*)>", "r");
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_EQ(dtd->root_name(), "r");
+}
+
+TEST(DtdParseTest, ElementNamesSorted) {
+  Dtd dtd = MustParse("<!ELEMENT z (#PCDATA)><!ELEMENT a (#PCDATA)>");
+  EXPECT_EQ(dtd.ElementNames(), (std::vector<std::string>{"a", "z"}));
+}
+
+TEST(DtdParseTest, UndeclaredParent) {
+  Dtd dtd = MustParse("<!ELEMENT a (b*)>");
+  EXPECT_FALSE(dtd.IsStarChild("nope", "b"));
+}
+
+// ------------------------------------------------------------- error paths
+
+TEST(DtdErrorTest, MalformedElementDecl) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a >", "a").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b", "a").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b,|c)>", "a").ok());
+  EXPECT_FALSE(ParseDtd("<!ELEMENT (b)>", "a").ok());
+}
+
+TEST(DtdErrorTest, MixedSeparators) {
+  EXPECT_FALSE(ParseDtd("<!ELEMENT a (b, c | d)>", "a").ok());
+}
+
+TEST(DtdErrorTest, GarbageDeclaration) {
+  EXPECT_FALSE(ParseDtd("<!WAT x>", "a").ok());
+}
+
+TEST(DtdErrorTest, UnterminatedAttlist) {
+  EXPECT_FALSE(ParseDtd("<!ATTLIST a id ID #REQUIRED", "a").ok());
+}
+
+}  // namespace
+}  // namespace extract

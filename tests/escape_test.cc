@@ -1,0 +1,85 @@
+#include "xml/escape.h"
+
+#include <gtest/gtest.h>
+
+namespace extract {
+namespace {
+
+TEST(EscapeTest, TextEscapesMarkupChars) {
+  EXPECT_EQ(EscapeXmlText("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+  EXPECT_EQ(EscapeXmlText("plain"), "plain");
+  EXPECT_EQ(EscapeXmlText("\"quotes\" 'fine'"), "\"quotes\" 'fine'");
+}
+
+TEST(EscapeTest, AttributeAlsoEscapesQuote) {
+  EXPECT_EQ(EscapeXmlAttribute("say \"hi\" & <bye>"),
+            "say &quot;hi&quot; &amp; &lt;bye&gt;");
+}
+
+TEST(UnescapeTest, PredefinedEntities) {
+  auto r = UnescapeXml("&amp;&lt;&gt;&apos;&quot;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "&<>'\"");
+}
+
+TEST(UnescapeTest, PassThroughPlainText) {
+  auto r = UnescapeXml("no entities here");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "no entities here");
+}
+
+TEST(UnescapeTest, DecimalCharRef) {
+  auto r = UnescapeXml("A&#66;C");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "ABC");
+}
+
+TEST(UnescapeTest, HexCharRef) {
+  auto r = UnescapeXml("&#x41;&#X42;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "AB");
+}
+
+TEST(UnescapeTest, MultiByteUtf8CharRef) {
+  // U+00E9 (é) = 0xC3 0xA9; U+4E2D = 0xE4 0xB8 0xAD; U+1F600 = 4 bytes.
+  auto r1 = UnescapeXml("&#233;");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, "\xC3\xA9");
+  auto r2 = UnescapeXml("&#x4E2D;");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, "\xE4\xB8\xAD");
+  auto r3 = UnescapeXml("&#x1F600;");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->size(), 4u);
+}
+
+TEST(UnescapeTest, ErrorsOnUnknownEntity) {
+  EXPECT_FALSE(UnescapeXml("&nbsp;").ok());
+  EXPECT_FALSE(UnescapeXml("&foo;").ok());
+}
+
+TEST(UnescapeTest, ErrorsOnUnterminatedReference) {
+  EXPECT_FALSE(UnescapeXml("a &amp b").ok());
+  EXPECT_FALSE(UnescapeXml("&").ok());
+}
+
+TEST(UnescapeTest, ErrorsOnBadNumericRef) {
+  EXPECT_FALSE(UnescapeXml("&#;").ok());
+  EXPECT_FALSE(UnescapeXml("&#x;").ok());
+  EXPECT_FALSE(UnescapeXml("&#12x;").ok());
+  EXPECT_FALSE(UnescapeXml("&#xD800;").ok());     // surrogate
+  EXPECT_FALSE(UnescapeXml("&#x110000;").ok());   // beyond Unicode
+  EXPECT_FALSE(UnescapeXml("&#99999999999;").ok());
+}
+
+TEST(RoundTripTest, EscapeThenUnescapeIsIdentity) {
+  for (const char* s :
+       {"a<b>&c", "\"mixed\" 'quotes'", "", "plain text", "1 < 2 && 3 > 2"}) {
+    auto r = UnescapeXml(EscapeXmlAttribute(s));
+    ASSERT_TRUE(r.ok()) << s;
+    EXPECT_EQ(*r, s);
+  }
+}
+
+}  // namespace
+}  // namespace extract

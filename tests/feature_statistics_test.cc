@@ -1,0 +1,208 @@
+#include "snippet/feature_statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/retailer_dataset.h"
+#include "search/search_engine.h"
+
+namespace extract {
+namespace {
+
+struct Ctx {
+  XmlDatabase db;
+  NodeId result_root;
+  FeatureStatistics stats;
+};
+
+Ctx LoadPaperResult() {
+  auto db = XmlDatabase::Load(GenerateRetailerXml());
+  EXPECT_TRUE(db.ok()) << db.status();
+  XSeekEngine engine;
+  auto results = engine.Search(*db, Query::Parse("Texas apparel retailer"));
+  EXPECT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+  NodeId root = results->front().root;
+  FeatureStatistics stats =
+      FeatureStatistics::Compute(db->index(), db->classification(), root);
+  return Ctx{std::move(*db), root, std::move(stats)};
+}
+
+Feature F(const XmlDatabase& db, const char* e, const char* a, const char* v) {
+  return Feature{{db.index().labels().Find(e), db.index().labels().Find(a)},
+                 v};
+}
+
+// ---- The paper's worked example, §2.3 / Figure 1, numbers verified exactly.
+
+TEST(FeatureStatisticsPaperTest, CityCounts) {
+  Ctx ctx = LoadPaperResult();
+  FeatureType city{ctx.db.index().labels().Find("store"),
+                   ctx.db.index().labels().Find("city")};
+  const auto& stats = ctx.stats.types().at(city);
+  EXPECT_EQ(stats.total_occurrences, 10u);      // N(store, city)
+  EXPECT_EQ(stats.domain_size(), 5u);           // D(store, city)
+  EXPECT_EQ(stats.value_occurrences.at("Houston"), 6u);
+  EXPECT_EQ(stats.value_occurrences.at("Austin"), 1u);
+}
+
+TEST(FeatureStatisticsPaperTest, FittingCounts) {
+  Ctx ctx = LoadPaperResult();
+  FeatureType fitting{ctx.db.index().labels().Find("clothes"),
+                      ctx.db.index().labels().Find("fitting")};
+  const auto& stats = ctx.stats.types().at(fitting);
+  EXPECT_EQ(stats.total_occurrences, 1000u);
+  EXPECT_EQ(stats.domain_size(), 3u);
+  EXPECT_EQ(stats.value_occurrences.at("man"), 600u);
+  EXPECT_EQ(stats.value_occurrences.at("woman"), 360u);
+  EXPECT_EQ(stats.value_occurrences.at("children"), 40u);
+}
+
+TEST(FeatureStatisticsPaperTest, SituationCounts) {
+  Ctx ctx = LoadPaperResult();
+  FeatureType situation{ctx.db.index().labels().Find("clothes"),
+                        ctx.db.index().labels().Find("situation")};
+  const auto& stats = ctx.stats.types().at(situation);
+  EXPECT_EQ(stats.total_occurrences, 1000u);
+  EXPECT_EQ(stats.domain_size(), 2u);
+  EXPECT_EQ(stats.value_occurrences.at("casual"), 700u);
+  EXPECT_EQ(stats.value_occurrences.at("formal"), 300u);
+}
+
+TEST(FeatureStatisticsPaperTest, CategoryCounts) {
+  Ctx ctx = LoadPaperResult();
+  FeatureType category{ctx.db.index().labels().Find("clothes"),
+                       ctx.db.index().labels().Find("category")};
+  const auto& stats = ctx.stats.types().at(category);
+  EXPECT_EQ(stats.total_occurrences, 1070u);
+  EXPECT_EQ(stats.domain_size(), 11u);  // 4 named + 7 other categories
+  EXPECT_EQ(stats.value_occurrences.at("outwear"), 220u);
+  EXPECT_EQ(stats.value_occurrences.at("suit"), 120u);
+  EXPECT_EQ(stats.value_occurrences.at("skirt"), 80u);
+  EXPECT_EQ(stats.value_occurrences.at("sweaters"), 70u);
+}
+
+TEST(FeatureStatisticsPaperTest, DominanceScores) {
+  Ctx ctx = LoadPaperResult();
+  const XmlDatabase& db = ctx.db;
+  // DS(Houston) = 6 / (10/5) = 3.0 — the paper's §2.3 numbers.
+  EXPECT_DOUBLE_EQ(ctx.stats.DominanceScore(F(db, "store", "city", "Houston")),
+                   3.0);
+  EXPECT_DOUBLE_EQ(ctx.stats.DominanceScore(F(db, "clothes", "fitting", "man")),
+                   1.8);
+  EXPECT_NEAR(ctx.stats.DominanceScore(F(db, "clothes", "fitting", "woman")),
+              1.08, 1e-9);
+  EXPECT_DOUBLE_EQ(
+      ctx.stats.DominanceScore(F(db, "clothes", "situation", "casual")), 1.4);
+  EXPECT_NEAR(ctx.stats.DominanceScore(F(db, "clothes", "category", "outwear")),
+              220.0 / (1070.0 / 11.0), 1e-9);  // ≈ 2.26
+  EXPECT_NEAR(ctx.stats.DominanceScore(F(db, "clothes", "category", "suit")),
+              120.0 / (1070.0 / 11.0), 1e-9);  // ≈ 1.23
+}
+
+TEST(FeatureStatisticsPaperTest, DominanceDecisions) {
+  Ctx ctx = LoadPaperResult();
+  const XmlDatabase& db = ctx.db;
+  EXPECT_TRUE(ctx.stats.IsDominant(F(db, "store", "city", "Houston")));
+  EXPECT_TRUE(ctx.stats.IsDominant(F(db, "clothes", "fitting", "man")));
+  EXPECT_TRUE(ctx.stats.IsDominant(F(db, "clothes", "fitting", "woman")));
+  EXPECT_TRUE(ctx.stats.IsDominant(F(db, "clothes", "situation", "casual")));
+  EXPECT_TRUE(ctx.stats.IsDominant(F(db, "clothes", "category", "outwear")));
+  EXPECT_TRUE(ctx.stats.IsDominant(F(db, "clothes", "category", "suit")));
+  // Not dominant per the paper: children, formal, skirt, sweaters, Austin.
+  EXPECT_FALSE(ctx.stats.IsDominant(F(db, "clothes", "fitting", "children")));
+  EXPECT_FALSE(ctx.stats.IsDominant(F(db, "clothes", "situation", "formal")));
+  EXPECT_FALSE(ctx.stats.IsDominant(F(db, "clothes", "category", "skirt")));
+  EXPECT_FALSE(ctx.stats.IsDominant(F(db, "clothes", "category", "sweaters")));
+  EXPECT_FALSE(ctx.stats.IsDominant(F(db, "store", "city", "Austin")));
+}
+
+TEST(FeatureStatisticsPaperTest, DomainSizeOneIsTriviallyDominant) {
+  Ctx ctx = LoadPaperResult();
+  const XmlDatabase& db = ctx.db;
+  // Every store is in Texas: D(store, state) == 1; DS == 1 but dominant.
+  Feature texas = F(db, "store", "state", "Texas");
+  EXPECT_DOUBLE_EQ(ctx.stats.DominanceScore(texas), 1.0);
+  EXPECT_TRUE(ctx.stats.IsDominant(texas));
+}
+
+// ------------------------------------------------------------- unit cases
+
+TEST(FeatureStatisticsTest, SmallHandComputedExample) {
+  auto db = XmlDatabase::Load(R"(<db>
+    <s><c>red</c></s><s><c>red</c></s><s><c>blue</c></s><s><c>green</c></s>
+  </db>)");
+  ASSERT_TRUE(db.ok());
+  FeatureStatistics stats = FeatureStatistics::Compute(
+      db->index(), db->classification(), db->index().root());
+  Feature red = F(*db, "s", "c", "red");
+  // N=4, D=3, N(red)=2 -> DS = 2/(4/3) = 1.5.
+  EXPECT_DOUBLE_EQ(stats.DominanceScore(red), 1.5);
+  EXPECT_TRUE(stats.IsDominant(red));
+  Feature blue = F(*db, "s", "c", "blue");
+  EXPECT_DOUBLE_EQ(stats.DominanceScore(blue), 0.75);
+  EXPECT_FALSE(stats.IsDominant(blue));
+  EXPECT_EQ(stats.Occurrences(red), 2u);
+  EXPECT_EQ(stats.Occurrences(blue), 1u);
+}
+
+TEST(FeatureStatisticsTest, BoundaryScoreExactlyOneNotDominant) {
+  // Two values, one occurrence each: DS == 1.0 for both; D != 1 -> neither
+  // dominant (exact integer arithmetic, no floating point wobble).
+  auto db = XmlDatabase::Load("<db><s><c>x</c></s><s><c>y</c></s></db>");
+  ASSERT_TRUE(db.ok());
+  FeatureStatistics stats = FeatureStatistics::Compute(
+      db->index(), db->classification(), db->index().root());
+  Feature x = F(*db, "s", "c", "x");
+  EXPECT_DOUBLE_EQ(stats.DominanceScore(x), 1.0);
+  EXPECT_FALSE(stats.IsDominant(x));
+}
+
+TEST(FeatureStatisticsTest, AbsentFeatureScoresZero) {
+  auto db = XmlDatabase::Load("<db><s><c>x</c></s><s><c>x</c></s></db>");
+  ASSERT_TRUE(db.ok());
+  FeatureStatistics stats = FeatureStatistics::Compute(
+      db->index(), db->classification(), db->index().root());
+  EXPECT_EQ(stats.DominanceScore(F(*db, "s", "c", "nope")), 0.0);
+  EXPECT_FALSE(stats.IsDominant(F(*db, "s", "c", "nope")));
+  EXPECT_EQ(stats.Occurrences(F(*db, "s", "c", "nope")), 0u);
+}
+
+TEST(FeatureStatisticsTest, AttributeUnderConnectionNodeAttributesToEntity) {
+  // <info> is a connection node between store and its attribute city:
+  // the feature is still (store, city, v).
+  auto db = XmlDatabase::Load(R"(<db>
+    <store><info><city>H</city></info></store>
+    <store><info><city>H</city></info></store>
+  </db>)");
+  ASSERT_TRUE(db.ok());
+  FeatureStatistics stats = FeatureStatistics::Compute(
+      db->index(), db->classification(), db->index().root());
+  FeatureType type{db->index().labels().Find("store"),
+                   db->index().labels().Find("city")};
+  ASSERT_TRUE(stats.types().count(type));
+  EXPECT_EQ(stats.types().at(type).total_occurrences, 2u);
+}
+
+TEST(FeatureStatisticsTest, SumOfScoresEqualsDomainSize) {
+  // Property: sum over values v of DS((e,a,v)) == D(e,a), since
+  // sum N(v) == N and each is divided by N/D.
+  Ctx ctx = LoadPaperResult();
+  for (const auto& [type, type_stats] : ctx.stats.types()) {
+    double sum = 0.0;
+    for (const auto& [value, count] : type_stats.value_occurrences) {
+      sum += ctx.stats.DominanceScore(Feature{type, value});
+    }
+    EXPECT_NEAR(sum, static_cast<double>(type_stats.domain_size()), 1e-6);
+  }
+}
+
+TEST(FeatureStatisticsTest, RenderAggregatesRareValues) {
+  Ctx ctx = LoadPaperResult();
+  std::string out = ctx.stats.Render(ctx.db.index().labels(), 4);
+  EXPECT_NE(out.find("Houston: 6"), std::string::npos);
+  EXPECT_NE(out.find("man: 600"), std::string::npos);
+  EXPECT_NE(out.find("other ("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace extract

@@ -1,0 +1,114 @@
+#include "index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "xml/parser.h"
+
+namespace extract {
+namespace {
+
+IndexedDocument MustBuild(std::string_view xml) {
+  auto doc = ParseXml(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  auto idx = IndexedDocument::Build(**doc);
+  EXPECT_TRUE(idx.ok()) << idx.status();
+  return std::move(*idx);
+}
+
+TEST(InvertedIndexTest, TextTokensPostToOwnerElement) {
+  IndexedDocument doc = MustBuild("<a><b>hello world</b></a>");
+  InvertedIndex index = InvertedIndex::Build(doc);
+  const PostingList* hello = index.Find("hello");
+  ASSERT_NE(hello, nullptr);
+  ASSERT_EQ(hello->size(), 1u);
+  EXPECT_EQ(hello->nodes[0], 1);  // <b>
+  EXPECT_EQ(hello->sources[0], PostingSource::kTextValue);
+}
+
+TEST(InvertedIndexTest, TagNameTokensPostToElement) {
+  IndexedDocument doc = MustBuild("<library><book/></library>");
+  InvertedIndex index = InvertedIndex::Build(doc);
+  const PostingList* book = index.Find("book");
+  ASSERT_NE(book, nullptr);
+  EXPECT_EQ(book->nodes[0], 1);
+  EXPECT_EQ(book->sources[0], PostingSource::kTagName);
+}
+
+TEST(InvertedIndexTest, TagAndValueMergeSources) {
+  IndexedDocument doc = MustBuild("<a><name>name</name></a>");
+  InvertedIndex index = InvertedIndex::Build(doc);
+  const PostingList* name = index.Find("name");
+  ASSERT_NE(name, nullptr);
+  ASSERT_EQ(name->size(), 1u);
+  EXPECT_EQ(name->sources[0], PostingSource::kBoth);
+}
+
+TEST(InvertedIndexTest, CaseFolding) {
+  IndexedDocument doc = MustBuild("<a><b>Texas TEXAS texas</b></a>");
+  InvertedIndex index = InvertedIndex::Build(doc);
+  const PostingList* texas = index.Find("texas");
+  ASSERT_NE(texas, nullptr);
+  EXPECT_EQ(texas->size(), 1u);  // one element, deduplicated
+  EXPECT_EQ(index.Find("Texas"), nullptr);  // lookups are by folded token
+}
+
+TEST(InvertedIndexTest, PostingsSortedByDocumentOrder) {
+  IndexedDocument doc =
+      MustBuild("<a><b>x</b><c><d>x</d></c><e>x</e></a>");
+  InvertedIndex index = InvertedIndex::Build(doc);
+  const PostingList* x = index.Find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_TRUE(std::is_sorted(x->nodes.begin(), x->nodes.end()));
+  EXPECT_EQ(x->size(), 3u);
+}
+
+TEST(InvertedIndexTest, MixedContentKeepsOrderSorted) {
+  // The parent element's text comes after a nested element's text: postings
+  // must still come out sorted (regression for the normalization pass).
+  IndexedDocument doc = MustBuild("<a><b>x</b>x</a>");
+  InvertedIndex index = InvertedIndex::Build(doc);
+  const PostingList* x = index.Find("x");
+  ASSERT_NE(x, nullptr);
+  ASSERT_EQ(x->size(), 2u);
+  EXPECT_TRUE(std::is_sorted(x->nodes.begin(), x->nodes.end()));
+  EXPECT_EQ(x->nodes[0], 0);  // <a> owns the trailing text
+  EXPECT_EQ(x->nodes[1], 1);  // <b>
+}
+
+TEST(InvertedIndexTest, MultiWordValues) {
+  IndexedDocument doc = MustBuild("<r><name>Brook Brothers</name></r>");
+  InvertedIndex index = InvertedIndex::Build(doc);
+  EXPECT_NE(index.Find("brook"), nullptr);
+  EXPECT_NE(index.Find("brothers"), nullptr);
+  EXPECT_EQ(index.Find("brook brothers"), nullptr);  // tokens, not phrases
+}
+
+TEST(InvertedIndexTest, MissingTokenReturnsNull) {
+  IndexedDocument doc = MustBuild("<a>x</a>");
+  InvertedIndex index = InvertedIndex::Build(doc);
+  EXPECT_EQ(index.Find("zzz"), nullptr);
+}
+
+TEST(InvertedIndexTest, VocabularyAndTotals) {
+  IndexedDocument doc = MustBuild("<a><b>x y</b><c>x</c></a>");
+  InvertedIndex index = InvertedIndex::Build(doc);
+  // tokens: a, b, c (tags) + x, y (values)
+  EXPECT_EQ(index.vocabulary_size(), 5u);
+  // postings: a:1 b:1 c:1 x:2 y:1
+  EXPECT_EQ(index.total_postings(), 6u);
+  EXPECT_EQ(index.Tokens().size(), 5u);
+}
+
+TEST(InvertedIndexTest, ExpandedXmlAttributesIndexed) {
+  IndexedDocument doc = MustBuild(R"(<store name="Levis"/>)");
+  InvertedIndex index = InvertedIndex::Build(doc);
+  const PostingList* levis = index.Find("levis");
+  ASSERT_NE(levis, nullptr);
+  EXPECT_EQ(levis->nodes[0], 1);  // the expanded <name> element
+  EXPECT_NE(index.Find("name"), nullptr);
+}
+
+}  // namespace
+}  // namespace extract

@@ -1,0 +1,132 @@
+#include "schema/key_miner.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+
+namespace extract {
+namespace {
+
+struct Loaded {
+  std::unique_ptr<XmlDocument> dom;
+  IndexedDocument doc;
+  NodeClassification classification;
+  KeyIndex keys;
+};
+
+Loaded Load(std::string_view xml) {
+  auto parsed = ParseXml(xml);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  auto idx = IndexedDocument::Build(**parsed);
+  EXPECT_TRUE(idx.ok()) << idx.status();
+  Loaded out{std::move(*parsed), std::move(*idx), {}, {}};
+  out.classification = NodeClassification::Classify(
+      out.doc, out.dom->has_dtd() ? &out.dom->dtd() : nullptr);
+  out.keys = KeyIndex::Mine(out.doc, out.classification);
+  return out;
+}
+
+TEST(KeyMinerTest, UniqueAttributeIsStrictKey) {
+  Loaded db = Load(R"(<db>
+    <store><name>A</name><city>H</city></store>
+    <store><name>B</name><city>H</city></store>
+    <store><name>C</name><city>H</city></store>
+  </db>)");
+  LabelId store = db.doc.labels().Find("store");
+  auto key = db.keys.KeyAttributeOf(store);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(db.doc.labels().Name(*key), "name");
+  const auto& candidates = db.keys.CandidatesOf(store);
+  ASSERT_GE(candidates.size(), 2u);
+  EXPECT_TRUE(candidates[0].strict);
+  EXPECT_EQ(candidates[0].distinct_ratio, 1.0);
+  // city: duplicated values -> not strict, ranked below.
+  EXPECT_FALSE(candidates[1].strict);
+}
+
+TEST(KeyMinerTest, DuplicateValuesDisqualifyStrictness) {
+  Loaded db = Load(R"(<db>
+    <store><name>A</name></store>
+    <store><name>A</name></store>
+  </db>)");
+  LabelId store = db.doc.labels().Find("store");
+  const auto& candidates = db.keys.CandidatesOf(store);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_FALSE(candidates[0].strict);
+  EXPECT_EQ(candidates[0].distinct_ratio, 0.5);
+}
+
+TEST(KeyMinerTest, MissingAttributeLowersCoverage) {
+  Loaded db = Load(R"(<db>
+    <store><name>A</name></store>
+    <store><city>H</city></store>
+  </db>)");
+  LabelId store = db.doc.labels().Find("store");
+  for (const auto& cand : db.keys.CandidatesOf(store)) {
+    EXPECT_FALSE(cand.strict);
+    EXPECT_EQ(cand.coverage, 0.5);
+  }
+}
+
+TEST(KeyMinerTest, RepeatedAttributeInOneInstanceDisqualifies) {
+  // A store with two <name> children: name repeats -> it is an entity, not
+  // an attribute there; but even when classified attribute elsewhere the
+  // many-count instance blocks strictness. Here name under the second store
+  // becomes a *-node by inference, so no candidate emerges at all.
+  Loaded db = Load(R"(<db>
+    <store><name>A</name></store>
+    <store><name>B</name><name>C</name></store>
+  </db>)");
+  LabelId store = db.doc.labels().Find("store");
+  auto key = db.keys.KeyAttributeOf(store);
+  EXPECT_FALSE(key.has_value());
+}
+
+TEST(KeyMinerTest, PositionBreaksTies) {
+  // Both id and code are strict keys; id comes first in the children order.
+  Loaded db = Load(R"(<db>
+    <item><id>1</id><code>x</code></item>
+    <item><id>2</id><code>y</code></item>
+  </db>)");
+  LabelId item = db.doc.labels().Find("item");
+  auto key = db.keys.KeyAttributeOf(item);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(db.doc.labels().Name(*key), "id");
+}
+
+TEST(KeyMinerTest, PerEntityLabelKeys) {
+  Loaded db = Load(R"(<db>
+    <movie><title>T1</title>
+      <cast><actor><name>N1</name><role>lead</role></actor>
+            <actor><name>N2</name><role>lead</role></actor></cast>
+    </movie>
+    <movie><title>T2</title>
+      <cast><actor><name>N3</name><role>lead</role></actor></cast>
+    </movie>
+  </db>)");
+  LabelId movie = db.doc.labels().Find("movie");
+  LabelId actor = db.doc.labels().Find("actor");
+  ASSERT_TRUE(db.keys.KeyAttributeOf(movie).has_value());
+  EXPECT_EQ(db.doc.labels().Name(*db.keys.KeyAttributeOf(movie)), "title");
+  ASSERT_TRUE(db.keys.KeyAttributeOf(actor).has_value());
+  EXPECT_EQ(db.doc.labels().Name(*db.keys.KeyAttributeOf(actor)), "name");
+  // role duplicates -> not the key.
+  EXPECT_EQ(db.keys.EntityLabels().size(), 2u);
+}
+
+TEST(KeyMinerTest, EntityWithNoAttributesHasNoKey) {
+  Loaded db = Load("<db><group><x><y>1</y></x></group><group><x><y>2</y></x></group></db>");
+  LabelId group = db.doc.labels().Find("group");
+  // group's only child x is connection-shaped (has element child).
+  EXPECT_FALSE(db.keys.KeyAttributeOf(group).has_value());
+  EXPECT_TRUE(db.keys.CandidatesOf(group).empty());
+}
+
+TEST(KeyMinerTest, NonEntityLabelHasNoKey) {
+  Loaded db = Load(R"(<db><s><name>A</name></s><s><name>B</name></s></db>)");
+  LabelId name = db.doc.labels().Find("name");
+  EXPECT_FALSE(db.keys.KeyAttributeOf(name).has_value());
+}
+
+}  // namespace
+}  // namespace extract

@@ -1,0 +1,116 @@
+#include "snippet/result_key.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/retailer_dataset.h"
+#include "datagen/stores_dataset.h"
+#include "search/search_engine.h"
+
+namespace extract {
+namespace {
+
+struct Ctx {
+  XmlDatabase db;
+  std::vector<QueryResult> results;
+  Query query;
+};
+
+Ctx RunQuery(std::string xml, const std::string& query_text) {
+  auto db = XmlDatabase::Load(xml);
+  EXPECT_TRUE(db.ok()) << db.status();
+  Query query = Query::Parse(query_text);
+  XSeekEngine engine;
+  auto results = engine.Search(*db, query);
+  EXPECT_TRUE(results.ok()) << results.status();
+  return Ctx{std::move(*db), std::move(*results), std::move(query)};
+}
+
+ResultKeyInfo KeyOf(const Ctx& ctx, const QueryResult& result) {
+  ReturnEntityInfo entity = IdentifyReturnEntity(
+      ctx.db.index(), ctx.db.classification(), ctx.query, result.root);
+  return IdentifyResultKey(ctx.db.index(), ctx.db.classification(),
+                           ctx.db.keys(), entity, result.root);
+}
+
+TEST(ResultKeyTest, PaperExampleBrookBrothers) {
+  // §2.2: "eXtract adds the value of the key attribute of retailer: Brook
+  // Brothers ... to IList".
+  Ctx ctx = RunQuery(GenerateRetailerXml(), "Texas apparel retailer");
+  ASSERT_EQ(ctx.results.size(), 1u);
+  ResultKeyInfo key = KeyOf(ctx, ctx.results[0]);
+  ASSERT_TRUE(key.found());
+  EXPECT_EQ(key.value, "Brook Brothers");
+  EXPECT_EQ(ctx.db.index().labels().Name(key.entity_label), "retailer");
+  EXPECT_EQ(ctx.db.index().labels().Name(key.attribute_label), "name");
+  EXPECT_TRUE(ctx.db.index().is_text(key.value_node));
+}
+
+TEST(ResultKeyTest, StoreKeysDistinguishDemoResults) {
+  // Figure 5: two results keyed "Levis" and "ESprit".
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  ASSERT_EQ(ctx.results.size(), 2u);
+  ResultKeyInfo k0 = KeyOf(ctx, ctx.results[0]);
+  ResultKeyInfo k1 = KeyOf(ctx, ctx.results[1]);
+  ASSERT_TRUE(k0.found());
+  ASSERT_TRUE(k1.found());
+  EXPECT_EQ(k0.value, "Levis");
+  EXPECT_EQ(k1.value, "ESprit");
+}
+
+TEST(ResultKeyTest, NotFoundWithoutReturnEntity) {
+  Ctx ctx = RunQuery("<a><b>hello</b></a>", "hello");
+  ASSERT_EQ(ctx.results.size(), 1u);
+  ResultKeyInfo key = KeyOf(ctx, ctx.results[0]);
+  EXPECT_FALSE(key.found());
+}
+
+TEST(ResultKeyTest, NotFoundWhenEntityHasNoAttributes) {
+  Ctx ctx = RunQuery(R"(<db>
+    <g><w><t>k1</t></w></g>
+    <g><w><t>k1</t></w></g>
+  </db>)",
+                "k1 g");
+  ASSERT_GE(ctx.results.size(), 1u);
+  ResultKeyInfo key = KeyOf(ctx, ctx.results[0]);
+  EXPECT_FALSE(key.found());
+}
+
+TEST(ResultKeyTest, UsesFirstInstanceInDocumentOrder) {
+  // Return entity "item" has two instances in the result; the key value
+  // comes from the first one.
+  Ctx ctx = RunQuery(R"(<db>
+    <group>
+      <item><id>first</id><v>k1</v></item>
+      <item><id>second</id><v>k1</v></item>
+    </group>
+    <group>
+      <item><id>third</id><v>other</v></item>
+    </group>
+  </db>)",
+                "item k1");
+  ASSERT_GE(ctx.results.size(), 1u);
+  ResultKeyInfo key = KeyOf(ctx, ctx.results[0]);
+  ASSERT_TRUE(key.found());
+  EXPECT_EQ(key.value, "first");
+}
+
+TEST(ResultKeyTest, MissingKeyAttributeOnInstanceFallsThrough) {
+  // The first return-entity instance lacks the mined key attribute (id);
+  // the key value is read off the next instance that has it.
+  Ctx ctx = RunQuery(R"(<db>
+    <items>
+      <item><v>k1</v></item>
+      <item><id>I2</id><v>k2</v></item>
+      <item><id>I3</id><v>k1</v></item>
+    </items>
+  </db>)",
+                "k1 k2");
+  ASSERT_EQ(ctx.results.size(), 1u);
+  ResultKeyInfo key = KeyOf(ctx, ctx.results[0]);
+  ASSERT_TRUE(key.found());
+  EXPECT_EQ(ctx.db.index().labels().Name(key.attribute_label), "id");
+  EXPECT_EQ(key.value, "I2");
+}
+
+}  // namespace
+}  // namespace extract

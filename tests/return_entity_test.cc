@@ -1,0 +1,151 @@
+#include "snippet/return_entity.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/retailer_dataset.h"
+#include "datagen/stores_dataset.h"
+
+namespace extract {
+namespace {
+
+struct Ctx {
+  XmlDatabase db;
+  std::vector<QueryResult> results;
+  Query query;
+};
+
+Ctx RunQuery(std::string xml, const std::string& query_text) {
+  auto db = XmlDatabase::Load(xml);
+  EXPECT_TRUE(db.ok()) << db.status();
+  Query query = Query::Parse(query_text);
+  XSeekEngine engine;
+  auto results = engine.Search(*db, query);
+  EXPECT_TRUE(results.ok()) << results.status();
+  return Ctx{std::move(*db), std::move(*results), std::move(query)};
+}
+
+TEST(ReturnEntityTest, PaperExampleNameMatch) {
+  // "Texas apparel retailer": entity retailer's name matches keyword
+  // "retailer" -> return entity, evidence kNameMatch (paper §2.2).
+  Ctx ctx = RunQuery(GenerateRetailerXml(), "Texas apparel retailer");
+  ASSERT_EQ(ctx.results.size(), 1u);
+  ReturnEntityInfo info =
+      IdentifyReturnEntity(ctx.db.index(), ctx.db.classification(), ctx.query,
+                           ctx.results[0].root);
+  ASSERT_TRUE(info.found());
+  EXPECT_EQ(ctx.db.index().labels().Name(info.label), "retailer");
+  EXPECT_EQ(info.evidence, ReturnEntityEvidence::kNameMatch);
+  EXPECT_EQ(info.instances.size(), 1u);
+}
+
+TEST(ReturnEntityTest, StoreTexasDemoQuery) {
+  // "store texas" (Figure 5): store's name matches "store".
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  ASSERT_GE(ctx.results.size(), 2u);
+  for (const QueryResult& r : ctx.results) {
+    ReturnEntityInfo info = IdentifyReturnEntity(
+        ctx.db.index(), ctx.db.classification(), ctx.query, r.root);
+    ASSERT_TRUE(info.found());
+    EXPECT_EQ(ctx.db.index().labels().Name(info.label), "store");
+    EXPECT_EQ(info.evidence, ReturnEntityEvidence::kNameMatch);
+  }
+}
+
+TEST(ReturnEntityTest, AttributeNameMatch) {
+  // Keyword matches the attribute name "director", not any entity name:
+  // movie is the return entity by attribute evidence.
+  Ctx ctx = RunQuery(R"(<db>
+    <movie><title>T1</title><director>Jane</director></movie>
+    <movie><title>T2</title><director>John</director></movie>
+  </db>)",
+                "director jane");
+  ASSERT_EQ(ctx.results.size(), 1u);
+  ReturnEntityInfo info = IdentifyReturnEntity(
+      ctx.db.index(), ctx.db.classification(), ctx.query, ctx.results[0].root);
+  ASSERT_TRUE(info.found());
+  EXPECT_EQ(ctx.db.index().labels().Name(info.label), "movie");
+  EXPECT_EQ(info.evidence, ReturnEntityEvidence::kAttributeMatch);
+}
+
+TEST(ReturnEntityTest, DefaultHighestEntity) {
+  // No entity/attribute name matches the keywords. "Houston" and "Austin"
+  // live in different stores, so the result is the whole retailer; the
+  // default return entity is the highest entity in it — retailer, not
+  // store/clothes.
+  Ctx ctx = RunQuery(GenerateRetailerXml(), "Houston Austin");
+  ASSERT_GE(ctx.results.size(), 1u);
+  EXPECT_EQ(ctx.db.index().label_name(ctx.results[0].root), "retailer");
+  ReturnEntityInfo info = IdentifyReturnEntity(
+      ctx.db.index(), ctx.db.classification(), ctx.query, ctx.results[0].root);
+  ASSERT_TRUE(info.found());
+  EXPECT_EQ(info.evidence, ReturnEntityEvidence::kDefaultHighest);
+  EXPECT_EQ(ctx.db.index().labels().Name(info.label), "retailer");
+}
+
+TEST(ReturnEntityTest, DefaultHighestWithinStoreResult) {
+  // "Houston casual" co-occurs inside single stores: each result is a
+  // store subtree, and the highest entity there is the store itself.
+  Ctx ctx = RunQuery(GenerateRetailerXml(), "Houston casual");
+  ASSERT_GE(ctx.results.size(), 1u);
+  EXPECT_EQ(ctx.db.index().label_name(ctx.results[0].root), "store");
+  ReturnEntityInfo info = IdentifyReturnEntity(
+      ctx.db.index(), ctx.db.classification(), ctx.query, ctx.results[0].root);
+  ASSERT_TRUE(info.found());
+  EXPECT_EQ(info.evidence, ReturnEntityEvidence::kDefaultHighest);
+  EXPECT_EQ(ctx.db.index().labels().Name(info.label), "store");
+}
+
+TEST(ReturnEntityTest, NameMatchPreferredOverAttributeMatch) {
+  // "store city": store matches by name; clothes would match nothing;
+  // the city attribute belongs to store anyway. Name evidence wins.
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store houston");
+  ASSERT_GE(ctx.results.size(), 1u);
+  ReturnEntityInfo info = IdentifyReturnEntity(
+      ctx.db.index(), ctx.db.classification(), ctx.query, ctx.results[0].root);
+  EXPECT_EQ(info.evidence, ReturnEntityEvidence::kNameMatch);
+  EXPECT_EQ(ctx.db.index().labels().Name(info.label), "store");
+}
+
+TEST(ReturnEntityTest, NoEntitiesYieldsNone) {
+  Ctx ctx = RunQuery("<a><b>hello</b></a>", "hello");
+  ASSERT_EQ(ctx.results.size(), 1u);
+  ReturnEntityInfo info = IdentifyReturnEntity(
+      ctx.db.index(), ctx.db.classification(), ctx.query, ctx.results[0].root);
+  EXPECT_FALSE(info.found());
+  EXPECT_EQ(info.evidence, ReturnEntityEvidence::kNone);
+}
+
+TEST(ReturnEntityTest, InstancesAreAllOccurrencesInResult) {
+  // Query matching the nested entity name: all clothes instances listed.
+  Ctx ctx = RunQuery(GenerateStoresXml(), "clothes texas");
+  ASSERT_GE(ctx.results.size(), 1u);
+  ReturnEntityInfo info = IdentifyReturnEntity(
+      ctx.db.index(), ctx.db.classification(), ctx.query, ctx.results[0].root);
+  ASSERT_TRUE(info.found());
+  EXPECT_EQ(ctx.db.index().labels().Name(info.label), "clothes");
+  EXPECT_GT(info.instances.size(), 5u);  // Levis carries 17 items
+  for (NodeId n : info.instances) {
+    EXPECT_TRUE(ctx.db.index().IsAncestorOrSelf(ctx.results[0].root, n));
+  }
+}
+
+TEST(ReturnEntityTest, TieOnDepthBreaksTowardDocumentOrder) {
+  // Keywords spread across branches force the result root to <db>; alpha
+  // and beta are entities at equal depth, neither matching a keyword, so
+  // the default picks the one first in document order.
+  Ctx ctx = RunQuery(R"(<db>
+    <alpha><x>k1</x></alpha><alpha><x>k1</x></alpha>
+    <beta><y>k2</y></beta><beta><y>k2</y></beta>
+  </db>)",
+                "k1 k2");
+  ASSERT_EQ(ctx.results.size(), 1u);
+  EXPECT_EQ(ctx.db.index().label_name(ctx.results[0].root), "db");
+  ReturnEntityInfo info = IdentifyReturnEntity(
+      ctx.db.index(), ctx.db.classification(), ctx.query, ctx.results[0].root);
+  ASSERT_TRUE(info.found());
+  EXPECT_EQ(info.evidence, ReturnEntityEvidence::kDefaultHighest);
+  EXPECT_EQ(ctx.db.index().labels().Name(info.label), "alpha");
+}
+
+}  // namespace
+}  // namespace extract

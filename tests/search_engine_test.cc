@@ -1,0 +1,176 @@
+#include "search/search_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/retailer_dataset.h"
+#include "search/result_builder.h"
+#include "xml/serializer.h"
+
+namespace extract {
+namespace {
+
+TEST(QueryTest, ParseTokenizesAndFolds) {
+  Query q = Query::Parse("Texas, apparel, Retailer");
+  EXPECT_EQ(q.keywords,
+            (std::vector<std::string>{"texas", "apparel", "retailer"}));
+  EXPECT_EQ(q.raw_keywords,
+            (std::vector<std::string>{"Texas", "apparel", "Retailer"}));
+  EXPECT_EQ(q.ToString(), "texas apparel retailer");
+}
+
+TEST(QueryTest, ParseEmpty) {
+  Query q = Query::Parse("  ,;  ");
+  EXPECT_TRUE(q.keywords.empty());
+}
+
+TEST(XmlDatabaseTest, LoadBuildsAllIndexes) {
+  auto db = XmlDatabase::Load(GenerateRetailerXml());
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_GT(db->index().num_nodes(), 1000u);
+  EXPECT_NE(db->dtd(), nullptr);
+  EXPECT_GT(db->inverted().vocabulary_size(), 10u);
+  EXPECT_FALSE(db->classification().entity_labels().empty());
+}
+
+TEST(XmlDatabaseTest, LoadRejectsMalformed) {
+  EXPECT_FALSE(XmlDatabase::Load("<a><b></a>").ok());
+  EXPECT_FALSE(XmlDatabase::Load("").ok());
+}
+
+TEST(MasterEntityTest, WalksUpToEntity) {
+  auto db = XmlDatabase::Load(R"(<db>
+    <store><name>A</name><info><city>H</city></info></store>
+    <store><name>B</name><info><city>H</city></info></store>
+  </db>)");
+  ASSERT_TRUE(db.ok());
+  const auto& doc = db->index();
+  // Find the first <city> and walk up: master entity is <store>.
+  NodeId city = kInvalidNode;
+  for (NodeId n = 0; n < static_cast<NodeId>(doc.num_nodes()); ++n) {
+    if (doc.is_element(n) && doc.label_name(n) == "city") {
+      city = n;
+      break;
+    }
+  }
+  ASSERT_NE(city, kInvalidNode);
+  NodeId master = MasterEntityOf(doc, db->classification(), city);
+  EXPECT_EQ(doc.label_name(master), "store");
+}
+
+TEST(MasterEntityTest, FallsBackToRoot) {
+  auto db = XmlDatabase::Load("<a><b>x</b></a>");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(MasterEntityOf(db->index(), db->classification(), 1),
+            db->index().root());
+}
+
+TEST(XSeekEngineTest, PaperQueryReturnsRetailerSubtree) {
+  auto db = XmlDatabase::Load(GenerateRetailerXml());
+  ASSERT_TRUE(db.ok());
+  XSeekEngine engine;
+  Query q = Query::Parse("Texas apparel retailer");
+  auto results = engine.Search(*db, q);
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results->size(), 1u);  // only Brook Brothers matches all three
+  const QueryResult& r = results->front();
+  EXPECT_EQ(db->index().label_name(r.root), "retailer");
+  // All three keywords have matches inside the result.
+  ASSERT_EQ(r.matches.size(), 3u);
+  for (const auto& m : r.matches) EXPECT_FALSE(m.empty());
+}
+
+TEST(XSeekEngineTest, MultipleMatchingRetailers) {
+  RetailerDatasetOptions options;
+  options.num_matching_retailers = 3;
+  auto db = XmlDatabase::Load(GenerateRetailerXml(options));
+  ASSERT_TRUE(db.ok());
+  XSeekEngine engine;
+  auto results = engine.Search(*db, Query::Parse("Texas apparel retailer"));
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 3u);
+  for (const QueryResult& r : *results) {
+    EXPECT_EQ(db->index().label_name(r.root), "retailer");
+  }
+}
+
+TEST(XSeekEngineTest, NoResultsForAbsentKeyword) {
+  auto db = XmlDatabase::Load(GenerateRetailerXml());
+  ASSERT_TRUE(db.ok());
+  XSeekEngine engine;
+  auto results = engine.Search(*db, Query::Parse("zebra apparel"));
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST(XSeekEngineTest, EmptyQueryIsInvalid) {
+  auto db = XmlDatabase::Load("<a>x</a>");
+  ASSERT_TRUE(db.ok());
+  XSeekEngine engine;
+  EXPECT_EQ(engine.Search(*db, Query{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(XSeekEngineTest, SlcaScopeReturnsSlcaItself) {
+  SearchOptions options;
+  options.scope = ResultScope::kSlcaSubtree;
+  XSeekEngine engine(options);
+  auto db = XmlDatabase::Load(R"(<db>
+    <store><name>A</name><state>texas</state></store>
+    <store><name>B</name><state>ohio</state></store>
+  </db>)");
+  ASSERT_TRUE(db.ok());
+  auto results = engine.Search(*db, Query::Parse("texas"));
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  // SLCA of a single-keyword query is the matching <state> element itself.
+  EXPECT_EQ(db->index().label_name(results->front().root), "state");
+}
+
+TEST(XSeekEngineTest, MaxResultsCap) {
+  SearchOptions options;
+  options.max_results = 1;
+  XSeekEngine engine(options);
+  RetailerDatasetOptions dataset;
+  dataset.num_matching_retailers = 3;
+  auto db = XmlDatabase::Load(GenerateRetailerXml(dataset));
+  ASSERT_TRUE(db.ok());
+  auto results = engine.Search(*db, Query::Parse("texas apparel retailer"));
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 1u);
+}
+
+TEST(XSeekEngineTest, ResultsComeInDocumentOrderWithoutOverlap) {
+  RetailerDatasetOptions dataset;
+  dataset.num_matching_retailers = 4;
+  auto db = XmlDatabase::Load(GenerateRetailerXml(dataset));
+  ASSERT_TRUE(db.ok());
+  XSeekEngine engine;
+  auto results = engine.Search(*db, Query::Parse("texas apparel"));
+  ASSERT_TRUE(results.ok());
+  for (size_t i = 1; i < results->size(); ++i) {
+    EXPECT_GE((*results)[i].root,
+              db->index().subtree_end((*results)[i - 1].root));
+  }
+}
+
+TEST(ResultBuilderTest, MaterializeSubtreeRoundTrips) {
+  auto db = XmlDatabase::Load("<a><b>t</b><c><d>u</d></c></a>");
+  ASSERT_TRUE(db.ok());
+  auto tree = MaterializeSubtree(db->index(), 0);
+  EXPECT_EQ(WriteXml(*tree), "<a><b>t</b><c><d>u</d></c></a>");
+  NodeId c = 3;
+  EXPECT_EQ(db->index().label_name(c), "c");
+  EXPECT_EQ(WriteXml(*MaterializeSubtree(db->index(), c)), "<c><d>u</d></c>");
+}
+
+TEST(ResultBuilderTest, MaterializeInducedTree) {
+  auto db = XmlDatabase::Load("<a><b>t</b><c><d>u</d></c></a>");
+  ASSERT_TRUE(db.ok());
+  // Select a, c, d (skip b subtree and d's text).
+  NodeId a = 0, c = 3, d = 4;
+  auto tree = MaterializeInducedTree(db->index(), a, {a, c, d});
+  EXPECT_EQ(WriteXml(*tree), "<a><c><d/></c></a>");
+}
+
+}  // namespace
+}  // namespace extract

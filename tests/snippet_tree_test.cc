@@ -1,0 +1,69 @@
+#include "snippet/snippet_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "search/search_engine.h"
+#include "xml/serializer.h"
+
+namespace extract {
+namespace {
+
+TEST(MaterializeSelectionTest, BuildsInducedTree) {
+  auto db = XmlDatabase::Load("<a><b>t</b><c><d>u</d></c></a>");
+  ASSERT_TRUE(db.ok());
+  // ids: 0:a 1:b 2:"t" 3:c 4:d 5:"u"
+  Selection selection;
+  selection.nodes = {0, 3, 4, 5};
+  auto tree = MaterializeSelection(db->index(), 0, selection);
+  EXPECT_EQ(WriteXml(*tree), "<a><c><d>u</d></c></a>");
+  EXPECT_EQ(tree->CountEdges(), 3u);
+}
+
+TEST(MaterializeSelectionTest, RootOnly) {
+  auto db = XmlDatabase::Load("<a><b>t</b></a>");
+  ASSERT_TRUE(db.ok());
+  Selection selection;
+  selection.nodes = {0};
+  auto tree = MaterializeSelection(db->index(), 0, selection);
+  EXPECT_EQ(WriteXml(*tree), "<a/>");
+}
+
+TEST(MaterializeSelectionTest, NonRootResult) {
+  auto db = XmlDatabase::Load("<a><b><x>1</x><y>2</y></b></a>");
+  ASSERT_TRUE(db.ok());
+  // Result rooted at <b> (id 1); select b, y, "2" (ids 1, 4, 5).
+  Selection selection;
+  selection.nodes = {1, 4, 5};
+  auto tree = MaterializeSelection(db->index(), 1, selection);
+  EXPECT_EQ(WriteXml(*tree), "<b><y>2</y></b>");
+}
+
+TEST(SnippetTest, EdgeAndCoverageCounts) {
+  Snippet snippet;
+  snippet.nodes = {0, 1, 2};
+  snippet.covered = {true, false, true, false};
+  EXPECT_EQ(snippet.edges(), 2u);
+  EXPECT_EQ(snippet.covered_count(), 2u);
+  Snippet empty;
+  EXPECT_EQ(empty.edges(), 0u);
+}
+
+TEST(SnippetTest, RenderEmptySnippet) {
+  Snippet snippet;
+  EXPECT_EQ(RenderSnippet(snippet), "(empty snippet)");
+}
+
+TEST(SnippetTest, RenderCoverageMarksItems) {
+  Snippet snippet;
+  IListItem a;
+  a.display = "Texas";
+  IListItem b;
+  b.display = "woman";
+  snippet.ilist.Add(a);
+  snippet.ilist.Add(b);
+  snippet.covered = {true, false};
+  EXPECT_EQ(RenderCoverage(snippet), "IList: Texas(+), woman(-)");
+}
+
+}  // namespace
+}  // namespace extract

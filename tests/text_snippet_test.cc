@@ -1,0 +1,101 @@
+#include "textsnippet/text_snippet.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/stores_dataset.h"
+#include "search/search_engine.h"
+
+namespace extract {
+namespace {
+
+struct Ctx {
+  XmlDatabase db;
+};
+
+Ctx Load(std::string xml) {
+  auto db = XmlDatabase::Load(std::move(xml));
+  EXPECT_TRUE(db.ok()) << db.status();
+  return Ctx{std::move(*db)};
+}
+
+TEST(TextSnippetTest, KeywordWindows) {
+  Ctx ctx = Load(
+      "<doc><p>one two three keyword four five six seven</p></doc>");
+  TextSnippetOptions options;
+  options.max_words = 5;
+  options.context_words = 2;
+  TextSnippet snippet = GenerateTextSnippet(ctx.db.index(), 0, {"keyword"},
+                                            options);
+  ASSERT_EQ(snippet.keyword_covered.size(), 1u);
+  EXPECT_TRUE(snippet.keyword_covered[0]);
+  EXPECT_EQ(snippet.words,
+            (std::vector<std::string>{"two", "three", "keyword", "four",
+                                      "five"}));
+  EXPECT_NE(snippet.text.find("keyword"), std::string::npos);
+  EXPECT_NE(snippet.text.find("..."), std::string::npos);
+}
+
+TEST(TextSnippetTest, BudgetRespected) {
+  Ctx ctx = Load(GenerateStoresXml());
+  for (size_t budget : {1u, 3u, 6u, 10u, 30u}) {
+    TextSnippetOptions options;
+    options.max_words = budget;
+    TextSnippet snippet = GenerateTextSnippet(ctx.db.index(), 0,
+                                              {"texas", "jeans"}, options);
+    EXPECT_LE(snippet.words.size(), budget);
+  }
+}
+
+TEST(TextSnippetTest, MissingKeywordNotCovered) {
+  Ctx ctx = Load("<doc><p>alpha beta</p></doc>");
+  TextSnippet snippet = GenerateTextSnippet(ctx.db.index(), 0,
+                                            {"alpha", "zebra"}, {});
+  EXPECT_TRUE(snippet.keyword_covered[0]);
+  EXPECT_FALSE(snippet.keyword_covered[1]);
+}
+
+TEST(TextSnippetTest, FillsBudgetWithLeadingWords) {
+  Ctx ctx = Load("<doc><p>one two three four</p></doc>");
+  TextSnippetOptions options;
+  options.max_words = 3;
+  TextSnippet snippet = GenerateTextSnippet(ctx.db.index(), 0, {}, options);
+  EXPECT_EQ(snippet.words,
+            (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST(TextSnippetTest, EmptySubtree) {
+  Ctx ctx = Load("<doc><p/></doc>");
+  TextSnippet snippet = GenerateTextSnippet(ctx.db.index(), 0, {"x"}, {});
+  EXPECT_TRUE(snippet.words.empty());
+  EXPECT_TRUE(snippet.text.empty());
+}
+
+TEST(TextSnippetTest, StructureBlindByDesign) {
+  // Tag names never appear: only values. ("Google is a text document search
+  // engine and ignores XML tags", paper §4.)
+  Ctx ctx = Load("<store><name>Levis</name></store>");
+  TextSnippet snippet = GenerateTextSnippet(ctx.db.index(), 0,
+                                            {"store", "levis"}, {});
+  EXPECT_FALSE(snippet.keyword_covered[0]);  // "store" is markup
+  EXPECT_TRUE(snippet.keyword_covered[1]);
+}
+
+TEST(CountCoveredTargetsTest, SingleTokensAndPhrases) {
+  TextSnippet snippet;
+  snippet.words = {"brook", "brothers", "apparel", "houston"};
+  EXPECT_EQ(CountCoveredTargets(snippet, {"apparel"}), 1u);
+  EXPECT_EQ(CountCoveredTargets(snippet, {"Brook Brothers"}), 1u);  // phrase
+  EXPECT_EQ(CountCoveredTargets(snippet, {"brothers brook"}), 0u);  // order
+  EXPECT_EQ(CountCoveredTargets(snippet, {"texas", "houston"}), 1u);
+  EXPECT_EQ(CountCoveredTargets(snippet, {}), 0u);
+  EXPECT_EQ(CountCoveredTargets(snippet, {""}), 0u);
+}
+
+TEST(CountCoveredTargetsTest, CaseInsensitiveViaTokenization) {
+  TextSnippet snippet;
+  snippet.words = {"houston"};
+  EXPECT_EQ(CountCoveredTargets(snippet, {"Houston"}), 1u);
+}
+
+}  // namespace
+}  // namespace extract

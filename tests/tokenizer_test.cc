@@ -1,0 +1,194 @@
+#include "xml/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace extract {
+namespace {
+
+// Drains the tokenizer, asserting no errors.
+std::vector<XmlToken> Drain(std::string_view input) {
+  XmlTokenizer tok(input);
+  std::vector<XmlToken> out;
+  for (;;) {
+    auto t = tok.Next();
+    EXPECT_TRUE(t.ok()) << t.status();
+    if (!t.ok() || t->type == XmlTokenType::kEndOfInput) break;
+    out.push_back(std::move(*t));
+  }
+  return out;
+}
+
+Status FirstError(std::string_view input) {
+  XmlTokenizer tok(input);
+  for (;;) {
+    auto t = tok.Next();
+    if (!t.ok()) return t.status();
+    if (t->type == XmlTokenType::kEndOfInput) return Status::OK();
+  }
+}
+
+TEST(TokenizerTest, SimpleElement) {
+  auto tokens = Drain("<a>hi</a>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, XmlTokenType::kStartElement);
+  EXPECT_EQ(tokens[0].name, "a");
+  EXPECT_FALSE(tokens[0].self_closing);
+  EXPECT_EQ(tokens[1].type, XmlTokenType::kText);
+  EXPECT_EQ(tokens[1].content, "hi");
+  EXPECT_EQ(tokens[2].type, XmlTokenType::kEndElement);
+  EXPECT_EQ(tokens[2].name, "a");
+}
+
+TEST(TokenizerTest, SelfClosingElement) {
+  auto tokens = Drain("<br/>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].self_closing);
+}
+
+TEST(TokenizerTest, SelfClosingWithSpace) {
+  auto tokens = Drain("<br />");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].self_closing);
+}
+
+TEST(TokenizerTest, Attributes) {
+  auto tokens = Drain(R"(<store name="Levis" open='yes'/>)");
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].attributes.size(), 2u);
+  EXPECT_EQ(tokens[0].attributes[0].name, "name");
+  EXPECT_EQ(tokens[0].attributes[0].value, "Levis");
+  EXPECT_EQ(tokens[0].attributes[1].name, "open");
+  EXPECT_EQ(tokens[0].attributes[1].value, "yes");
+}
+
+TEST(TokenizerTest, AttributeEntitiesResolved) {
+  auto tokens = Drain(R"(<a t="x &amp; y"/>)");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].attributes[0].value, "x & y");
+}
+
+TEST(TokenizerTest, TextEntitiesResolved) {
+  auto tokens = Drain("<a>1 &lt; 2</a>");
+  EXPECT_EQ(tokens[1].content, "1 < 2");
+}
+
+TEST(TokenizerTest, Comment) {
+  auto tokens = Drain("<a><!-- note --></a>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, XmlTokenType::kComment);
+  EXPECT_EQ(tokens[1].content, " note ");
+}
+
+TEST(TokenizerTest, CData) {
+  auto tokens = Drain("<a><![CDATA[<raw> & stuff]]></a>");
+  EXPECT_EQ(tokens[1].type, XmlTokenType::kCData);
+  EXPECT_EQ(tokens[1].content, "<raw> & stuff");
+}
+
+TEST(TokenizerTest, ProcessingInstruction) {
+  auto tokens = Drain("<?php echo 1; ?><a/>");
+  EXPECT_EQ(tokens[0].type, XmlTokenType::kProcessingInstruction);
+  EXPECT_EQ(tokens[0].name, "php");
+  EXPECT_EQ(tokens[0].content, "echo 1; ");
+}
+
+TEST(TokenizerTest, XmlDeclaration) {
+  auto tokens = Drain("<?xml version=\"1.0\"?><a/>");
+  EXPECT_EQ(tokens[0].type, XmlTokenType::kXmlDeclaration);
+}
+
+TEST(TokenizerTest, DoctypeWithoutSubset) {
+  auto tokens = Drain("<!DOCTYPE html><a/>");
+  EXPECT_EQ(tokens[0].type, XmlTokenType::kDoctype);
+  EXPECT_EQ(tokens[0].name, "html");
+  EXPECT_EQ(tokens[0].content, "");
+}
+
+TEST(TokenizerTest, DoctypeWithInternalSubset) {
+  auto tokens = Drain("<!DOCTYPE db [<!ELEMENT db (a*)>]><db/>");
+  EXPECT_EQ(tokens[0].type, XmlTokenType::kDoctype);
+  EXPECT_EQ(tokens[0].name, "db");
+  EXPECT_EQ(tokens[0].content, "<!ELEMENT db (a*)>");
+}
+
+TEST(TokenizerTest, DoctypeSubsetMayContainComments) {
+  auto tokens =
+      Drain("<!DOCTYPE db [<!-- [not a subset end] --><!ELEMENT db (a)>]><db/>");
+  EXPECT_EQ(tokens[0].content, "<!-- [not a subset end] --><!ELEMENT db (a)>");
+}
+
+TEST(TokenizerTest, DoctypeWithSystemLiteral) {
+  auto tokens = Drain("<!DOCTYPE db SYSTEM \"db.dtd\"><db/>");
+  EXPECT_EQ(tokens[0].type, XmlTokenType::kDoctype);
+  EXPECT_EQ(tokens[0].name, "db");
+}
+
+TEST(TokenizerTest, TracksLineNumbers) {
+  auto tokens = Drain("<a>\n  <b/>\n</a>");
+  // <a>, text("\n  "), <b/>, text("\n"), </a>
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[2].line, 2);
+  EXPECT_EQ(tokens[2].column, 3);
+  EXPECT_EQ(tokens[4].line, 3);
+}
+
+TEST(TokenizerTest, NamesAllowColonDashDot) {
+  auto tokens = Drain("<ns:a-b.c/>");
+  EXPECT_EQ(tokens[0].name, "ns:a-b.c");
+}
+
+// ------------------------------------------------------------- error paths
+
+TEST(TokenizerErrorTest, UnterminatedStartTag) {
+  EXPECT_EQ(FirstError("<a foo").code(), StatusCode::kParseError);
+}
+
+TEST(TokenizerErrorTest, MissingAttributeValue) {
+  EXPECT_EQ(FirstError("<a foo>").code(), StatusCode::kParseError);
+  EXPECT_EQ(FirstError("<a foo=>").code(), StatusCode::kParseError);
+  EXPECT_EQ(FirstError("<a foo=bar>").code(), StatusCode::kParseError);
+}
+
+TEST(TokenizerErrorTest, UnterminatedAttributeValue) {
+  EXPECT_EQ(FirstError("<a foo=\"x>").code(), StatusCode::kParseError);
+}
+
+TEST(TokenizerErrorTest, LtInAttributeValue) {
+  EXPECT_EQ(FirstError("<a foo=\"<\">").code(), StatusCode::kParseError);
+}
+
+TEST(TokenizerErrorTest, UnterminatedComment) {
+  EXPECT_EQ(FirstError("<a><!-- oops</a>").code(), StatusCode::kParseError);
+}
+
+TEST(TokenizerErrorTest, UnterminatedCData) {
+  EXPECT_EQ(FirstError("<a><![CDATA[x</a>").code(), StatusCode::kParseError);
+}
+
+TEST(TokenizerErrorTest, UnterminatedPi) {
+  EXPECT_EQ(FirstError("<?php echo").code(), StatusCode::kParseError);
+}
+
+TEST(TokenizerErrorTest, UnterminatedDoctype) {
+  EXPECT_EQ(FirstError("<!DOCTYPE db [<!ELEMENT db (a)>").code(),
+            StatusCode::kParseError);
+}
+
+TEST(TokenizerErrorTest, BadMarkupDeclaration) {
+  EXPECT_EQ(FirstError("<!BOGUS x>").code(), StatusCode::kParseError);
+}
+
+TEST(TokenizerErrorTest, BadEntityInText) {
+  EXPECT_EQ(FirstError("<a>&bogus;</a>").code(), StatusCode::kParseError);
+}
+
+TEST(TokenizerErrorTest, ErrorMessagesIncludePosition) {
+  Status s = FirstError("<a>\n<b foo></b></a>");
+  EXPECT_NE(s.message().find("line 2"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace extract

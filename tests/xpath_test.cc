@@ -1,0 +1,152 @@
+#include "xpath/xpath.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/retailer_dataset.h"
+#include "search/search_engine.h"
+#include "xml/parser.h"
+
+namespace extract {
+namespace {
+
+IndexedDocument MustBuild(std::string_view xml) {
+  auto doc = ParseXml(xml);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  auto idx = IndexedDocument::Build(**doc);
+  EXPECT_TRUE(idx.ok()) << idx.status();
+  return std::move(*idx);
+}
+
+constexpr std::string_view kXml = R"(<db>
+  <store><name>Levis</name><city>Houston</city></store>
+  <store><name>ESprit</name><city>Austin</city></store>
+  <misc><store><name>Nested</name></store></misc>
+</db>)";
+
+std::vector<std::string> Names(const IndexedDocument& doc,
+                               const std::vector<NodeId>& nodes) {
+  std::vector<std::string> out;
+  for (NodeId n : nodes) {
+    NodeId text = doc.sole_text_child(n);
+    out.push_back(text == kInvalidNode ? doc.label_name(n) : doc.text(text));
+  }
+  return out;
+}
+
+TEST(XPathTest, RootStep) {
+  IndexedDocument doc = MustBuild(kXml);
+  auto r = EvaluateXPath(doc, "/db");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (std::vector<NodeId>{0}));
+  auto miss = EvaluateXPath(doc, "/other");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->empty());
+}
+
+TEST(XPathTest, ChildAxis) {
+  IndexedDocument doc = MustBuild(kXml);
+  auto r = EvaluateXPath(doc, "/db/store/name");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(doc, *r), (std::vector<std::string>{"Levis", "ESprit"}));
+}
+
+TEST(XPathTest, DescendantAxis) {
+  IndexedDocument doc = MustBuild(kXml);
+  auto r = EvaluateXPath(doc, "//store/name");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(doc, *r),
+            (std::vector<std::string>{"Levis", "ESprit", "Nested"}));
+}
+
+TEST(XPathTest, DescendantAxisMidPath) {
+  IndexedDocument doc = MustBuild(kXml);
+  auto r = EvaluateXPath(doc, "/db//name");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(XPathTest, Wildcard) {
+  IndexedDocument doc = MustBuild(kXml);
+  auto r = EvaluateXPath(doc, "/db/*");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);  // store, store, misc
+  auto all = EvaluateXPath(doc, "//*");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), doc.num_elements());
+}
+
+TEST(XPathTest, PositionalPredicate) {
+  IndexedDocument doc = MustBuild(kXml);
+  auto r = EvaluateXPath(doc, "/db/store[2]/name");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(doc, *r), (std::vector<std::string>{"ESprit"}));
+  auto out_of_range = EvaluateXPath(doc, "/db/store[9]");
+  ASSERT_TRUE(out_of_range.ok());
+  EXPECT_TRUE(out_of_range->empty());
+}
+
+TEST(XPathTest, ChildEqualsPredicate) {
+  IndexedDocument doc = MustBuild(kXml);
+  auto r = EvaluateXPath(doc, "//store[name=\"Levis\"]/city");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(doc, *r), (std::vector<std::string>{"Houston"}));
+  auto none = EvaluateXPath(doc, "//store[name=\"Zara\"]");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(XPathTest, TextEqualsPredicate) {
+  IndexedDocument doc = MustBuild(kXml);
+  auto r = EvaluateXPath(doc, "//name[text()=\"Nested\"]");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(doc.label_name(r->front()), "name");
+}
+
+TEST(XPathTest, ChainedPredicates) {
+  IndexedDocument doc = MustBuild(kXml);
+  auto r = EvaluateXPath(doc, "//store[name=\"Levis\"][1]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(XPathTest, EvaluateFirst) {
+  IndexedDocument doc = MustBuild(kXml);
+  auto expr = XPathExpr::Parse("//store");
+  ASSERT_TRUE(expr.ok());
+  NodeId first = expr->EvaluateFirst(doc);
+  ASSERT_NE(first, kInvalidNode);
+  EXPECT_EQ(doc.label_name(first), "store");
+  auto none = XPathExpr::Parse("//zzz");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->EvaluateFirst(doc), kInvalidNode);
+}
+
+TEST(XPathTest, OnRetailerDataset) {
+  auto db = XmlDatabase::Load(GenerateRetailerXml());
+  ASSERT_TRUE(db.ok());
+  // Figure 1: 6 Houston stores in the Brook Brothers retailer (other
+  // generated retailers may add their own Houston stores).
+  auto houston = EvaluateXPath(
+      db->index(),
+      "/retailers/retailer[name=\"Brook Brothers\"]/store[city=\"Houston\"]");
+  ASSERT_TRUE(houston.ok());
+  EXPECT_EQ(houston->size(), 6u);
+  auto bb = EvaluateXPath(
+      db->index(), "/retailers/retailer[name=\"Brook Brothers\"]//clothes");
+  ASSERT_TRUE(bb.ok());
+  EXPECT_EQ(bb->size(), 1070u);  // Figure 1: 1070 clothes items
+}
+
+TEST(XPathErrorTest, BadSyntax) {
+  IndexedDocument doc = MustBuild("<a><b>x</b></a>");
+  for (const char* bad :
+       {"", "a/b", "/", "//", "/a[", "/a[0]", "/a[b=]", "/a[b=\"x]",
+        "/a[text(=\"x\")]", "/a/", "/a[]"}) {
+    auto r = EvaluateXPath(doc, bad);
+    EXPECT_FALSE(r.ok()) << "should reject: " << bad;
+  }
+}
+
+}  // namespace
+}  // namespace extract
