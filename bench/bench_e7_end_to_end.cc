@@ -1,16 +1,29 @@
 // E7 — end-to-end pipeline throughput vs document size, with per-phase
 // breakdown: parse+index (Data Analyzer / Index Builder), search (SLCA +
-// result scoping), snippet generation.
+// result scoping), snippet generation — now including the batch path
+// (SnippetService::GenerateBatch) sequential vs parallel.
 //
 // Expected shape: parse+index linear in document size and dominating; search
-// and snippets depend on posting-list/result sizes, far below load cost.
+// and snippets depend on posting-list/result sizes, far below load cost;
+// parallel batches approach sequential_time / cores on multi-core hosts.
+//
+// Besides the Google Benchmark tables on stdout, the binary writes
+// BENCH_e7.json to the working directory: wall-clock per pipeline stage and
+// batch throughput, machine-readable so later PRs can track the perf
+// trajectory.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "bench_util.h"
+#include "common/thread_pool.h"
 #include "datagen/random_xml.h"
 #include "datagen/workload.h"
-#include "snippet/pipeline.h"
+#include "snippet/snippet_service.h"
 
 namespace {
 
@@ -25,6 +38,23 @@ RandomXmlData MakeDoc(size_t entities_per_parent) {
   options.zipf_skew = 1.1;
   options.seed = 1234;
   return GenerateRandomXml(options);
+}
+
+// The search results of a generated workload, flattened into one batch per
+// query.
+std::vector<std::pair<Query, std::vector<QueryResult>>> MakeBatches(
+    const XmlDatabase& db, size_t num_queries) {
+  WorkloadOptions wopts;
+  wopts.num_queries = num_queries;
+  wopts.keywords_per_query = 2;
+  auto workload = GenerateWorkload(db, wopts);
+  XSeekEngine engine;
+  std::vector<std::pair<Query, std::vector<QueryResult>>> batches;
+  for (const Query& q : workload) {
+    auto results = engine.Search(db, q);
+    if (results.ok()) batches.emplace_back(q, std::move(*results));
+  }
+  return batches;
 }
 
 void BM_LoadDocument(benchmark::State& state) {
@@ -65,29 +95,21 @@ void BM_SearchWorkload(benchmark::State& state) {
 BENCHMARK(BM_SearchWorkload)->Arg(4)->Arg(8)->Arg(12)->Arg(20)
     ->Unit(benchmark::kMillisecond);
 
-void BM_SnippetsForWorkload(benchmark::State& state) {
+// The pre-refactor baseline: one Generate call per result, a fresh context
+// every time (no per-query reuse, no parallelism).
+void BM_SnippetsPerResult(benchmark::State& state) {
   RandomXmlData data = MakeDoc(static_cast<size_t>(state.range(0)));
   XmlDatabase db = bench::MustLoad(data.xml);
-  WorkloadOptions wopts;
-  wopts.num_queries = 8;
-  wopts.keywords_per_query = 2;
-  auto workload = GenerateWorkload(db, wopts);
-  XSeekEngine engine;
-  SnippetGenerator generator(&db);
+  auto batches = MakeBatches(db, 8);
+  SnippetService service(&db);
   SnippetOptions options;
   options.size_bound = 12;
-  // Pre-compute results; measure only snippet generation.
-  std::vector<std::pair<Query, std::vector<QueryResult>>> batches;
-  for (const Query& q : workload) {
-    auto results = engine.Search(db, q);
-    if (results.ok()) batches.emplace_back(q, std::move(*results));
-  }
   size_t snippets = 0;
   for (auto _ : state) {
     snippets = 0;
     for (const auto& [q, results] : batches) {
       for (const QueryResult& r : results) {
-        auto snippet = generator.Generate(q, r, options);
+        auto snippet = service.Generate(q, r, options);
         benchmark::DoNotOptimize(snippet);
         ++snippets;
       }
@@ -96,9 +118,147 @@ void BM_SnippetsForWorkload(benchmark::State& state) {
   state.counters["snippets_per_batch"] = static_cast<double>(snippets);
 }
 
-BENCHMARK(BM_SnippetsForWorkload)->Arg(4)->Arg(8)->Arg(12)
+BENCHMARK(BM_SnippetsPerResult)->Arg(4)->Arg(8)->Arg(12)
     ->Unit(benchmark::kMillisecond);
+
+// The batch path at a fixed thread count (Arg 1 = sequential).
+void BM_SnippetBatch(benchmark::State& state) {
+  RandomXmlData data = MakeDoc(8);
+  XmlDatabase db = bench::MustLoad(data.xml);
+  auto batches = MakeBatches(db, 8);
+  SnippetService service(&db);
+  SnippetOptions options;
+  options.size_bound = 12;
+  BatchOptions batch;
+  batch.num_threads = static_cast<size_t>(state.range(0));
+  size_t snippets = 0;
+  for (auto _ : state) {
+    snippets = 0;
+    for (const auto& [q, results] : batches) {
+      auto generated = service.GenerateBatch(q, results, options, batch);
+      benchmark::DoNotOptimize(generated);
+      if (generated.ok()) snippets += generated->size();
+    }
+  }
+  state.counters["snippets_per_batch"] = static_cast<double>(snippets);
+}
+
+BENCHMARK(BM_SnippetBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// BENCH_e7.json: per-stage wall clock and batch throughput.
+
+void WriteBenchJson(const std::string& path) {
+  RandomXmlData data = MakeDoc(8);
+
+  double load_us = bench::MeasureMicros([&] {
+    auto db = XmlDatabase::Load(data.xml);
+    benchmark::DoNotOptimize(db);
+  });
+  XmlDatabase db = bench::MustLoad(data.xml);
+
+  auto batches = MakeBatches(db, 8);
+  size_t total_results = 0;
+  for (const auto& [q, results] : batches) total_results += results.size();
+  XSeekEngine engine;
+  double search_us = bench::MeasureMicros([&] {
+    for (const auto& [q, results] : batches) {
+      auto r = engine.Search(db, q);
+      benchmark::DoNotOptimize(r);
+    }
+  });
+
+  SnippetService service(&db);
+  SnippetOptions options;
+  options.size_bound = 12;
+
+  // Per-stage wall clock: run every result through the stage sequence with
+  // a fresh context per measurement pass, timing each stage.
+  std::vector<double> stage_us(service.stages().size(), 0.0);
+  for (const auto& [q, results] : batches) {
+    SnippetContext ctx(&db, q);
+    for (const QueryResult& r : results) {
+      SnippetDraft draft;
+      draft.result = &r;
+      for (size_t s = 0; s < service.stages().size(); ++s) {
+        auto start = std::chrono::steady_clock::now();
+        Status status = service.stages()[s]->Run(ctx, options, draft);
+        auto end = std::chrono::steady_clock::now();
+        stage_us[s] +=
+            std::chrono::duration_cast<
+                std::chrono::duration<double, std::micro>>(end - start)
+                .count();
+        if (!status.ok()) {
+          std::fprintf(stderr, "stage %s failed: %s\n",
+                       std::string(service.stages()[s]->name()).c_str(),
+                       status.ToString().c_str());
+          return;
+        }
+      }
+    }
+  }
+
+  auto run_batches = [&](size_t threads) {
+    BatchOptions batch;
+    batch.num_threads = threads;
+    for (const auto& [q, results] : batches) {
+      auto generated = service.GenerateBatch(q, results, options, batch);
+      benchmark::DoNotOptimize(generated);
+    }
+  };
+  double sequential_us = bench::MeasureMicros([&] { run_batches(1); });
+  size_t hardware = ThreadPool::HardwareThreads();
+  double parallel_us = bench::MeasureMicros([&] { run_batches(hardware); });
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("experiment").Value(std::string("e7_end_to_end"));
+  json.Key("doc").BeginObject();
+  json.Key("xml_bytes").Value(data.xml.size());
+  json.Key("elements").Value(data.approx_elements);
+  json.EndObject();
+  json.Key("load_us").Value(load_us);
+  json.Key("search_us").Value(search_us);
+  json.Key("queries").Value(batches.size());
+  json.Key("results").Value(total_results);
+  json.Key("stages").BeginArray();
+  for (size_t s = 0; s < service.stages().size(); ++s) {
+    json.BeginObject();
+    json.Key("name").Value(std::string(service.stages()[s]->name()));
+    json.Key("us").Value(stage_us[s]);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("batch").BeginObject();
+  json.Key("snippets").Value(total_results);
+  json.Key("hardware_threads").Value(hardware);
+  json.Key("sequential_us").Value(sequential_us);
+  json.Key("parallel_us").Value(parallel_us);
+  auto per_second = [&](double us) {
+    return us > 0.0 ? total_results / (us / 1e6) : 0.0;
+  };
+  json.Key("sequential_snippets_per_s").Value(per_second(sequential_us));
+  json.Key("parallel_snippets_per_s").Value(per_second(parallel_us));
+  json.Key("speedup").Value(parallel_us > 0.0 ? sequential_us / parallel_us
+                                              : 0.0);
+  json.EndObject();
+  json.EndObject();
+
+  if (json.WriteFile(path)) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  WriteBenchJson("BENCH_e7.json");
+  return 0;
+}

@@ -1,12 +1,17 @@
-// Shared helpers for the experiment binaries: wall-clock measurement and
-// dataset construction shortcuts.
+// Shared helpers for the experiment binaries: wall-clock measurement,
+// dataset construction shortcuts and a minimal JSON emitter for
+// machine-readable experiment outputs (BENCH_*.json).
 
 #ifndef EXTRACT_BENCH_BENCH_UTIL_H_
 #define EXTRACT_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <functional>
+#include <iomanip>
+#include <sstream>
 #include <string>
 
 #include "search/search_engine.h"
@@ -39,6 +44,90 @@ inline XmlDatabase MustLoad(const std::string& xml) {
   }
   return std::move(*db);
 }
+
+/// \brief Minimal JSON object/array writer for experiment outputs. Handles
+/// exactly what the BENCH_*.json files need: nested objects, arrays,
+/// numbers, strings. Not a general-purpose serializer.
+class JsonWriter {
+ public:
+  JsonWriter() { out_ << std::setprecision(15); }
+
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  JsonWriter& Key(const std::string& name) {
+    Separate();
+    out_ << '"' << Escaped(name) << "\":";
+    just_keyed_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(double v) {
+    Separate();
+    // inf/nan are not JSON tokens; emit null so the file stays parseable.
+    if (std::isfinite(v)) {
+      out_ << v;
+    } else {
+      out_ << "null";
+    }
+    return *this;
+  }
+  JsonWriter& Value(size_t v) {
+    Separate();
+    out_ << v;
+    return *this;
+  }
+  JsonWriter& Value(const std::string& v) {
+    Separate();
+    out_ << '"' << Escaped(v) << '"';
+    return *this;
+  }
+
+  std::string str() const { return out_.str(); }
+
+  /// Writes the document to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << out_.str() << "\n";
+    return f.good();
+  }
+
+ private:
+  JsonWriter& Open(char c) {
+    Separate();
+    out_ << c;
+    need_comma_ = false;
+    return *this;
+  }
+  JsonWriter& Close(char c) {
+    out_ << c;
+    need_comma_ = true;
+    return *this;
+  }
+  void Separate() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      return;
+    }
+    if (need_comma_) out_ << ',';
+    need_comma_ = true;
+  }
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::ostringstream out_;
+  bool need_comma_ = false;
+  bool just_keyed_ = false;
+};
 
 }  // namespace bench
 }  // namespace extract

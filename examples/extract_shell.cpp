@@ -128,15 +128,30 @@ void CmdQueryAll(ShellState* state, const std::string& text) {
   }
   std::printf("%zu hit(s) across %zu data set(s)\n", hits->size(),
               state->corpus.size());
-  size_t rank = 1;
-  for (const CorpusResult& hit : *hits) {
+  // One parallel batch over the merged page: hits of the same document
+  // share a snippet context, output order matches the ranked hits.
+  SnippetOptions options;
+  options.size_bound = state->bound;
+  auto snippets = state->corpus.GenerateSnippets(query, *hits, options);
+  if (snippets.ok()) {
+    for (size_t i = 0; i < hits->size(); ++i) {
+      const CorpusResult& hit = (*hits)[i];
+      std::printf("\n[%zu] %s (score %.2f)\n%s", i + 1, hit.document.c_str(),
+                  hit.score, RenderSnippet((*snippets)[i]).c_str());
+    }
+    return;
+  }
+  // A bad hit fails the whole batch (the Status names it); degrade to
+  // per-hit generation so the surviving hits still render.
+  std::printf("error: %s\n", snippets.status().ToString().c_str());
+  for (size_t i = 0; i < hits->size(); ++i) {
+    const CorpusResult& hit = (*hits)[i];
     const XmlDatabase* db = state->corpus.Find(hit.document);
-    SnippetGenerator generator(db);
-    SnippetOptions options;
-    options.size_bound = state->bound;
-    auto snippet = generator.Generate(query, hit.result, options);
+    if (db == nullptr) continue;
+    SnippetService service(db);
+    auto snippet = service.Generate(query, hit.result, options);
     if (!snippet.ok()) continue;
-    std::printf("\n[%zu] %s (score %.2f)\n%s", rank++, hit.document.c_str(),
+    std::printf("\n[%zu] %s (score %.2f)\n%s", i + 1, hit.document.c_str(),
                 hit.score, RenderSnippet(*snippet).c_str());
   }
 }

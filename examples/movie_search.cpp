@@ -9,9 +9,12 @@
 #include <cstring>
 #include <string>
 
+#include <algorithm>
+#include <vector>
+
 #include "datagen/movies_dataset.h"
 #include "search/search_engine.h"
-#include "snippet/pipeline.h"
+#include "snippet/snippet_service.h"
 
 int main(int argc, char** argv) {
   size_t size_bound = 10;
@@ -45,18 +48,25 @@ int main(int argc, char** argv) {
   std::printf("query: \"%s\"  — %zu result(s), snippet bound %zu\n\n",
               query.ToString().c_str(), results->size(), size_bound);
 
-  extract::SnippetGenerator generator(&*db);
+  // Generate the first page of snippets as one parallel batch.
+  std::vector<extract::QueryResult> page(
+      results->begin(),
+      results->begin() + std::min<size_t>(5, results->size()));
+  extract::SnippetService service(&*db);
   extract::SnippetOptions options;
   options.size_bound = size_bound;
-  size_t shown = 0;
-  for (const extract::QueryResult& result : *results) {
-    if (shown++ == 5) {
-      std::printf("... (%zu more results)\n", results->size() - 5);
-      break;
-    }
-    auto snippet = generator.Generate(query, result, options);
-    if (!snippet.ok()) continue;
-    std::printf("%s\n", extract::RenderSnippet(*snippet).c_str());
+  auto snippets =
+      service.GenerateBatch(query, page, options, extract::BatchOptions{});
+  if (!snippets.ok()) {
+    std::fprintf(stderr, "snippets failed: %s\n",
+                 snippets.status().ToString().c_str());
+    return 1;
+  }
+  for (const extract::Snippet& snippet : *snippets) {
+    std::printf("%s\n", extract::RenderSnippet(snippet).c_str());
+  }
+  if (results->size() > page.size()) {
+    std::printf("... (%zu more results)\n", results->size() - page.size());
   }
   return 0;
 }

@@ -8,7 +8,7 @@
 
 #include "search/result_builder.h"
 #include "search/search_engine.h"
-#include "snippet/pipeline.h"
+#include "snippet/snippet_service.h"
 #include "xml/serializer.h"
 
 int main() {
@@ -61,20 +61,25 @@ int main() {
   std::printf("query: %s  — %zu result(s)\n\n", query.ToString().c_str(),
               results->size());
 
-  // 3. Snippets: size-bounded summaries of each result.
-  extract::SnippetGenerator generator(&*db);
+  // 3. Snippets: size-bounded summaries of every result, generated as one
+  //    batch. The SnippetContext shares the per-query work across results
+  //    and the batch runs in parallel (one worker per core by default) with
+  //    deterministic output ordering.
+  extract::SnippetService service(&*db);
+  extract::SnippetContext ctx(&*db, query);
   extract::SnippetOptions options;
   options.size_bound = 8;
-  for (const extract::QueryResult& result : *results) {
-    auto snippet = generator.Generate(query, result, options);
-    if (!snippet.ok()) {
-      std::fprintf(stderr, "snippet failed: %s\n",
-                   snippet.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("IList: %s\n", snippet->ilist.ToString().c_str());
-    std::printf("snippet (%zu edges <= %zu):\n%s\n", snippet->edges(),
-                options.size_bound, extract::RenderSnippet(*snippet).c_str());
+  auto snippets = service.GenerateBatch(ctx, *results, options,
+                                        extract::BatchOptions{});
+  if (!snippets.ok()) {
+    std::fprintf(stderr, "snippets failed: %s\n",
+                 snippets.status().ToString().c_str());
+    return 1;
+  }
+  for (const extract::Snippet& snippet : *snippets) {
+    std::printf("IList: %s\n", snippet.ilist.ToString().c_str());
+    std::printf("snippet (%zu edges <= %zu):\n%s\n", snippet.edges(),
+                options.size_bound, extract::RenderSnippet(snippet).c_str());
   }
   return 0;
 }

@@ -6,12 +6,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "datagen/retailer_dataset.h"
 #include "schema/schema_summary.h"
 #include "search/search_engine.h"
 #include "snippet/feature_statistics.h"
-#include "snippet/pipeline.h"
+#include "snippet/snippet_service.h"
 
 int main(int argc, char** argv) {
   size_t size_bound = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 21;
@@ -37,17 +38,26 @@ int main(int argc, char** argv) {
   }
   const extract::QueryResult& result = results->front();
 
+  // The stage pipeline (paper Figure 4), shared per-query state in a
+  // SnippetContext. The Figure 1 statistics come out of the same context
+  // the pipeline uses — computed once, reused below.
+  extract::SnippetService service(&*db);
+  extract::SnippetContext ctx(&*db, query);
+  std::printf("=== Figure 4: pipeline stages ===\n");
+  for (const auto& stage : service.stages()) {
+    std::printf("  %s\n", std::string(stage->name()).c_str());
+  }
+  std::printf("\n");
+
   // Figure 1 (right portion): value occurrence statistics.
-  extract::FeatureStatistics stats = extract::FeatureStatistics::Compute(
-      db->index(), db->classification(), result.root);
+  const extract::FeatureStatistics& stats = ctx.StatisticsFor(result.root);
   std::printf("=== Figure 1: statistics of the query result ===\n%s\n",
               stats.Render(db->index().labels(), /*min_occurrences=*/4).c_str());
 
   // Figure 3: the IList; Figure 2: the snippet.
-  extract::SnippetGenerator generator(&*db);
   extract::SnippetOptions options;
   options.size_bound = size_bound;
-  auto snippet = generator.Generate(query, result, options);
+  auto snippet = service.Generate(ctx, result, options);
   if (!snippet.ok()) {
     std::fprintf(stderr, "snippet failed: %s\n",
                  snippet.status().ToString().c_str());

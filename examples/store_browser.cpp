@@ -13,7 +13,7 @@
 #include "datagen/stores_dataset.h"
 #include "search/result_builder.h"
 #include "search/search_engine.h"
-#include "snippet/pipeline.h"
+#include "snippet/snippet_service.h"
 #include "textsnippet/text_snippet.h"
 #include "xml/serializer.h"
 
@@ -46,30 +46,33 @@ int main(int argc, char** argv) {
   std::printf("query: \"%s\"   snippet size bound: %zu   results: %zu\n\n",
               query.ToString().c_str(), size_bound, results->size());
 
-  extract::SnippetGenerator generator(&*db);
+  // One parallel batch over all results; the page order matches the
+  // result order.
+  extract::SnippetService service(&*db);
   extract::SnippetOptions options;
   options.size_bound = size_bound;
+  auto snippets =
+      service.GenerateBatch(query, *results, options, extract::BatchOptions{});
+  if (!snippets.ok()) {
+    std::fprintf(stderr, "snippets failed: %s\n",
+                 snippets.status().ToString().c_str());
+    return 1;
+  }
 
-  size_t rank = 1;
-  for (const extract::QueryResult& result : *results) {
-    auto snippet = generator.Generate(query, result, options);
-    if (!snippet.ok()) {
-      std::fprintf(stderr, "snippet failed: %s\n",
-                   snippet.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("--- result %zu", rank++);
-    if (snippet->key.found()) {
-      std::printf("  [key: %s]", snippet->key.value.c_str());
+  for (size_t i = 0; i < snippets->size(); ++i) {
+    const extract::Snippet& snippet = (*snippets)[i];
+    std::printf("--- result %zu", i + 1);
+    if (snippet.key.found()) {
+      std::printf("  [key: %s]", snippet.key.value.c_str());
     }
     std::printf(" ---\n");
-    std::printf("eXtract snippet (%zu edges):\n%s\n", snippet->edges(),
-                extract::RenderSnippet(*snippet).c_str());
+    std::printf("eXtract snippet (%zu edges):\n%s\n", snippet.edges(),
+                extract::RenderSnippet(snippet).c_str());
 
     extract::TextSnippetOptions text_options;
     text_options.max_words = size_bound;
     extract::TextSnippet text = extract::GenerateTextSnippet(
-        db->index(), result.root, query.keywords, text_options);
+        db->index(), (*results)[i].root, query.keywords, text_options);
     std::printf("text-engine baseline: %s\n\n", text.text.c_str());
   }
   return 0;

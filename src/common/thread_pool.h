@@ -1,0 +1,72 @@
+// A small fixed-size thread pool plus a ParallelFor helper, the concurrency
+// substrate of batch snippet generation (snippet/snippet_service.h) and any
+// future sharded/batched serving path.
+//
+// Design constraints, in keeping with the rest of the library:
+//   * exception-free — tasks are plain std::function<void()>; fallible work
+//     communicates through Status values captured by the closure;
+//   * deterministic call sites — ParallelFor(n, fn) invokes fn(i) exactly
+//     once for every i in [0, n); callers write results into pre-sized
+//     slots, so output ordering never depends on scheduling.
+
+#ifndef EXTRACT_COMMON_THREAD_POOL_H_
+#define EXTRACT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace extract {
+
+/// \brief Fixed-size worker pool. Threads start in the constructor and join
+/// in the destructor; Submit never blocks (the queue is unbounded).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a floor of 1 (it reports 0 on
+  /// some platforms).
+  static size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< queue non-empty or stopping
+  std::condition_variable idle_cv_;  ///< queue empty and nothing in flight
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// \brief Invokes fn(i) for every i in [0, n), using up to `num_threads`
+/// workers (0 = one per hardware core). With one effective worker — or
+/// n <= 1 — runs inline on the calling thread, with no pool construction.
+///
+/// Indices are handed out dynamically (an atomic cursor), so uneven
+/// per-index cost balances across workers. fn must be safe to call
+/// concurrently from multiple threads for distinct i.
+void ParallelFor(size_t n, size_t num_threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace extract
+
+#endif  // EXTRACT_COMMON_THREAD_POOL_H_

@@ -1,6 +1,11 @@
 #include "search/corpus.h"
 
 #include <algorithm>
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "snippet/snippet_context.h"
+#include "snippet/snippet_service.h"
 
 namespace extract {
 
@@ -58,6 +63,62 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
                      if (a.document != b.document) return a.document < b.document;
                      return a.result.root < b.result.root;
                    });
+  return out;
+}
+
+Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
+    const Query& query, const std::vector<CorpusResult>& corpus_results,
+    const SnippetOptions& options) const {
+  return GenerateSnippets(query, corpus_results, options, BatchOptions{});
+}
+
+Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
+    const Query& query, const std::vector<CorpusResult>& corpus_results,
+    const SnippetOptions& options, const BatchOptions& batch) const {
+  const size_t n = corpus_results.size();
+
+  // One service + context per distinct document, shared by all its hits.
+  // Resolve every document up front so an unknown name fails before any
+  // generation work starts.
+  struct PerDocument {
+    SnippetService service;
+    SnippetContext context;
+    PerDocument(const XmlDatabase* db, const Query& query)
+        : service(db), context(db, query) {}
+  };
+  std::map<std::string, std::unique_ptr<PerDocument>, std::less<>> documents;
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& name = corpus_results[i].document;
+    if (documents.find(name) != documents.end()) continue;
+    const XmlDatabase* db = Find(name);
+    if (db == nullptr) {
+      return MakeBatchResultError(
+          i, n, "", Status::NotFound("unknown document '" + name + "'"));
+    }
+    documents.emplace(name, std::make_unique<PerDocument>(db, query));
+  }
+
+  // Every hit generates into its own slot: deterministic ordering, and the
+  // contexts' memoization is thread-safe, so scheduling only changes cost.
+  std::vector<Snippet> out(n);
+  std::vector<Status> statuses(n);
+  ParallelFor(n, batch.num_threads, [&](size_t i) {
+    PerDocument& doc = *documents.find(corpus_results[i].document)->second;
+    Result<Snippet> snippet =
+        doc.service.Generate(doc.context, corpus_results[i].result, options);
+    if (snippet.ok()) {
+      out[i] = std::move(*snippet);
+    } else {
+      statuses[i] = snippet.status();
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) {
+      return MakeBatchResultError(
+          i, n, " (document '" + corpus_results[i].document + "')",
+          statuses[i]);
+    }
+  }
   return out;
 }
 

@@ -1,7 +1,8 @@
 // Multi-document corpus: the demo UI lets users pick among several XML
 // data sets (movies, stores, ...) and query whichever is selected; a full
-// deployment searches across all of them. XmlCorpus owns named databases
-// and merges cross-document search results by ranking score.
+// deployment searches across all of them. XmlCorpus owns named databases,
+// merges cross-document search results by ranking score, and serves
+// snippets for merged result pages in parallel (GenerateSnippets).
 
 #ifndef EXTRACT_SEARCH_CORPUS_H_
 #define EXTRACT_SEARCH_CORPUS_H_
@@ -13,6 +14,8 @@
 
 #include "search/ranking.h"
 #include "search/search_engine.h"
+#include "snippet/snippet_options.h"
+#include "snippet/snippet_tree.h"
 
 namespace extract {
 
@@ -50,6 +53,22 @@ class XmlCorpus {
       const RankingOptions& ranking) const;
   Result<std::vector<CorpusResult>> SearchAll(const Query& query,
                                               const SearchEngine& engine) const;
+
+  /// \brief Generates one snippet per merged hit — the serving path for a
+  /// cross-corpus result page.
+  ///
+  /// Hits of the same document share one SnippetContext (statistics,
+  /// entity/key and instance scans are computed once per result), and the
+  /// batch runs in parallel per `batch` with deterministic ordering:
+  /// output i corresponds to corpus_results[i], byte-identical to the
+  /// sequential path. Fails with the hit's index and document name if a
+  /// hit references an unknown document or an invalid result.
+  Result<std::vector<Snippet>> GenerateSnippets(
+      const Query& query, const std::vector<CorpusResult>& corpus_results,
+      const SnippetOptions& options, const BatchOptions& batch) const;
+  Result<std::vector<Snippet>> GenerateSnippets(
+      const Query& query, const std::vector<CorpusResult>& corpus_results,
+      const SnippetOptions& options) const;
 
  private:
   std::map<std::string, XmlDatabase, std::less<>> databases_;

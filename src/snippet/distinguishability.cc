@@ -6,6 +6,8 @@
 
 #include "common/string_util.h"
 #include "snippet/feature_statistics.h"
+#include "snippet/snippet_context.h"
+#include "snippet/snippet_service.h"
 
 namespace extract {
 
@@ -60,81 +62,50 @@ Result<std::vector<Snippet>> GenerateDiverseSnippets(
     const std::vector<QueryResult>& results, const SnippetOptions& options,
     const DiversifyOptions& diversify) {
   const IndexedDocument& doc = db.index();
-  const NodeClassification& classification = db.classification();
   const size_t R = results.size();
 
+  SnippetService service(&db);
+  SnippetContext ctx(&db, query);
+
   // Phase 1: per-result analysis (statistics, return entity, key, dominant
-  // features under the paper's ranking).
-  struct PerResult {
-    ReturnEntityInfo return_entity;
-    ResultKeyInfo key;
-    std::vector<RankedFeature> features;
-  };
-  std::vector<PerResult> analysis;
-  analysis.reserve(R);
+  // features under the paper's ranking) through the shared context, so the
+  // phase 2 pipeline runs reuse every scan.
+  std::vector<std::vector<RankedFeature>> features(R);
   std::map<Feature, size_t> feature_result_count;
-  for (const QueryResult& result : results) {
-    if (result.root == kInvalidNode ||
-        static_cast<size_t>(result.root) >= doc.num_nodes()) {
+  for (size_t r = 0; r < R; ++r) {
+    if (results[r].root == kInvalidNode ||
+        static_cast<size_t>(results[r].root) >= doc.num_nodes()) {
       return Status::InvalidArgument("query result root is not a valid node");
     }
-    PerResult per;
-    FeatureStatistics stats =
-        FeatureStatistics::Compute(doc, classification, result.root);
-    per.return_entity =
-        IdentifyReturnEntity(doc, classification, query, result.root);
-    per.key = IdentifyResultKey(doc, classification, db.keys(),
-                                per.return_entity, result.root);
-    per.features = IdentifyDominantFeatures(stats, options.features);
-    for (const RankedFeature& rf : per.features) {
+    const FeatureStatistics& stats = ctx.StatisticsFor(results[r].root);
+    features[r] = IdentifyDominantFeatures(stats, options.features);
+    for (const RankedFeature& rf : features[r]) {
       feature_result_count[rf.feature]++;
     }
-    analysis.push_back(std::move(per));
   }
 
-  // Phase 2: re-weight features by how many results share them, then
-  // rebuild each IList and run instance selection as usual.
+  // Phase 2: re-weight features by how many results share them, then run
+  // the stage pipeline with the re-ranked features supplied externally.
   std::vector<Snippet> out;
   out.reserve(R);
   for (size_t r = 0; r < R; ++r) {
-    const QueryResult& result = results[r];
-    PerResult& per = analysis[r];
     if (R > 1 && diversify.commonality_penalty > 0.0) {
-      for (RankedFeature& rf : per.features) {
+      for (RankedFeature& rf : features[r]) {
         size_t shared = feature_result_count[rf.feature];
         double boost = 1.0 + diversify.commonality_penalty *
                                  static_cast<double>(R - shared) /
                                  static_cast<double>(std::max<size_t>(1, R - 1));
         rf.score *= boost;
       }
-      std::stable_sort(per.features.begin(), per.features.end(),
+      std::stable_sort(features[r].begin(), features[r].end(),
                        [](const RankedFeature& a, const RankedFeature& b) {
                          return a.score > b.score;
                        });
     }
-
     Snippet snippet;
-    snippet.result_root = result.root;
-    snippet.return_entity = per.return_entity;
-    snippet.key = per.key;
-    snippet.ilist =
-        BuildIListWithFeatures(doc, query, result.root, per.return_entity,
-                               per.key, per.features, classification);
-    std::vector<ItemInstances> instances =
-        FindItemInstances(doc, classification, result.root, snippet.ilist,
-                          db.analyzer());
-    SelectorOptions selector_options;
-    selector_options.size_bound = options.size_bound;
-    selector_options.stop_on_first_overflow = options.stop_on_first_overflow;
-    Selection selection =
-        options.use_exact_selector
-            ? SelectInstancesExact(doc, result.root, instances,
-                                   selector_options)
-            : SelectInstancesGreedy(doc, result.root, instances,
-                                    selector_options);
-    snippet.nodes = selection.nodes;
-    snippet.covered = selection.covered;
-    snippet.tree = MaterializeSelection(doc, result.root, selection);
+    EXTRACT_ASSIGN_OR_RETURN(
+        snippet,
+        service.GenerateWithFeatures(ctx, results[r], options, features[r]));
     out.push_back(std::move(snippet));
   }
   return out;

@@ -22,9 +22,6 @@ std::vector<ItemInstances> FindItemInstances(
 std::vector<ItemInstances> FindItemInstances(
     const IndexedDocument& doc, const NodeClassification& classification,
     NodeId result_root, const IList& ilist, const TextAnalyzer& analyzer) {
-  std::vector<ItemInstances> out(ilist.size());
-  const NodeId end = doc.subtree_end(result_root);
-
   // Pre-analyze keyword tokens once; a keyword that the analyzer drops
   // (stopword) can never be matched and keeps an empty instance list.
   std::vector<std::string> analyzed_token(ilist.size());
@@ -33,6 +30,19 @@ std::vector<ItemInstances> FindItemInstances(
       analyzed_token[i] = analyzer.AnalyzeToken(ilist[i].token);
     }
   }
+  return FindItemInstances(doc, classification, result_root, ilist, analyzer,
+                           analyzed_token);
+}
+
+std::vector<ItemInstances> FindItemInstances(
+    const IndexedDocument& doc, const NodeClassification& classification,
+    NodeId result_root, const IList& ilist, const TextAnalyzer& analyzer,
+    const std::vector<std::string>& analyzed_tokens) {
+  assert(analyzed_tokens.size() == ilist.size() &&
+         "analyzed_tokens must be parallel to ilist.items()");
+  std::vector<ItemInstances> out(ilist.size());
+  const NodeId end = doc.subtree_end(result_root);
+  const std::vector<std::string>& analyzed_token = analyzed_tokens;
 
   // Nearest entity ancestor cache (within the result) for feature matching.
   // Computed lazily per attribute node encountered.

@@ -43,6 +43,16 @@ std::vector<ItemInstances> FindItemInstances(
     const IndexedDocument& doc, const NodeClassification& classification,
     NodeId result_root, const IList& ilist, const TextAnalyzer& analyzer);
 
+/// FindItemInstances with the keyword items' analyzer-normalized tokens
+/// precomputed by the caller — `analyzed_tokens` is parallel to
+/// ilist.items(), non-keyword slots ignored, "" marks a dropped (stopword)
+/// token. Lets a per-query cache (snippet/snippet_context.h) analyze each
+/// query token once instead of once per result.
+std::vector<ItemInstances> FindItemInstances(
+    const IndexedDocument& doc, const NodeClassification& classification,
+    NodeId result_root, const IList& ilist, const TextAnalyzer& analyzer,
+    const std::vector<std::string>& analyzed_tokens);
+
 /// Selection knobs.
 struct SelectorOptions {
   /// Maximum number of edges of the snippet tree.

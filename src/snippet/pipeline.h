@@ -1,11 +1,17 @@
-// The eXtract snippet generation pipeline (paper Figure 4): the core
-// public API of this library.
+// The eXtract snippet generation pipeline (paper Figure 4): the classic
+// public API of this library, now a thin facade over the stage-based
+// SnippetService (snippet/snippet_service.h).
 //
 //   XmlDatabase db = *XmlDatabase::Load(xml);
 //   XSeekEngine engine;
 //   auto results = *engine.Search(db, Query::Parse("Texas apparel retailer"));
 //   SnippetGenerator generator(&db);
 //   Snippet snippet = *generator.Generate(query, results[0], {.size_bound = 14});
+//
+// New code that generates more than one snippet per query should prefer
+// SnippetService + SnippetContext directly: the context memoizes the
+// per-query work (statistics, entity/key identification, instance scans)
+// and GenerateBatch runs results in parallel.
 
 #ifndef EXTRACT_SNIPPET_PIPELINE_H_
 #define EXTRACT_SNIPPET_PIPELINE_H_
@@ -14,22 +20,11 @@
 
 #include "common/result.h"
 #include "search/search_engine.h"
+#include "snippet/snippet_options.h"
+#include "snippet/snippet_service.h"
 #include "snippet/snippet_tree.h"
 
 namespace extract {
-
-/// Pipeline knobs.
-struct SnippetOptions {
-  /// Snippet size upper bound, in edges (the demo's user-settable knob).
-  size_t size_bound = 10;
-  /// Dominant feature ranking (normalize=false is the ablation baseline).
-  DominantFeatureOptions features;
-  /// Instance selector behaviour on overflow (see SelectorOptions).
-  bool stop_on_first_overflow = false;
-  /// Use the exact branch-and-bound selector instead of greedy (small
-  /// results only; exponential worst case).
-  bool use_exact_selector = false;
-};
 
 /// \brief Generates snippets for query results against one database.
 ///
@@ -37,21 +32,36 @@ struct SnippetOptions {
 class SnippetGenerator {
  public:
   /// `db` must outlive the generator.
-  explicit SnippetGenerator(const XmlDatabase* db) : db_(db) {}
+  explicit SnippetGenerator(const XmlDatabase* db) : service_(db) {}
 
   /// Runs the full pipeline for one result: feature statistics -> return
   /// entity -> result key -> dominant features -> IList -> instance
   /// selection -> materialized snippet tree.
   Result<Snippet> Generate(const Query& query, const QueryResult& result,
-                           const SnippetOptions& options) const;
+                           const SnippetOptions& options) const {
+    return service_.Generate(query, result, options);
+  }
 
-  /// Generates one snippet per result.
+  /// Generates one snippet per result, sharing per-query work and running
+  /// in parallel per `batch` (default: one worker per hardware core).
+  /// Output i corresponds to results[i]; snippets are byte-identical to the
+  /// sequential path. On a bad result the Status names its index.
   Result<std::vector<Snippet>> GenerateAll(
       const Query& query, const std::vector<QueryResult>& results,
-      const SnippetOptions& options) const;
+      const SnippetOptions& options, const BatchOptions& batch) const {
+    return service_.GenerateBatch(query, results, options, batch);
+  }
+  Result<std::vector<Snippet>> GenerateAll(
+      const Query& query, const std::vector<QueryResult>& results,
+      const SnippetOptions& options) const {
+    return GenerateAll(query, results, options, BatchOptions{});
+  }
+
+  /// The stage-based service this facade delegates to.
+  const SnippetService& service() const { return service_; }
 
  private:
-  const XmlDatabase* db_;
+  SnippetService service_;
 };
 
 }  // namespace extract

@@ -1,0 +1,40 @@
+// Knobs of the snippet generation pipeline and its batch execution. Split
+// out of pipeline.h so the stage/service layer (snippet_service.h) and the
+// legacy SnippetGenerator facade can share them without a cycle.
+
+#ifndef EXTRACT_SNIPPET_SNIPPET_OPTIONS_H_
+#define EXTRACT_SNIPPET_SNIPPET_OPTIONS_H_
+
+#include <cstddef>
+
+#include "snippet/dominant_features.h"
+
+namespace extract {
+
+/// Per-snippet pipeline knobs.
+struct SnippetOptions {
+  /// Snippet size upper bound, in edges (the demo's user-settable knob).
+  size_t size_bound = 10;
+  /// Dominant feature ranking (normalize=false is the ablation baseline).
+  DominantFeatureOptions features;
+  /// Instance selector behaviour on overflow (see SelectorOptions).
+  bool stop_on_first_overflow = false;
+  /// Use the exact branch-and-bound selector instead of greedy (small
+  /// results only; exponential worst case).
+  bool use_exact_selector = false;
+};
+
+/// Batch execution knobs (GenerateAll / GenerateBatch / GenerateSnippets).
+///
+/// Parallel batches are deterministic: result i of the output always
+/// corresponds to result i of the input, and every snippet is byte-identical
+/// to what the sequential path produces — scheduling only changes timing.
+struct BatchOptions {
+  /// Worker threads for the batch: 0 = one per hardware core, 1 = run
+  /// sequentially on the calling thread, n = at most n workers.
+  size_t num_threads = 0;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_SNIPPET_SNIPPET_OPTIONS_H_

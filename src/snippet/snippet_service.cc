@@ -1,0 +1,102 @@
+#include "snippet/snippet_service.h"
+
+#include <string>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace extract {
+
+namespace {
+
+Status ValidateResult(const XmlDatabase& db, const QueryResult& result) {
+  if (result.root == kInvalidNode ||
+      static_cast<size_t>(result.root) >= db.index().num_nodes()) {
+    return Status::InvalidArgument("query result root is not a valid node");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status MakeBatchResultError(size_t index, size_t total,
+                            const std::string& extra, const Status& inner) {
+  return Status(inner.code(), "result " + std::to_string(index) + " of " +
+                                  std::to_string(total) + extra + ": " +
+                                  inner.message());
+}
+
+Result<Snippet> SnippetService::RunPipeline(SnippetContext& ctx,
+                                            SnippetDraft& draft,
+                                            const SnippetOptions& options) const {
+  EXTRACT_RETURN_IF_ERROR(ValidateResult(*db_, *draft.result));
+  for (const std::unique_ptr<SnippetStage>& stage : stages_) {
+    Status status = stage->Run(ctx, options, draft);
+    if (!status.ok()) {
+      return Status(status.code(), std::string(stage->name()) + " stage: " +
+                                       status.message());
+    }
+  }
+  return std::move(draft.snippet);
+}
+
+Result<Snippet> SnippetService::Generate(SnippetContext& ctx,
+                                         const QueryResult& result,
+                                         const SnippetOptions& options) const {
+  SnippetDraft draft;
+  draft.result = &result;
+  return RunPipeline(ctx, draft, options);
+}
+
+Result<Snippet> SnippetService::Generate(const Query& query,
+                                         const QueryResult& result,
+                                         const SnippetOptions& options) const {
+  SnippetContext ctx(db_, query);
+  return Generate(ctx, result, options);
+}
+
+Result<Snippet> SnippetService::GenerateWithFeatures(
+    SnippetContext& ctx, const QueryResult& result,
+    const SnippetOptions& options,
+    const std::vector<RankedFeature>& features) const {
+  SnippetDraft draft;
+  draft.result = &result;
+  draft.feature_override = &features;
+  return RunPipeline(ctx, draft, options);
+}
+
+Result<std::vector<Snippet>> SnippetService::GenerateBatch(
+    SnippetContext& ctx, const std::vector<QueryResult>& results,
+    const SnippetOptions& options, const BatchOptions& batch) const {
+  const size_t n = results.size();
+  std::vector<Snippet> out(n);
+
+  // Every result computes into its own slot, so ordering is deterministic
+  // regardless of thread count (ParallelFor maps num_threads == 0 to the
+  // hardware core count and runs inline when one worker suffices). On
+  // failure the lowest failing index is reported — the result a sequential
+  // loop would have stopped at — instead of silently discarding which
+  // result went wrong.
+  std::vector<Status> statuses(n);
+  ParallelFor(n, batch.num_threads, [&](size_t i) {
+    Result<Snippet> snippet = Generate(ctx, results[i], options);
+    if (snippet.ok()) {
+      out[i] = std::move(*snippet);
+    } else {
+      statuses[i] = snippet.status();
+    }
+  });
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) return MakeBatchResultError(i, n, "", statuses[i]);
+  }
+  return out;
+}
+
+Result<std::vector<Snippet>> SnippetService::GenerateBatch(
+    const Query& query, const std::vector<QueryResult>& results,
+    const SnippetOptions& options, const BatchOptions& batch) const {
+  SnippetContext ctx(db_, query);
+  return GenerateBatch(ctx, results, options, batch);
+}
+
+}  // namespace extract

@@ -1,0 +1,99 @@
+// SnippetService: the layered serving entry point of the snippet subsystem.
+//
+//   SnippetService service(&db);
+//   SnippetContext ctx(&db, query);              // shared per-query cache
+//   auto one   = service.Generate(ctx, results[0], options);
+//   auto batch = service.GenerateBatch(ctx, results, options, {.num_threads = 8});
+//
+// The service runs the stage pipeline (snippet_stages.h) over a shared
+// SnippetContext. Batches generate in parallel with deterministic output
+// ordering (slot i of the output is result i of the input) and snippets
+// byte-identical to the sequential path; on failure the returned Status
+// names the index of the result that failed.
+//
+// The legacy SnippetGenerator (pipeline.h) is a thin facade over this
+// class.
+
+#ifndef EXTRACT_SNIPPET_SNIPPET_SERVICE_H_
+#define EXTRACT_SNIPPET_SNIPPET_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "snippet/snippet_context.h"
+#include "snippet/snippet_options.h"
+#include "snippet/snippet_stages.h"
+
+namespace extract {
+
+/// "result <index> of <total><extra>: <inner message>", preserving the
+/// inner code — the shared error shape of every batch entry point
+/// (SnippetService::GenerateBatch, SnippetGenerator::GenerateAll,
+/// XmlCorpus::GenerateSnippets).
+Status MakeBatchResultError(size_t index, size_t total,
+                            const std::string& extra, const Status& inner);
+
+/// \brief Stage-based snippet generation over one database. Stateless
+/// apart from the database pointer and the (immutable) stage sequence;
+/// safe to share across threads.
+class SnippetService {
+ public:
+  /// Default Figure 4 stage sequence. `db` must outlive the service.
+  explicit SnippetService(const XmlDatabase* db)
+      : SnippetService(db, BuildDefaultStages()) {}
+
+  /// Custom stage sequence (instrumentation, ablations, extensions).
+  SnippetService(const XmlDatabase* db,
+                 std::vector<std::unique_ptr<SnippetStage>> stages)
+      : db_(db), stages_(std::move(stages)) {}
+
+  const XmlDatabase* db() const { return db_; }
+  const std::vector<std::unique_ptr<SnippetStage>>& stages() const {
+    return stages_;
+  }
+
+  /// Generates one snippet, sharing `ctx` across calls. `ctx` must be bound
+  /// to the same database as the service.
+  Result<Snippet> Generate(SnippetContext& ctx, const QueryResult& result,
+                           const SnippetOptions& options) const;
+
+  /// One-shot convenience: builds a throwaway context.
+  Result<Snippet> Generate(const Query& query, const QueryResult& result,
+                           const SnippetOptions& options) const;
+
+  /// Diversifier hook: generates with an externally supplied feature
+  /// ranking instead of ranking this result's statistics (see
+  /// snippet/distinguishability.h).
+  Result<Snippet> GenerateWithFeatures(
+      SnippetContext& ctx, const QueryResult& result,
+      const SnippetOptions& options,
+      const std::vector<RankedFeature>& features) const;
+
+  /// \brief Generates one snippet per result, in parallel per
+  /// BatchOptions, with deterministic ordering (output i <-> results[i]).
+  ///
+  /// On failure returns the error of the lowest failing result index, with
+  /// "result <i> of <n>: " prepended to its message, regardless of thread
+  /// count.
+  Result<std::vector<Snippet>> GenerateBatch(
+      SnippetContext& ctx, const std::vector<QueryResult>& results,
+      const SnippetOptions& options, const BatchOptions& batch) const;
+
+  /// GenerateBatch with a context built for `query` internally.
+  Result<std::vector<Snippet>> GenerateBatch(
+      const Query& query, const std::vector<QueryResult>& results,
+      const SnippetOptions& options, const BatchOptions& batch) const;
+
+ private:
+  Result<Snippet> RunPipeline(SnippetContext& ctx, SnippetDraft& draft,
+                              const SnippetOptions& options) const;
+
+  const XmlDatabase* db_;
+  std::vector<std::unique_ptr<SnippetStage>> stages_;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_SNIPPET_SNIPPET_SERVICE_H_

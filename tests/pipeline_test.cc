@@ -185,6 +185,23 @@ TEST(PipelineTest, InvalidResultRootRejected) {
   EXPECT_FALSE(generator.Generate(ctx.query, bogus, SnippetOptions{}).ok());
 }
 
+TEST(PipelineTest, GenerateAllNamesFailingResultIndex) {
+  // Regression: a bad result mid-batch used to discard the index of the
+  // failure; the Status must now say which result failed.
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  std::vector<QueryResult> results = ctx.results;
+  QueryResult bogus;
+  bogus.root = kInvalidNode;
+  results.push_back(bogus);
+  SnippetGenerator generator(&ctx.db);
+  auto snippets = generator.GenerateAll(ctx.query, results, SnippetOptions{});
+  ASSERT_FALSE(snippets.ok());
+  EXPECT_EQ(snippets.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(snippets.status().message().find("result 2 of 3"),
+            std::string::npos)
+      << snippets.status();
+}
+
 TEST(PipelineTest, ZeroBoundYieldsRootOnlySnippet) {
   Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
   SnippetGenerator generator(&ctx.db);
