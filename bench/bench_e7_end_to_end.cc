@@ -23,6 +23,8 @@
 #include "common/thread_pool.h"
 #include "datagen/random_xml.h"
 #include "datagen/workload.h"
+#include "search/corpus.h"
+#include "snippet/snippet_cache.h"
 #include "snippet/snippet_service.h"
 
 namespace {
@@ -252,6 +254,102 @@ void WriteBenchJson(const std::string& path) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_cache.json: the repeated-query scenario — cold vs warm corpus
+// serving through the cross-query snippet cache, plus eviction behavior
+// under a deliberately undersized cache.
+
+void WriteCacheBenchJson(const std::string& path) {
+  RandomXmlData data = MakeDoc(8);
+  XmlCorpus corpus;
+  {
+    Status status = corpus.AddDocument("random8", data.xml);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot load corpus: %s\n",
+                   status.ToString().c_str());
+      return;
+    }
+  }
+  const XmlDatabase* db = corpus.Find("random8");
+  auto batches = MakeBatches(*db, 8);
+  size_t total_results = 0;
+  for (const auto& [q, results] : batches) total_results += results.size();
+
+  SnippetOptions options;
+  options.size_bound = 12;
+  auto serve_all = [&] {
+    for (const auto& [q, results] : batches) {
+      std::vector<CorpusResult> page;
+      page.reserve(results.size());
+      for (const QueryResult& r : results) {
+        page.push_back(CorpusResult{"random8", r, 0.0});
+      }
+      auto snippets = corpus.GenerateSnippets(q, page, options);
+      benchmark::DoNotOptimize(snippets);
+    }
+  };
+
+  // Cold then warm: the first pass misses everything (single measurement —
+  // repeated runs would warm the cache mid-measure), every later pass is
+  // pure hits.
+  corpus.EnableSnippetCache();
+  double cold_us = bench::MeasureMicros(serve_all, /*runs=*/1);
+  SnippetCacheStats cold_stats = corpus.snippet_cache()->Stats();
+  double warm_us = bench::MeasureMicros(serve_all);
+  // Counters are cumulative; report the warm passes as a delta from the
+  // post-cold snapshot so warm hit_rate reads 1.0 regardless of run count.
+  SnippetCacheStats warm_stats = corpus.snippet_cache()->Stats();
+  warm_stats.hits -= cold_stats.hits;
+  warm_stats.misses -= cold_stats.misses;
+  warm_stats.evictions -= cold_stats.evictions;
+
+  // Eviction behavior: a cache far smaller than the working set, served
+  // twice — every pass misses and evicts.
+  SnippetCache::Options tiny;
+  tiny.capacity = total_results > 8 ? total_results / 4 : 1;
+  tiny.num_shards = 2;
+  corpus.EnableSnippetCache(tiny);
+  serve_all();
+  serve_all();
+  SnippetCacheStats tiny_stats = corpus.snippet_cache()->Stats();
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("experiment").Value(std::string("e7_snippet_cache"));
+  json.Key("doc").BeginObject();
+  json.Key("xml_bytes").Value(data.xml.size());
+  json.Key("elements").Value(data.approx_elements);
+  json.EndObject();
+  json.Key("queries").Value(batches.size());
+  json.Key("results").Value(total_results);
+  json.Key("cold_us").Value(cold_us);
+  json.Key("warm_us").Value(warm_us);
+  json.Key("warm_speedup").Value(warm_us > 0.0 ? cold_us / warm_us : 0.0);
+  auto emit_stats = [&](const char* key, const SnippetCacheStats& s) {
+    json.Key(key).BeginObject();
+    json.Key("hits").Value(s.hits);
+    json.Key("misses").Value(s.misses);
+    json.Key("evictions").Value(s.evictions);
+    json.Key("entries").Value(s.entries);
+    json.Key("capacity").Value(s.capacity);
+    json.Key("hit_rate").Value(s.hit_rate());
+    json.EndObject();
+  };
+  emit_stats("cold_stats", cold_stats);
+  emit_stats("warm_stats", warm_stats);
+  json.Key("eviction").BeginObject();
+  json.Key("passes").Value(static_cast<size_t>(2));
+  emit_stats("stats", tiny_stats);
+  json.EndObject();
+  json.EndObject();
+
+  if (json.WriteFile(path)) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -260,5 +358,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   WriteBenchJson("BENCH_e7.json");
+  WriteCacheBenchJson("BENCH_cache.json");
   return 0;
 }

@@ -18,6 +18,7 @@
 //   result <rank>                   print the full tree of a result
 //   html <path>                     write the last results page as HTML
 //   save <path> / load <path>       snapshot the active data set's index
+//   cache [clear]                   snippet-cache stats / drop all entries
 //   help / quit
 
 #include <cstdio>
@@ -51,6 +52,8 @@ struct ShellState {
   Query last_query;
   std::vector<QueryResult> last_results;
   std::vector<Snippet> last_snippets;
+
+  ShellState() { corpus.EnableSnippetCache(); }
 
   const XmlDatabase* ActiveDb() const { return corpus.Find(active); }
 };
@@ -219,12 +222,31 @@ void CmdLoad(ShellState* state, const std::string& path) {
   std::printf("loaded snapshot as '%s'\n", name.c_str());
 }
 
+void CmdCache(ShellState* state, const std::string& arg) {
+  SnippetCache* cache = state->corpus.snippet_cache();
+  if (cache == nullptr) {
+    std::printf("snippet cache disabled\n");
+    return;
+  }
+  if (arg == "clear") {
+    cache->Clear();
+    std::printf("snippet cache cleared\n");
+    return;
+  }
+  SnippetCacheStats stats = cache->Stats();
+  std::printf(
+      "snippet cache: %zu/%zu entries, %zu hit(s), %zu miss(es), "
+      "%zu eviction(s), hit rate %.2f\n",
+      stats.entries, stats.capacity, stats.hits, stats.misses,
+      stats.evictions, stats.hit_rate());
+}
+
 void PrintHelp() {
   std::printf(
       "commands: open <retailer|stores|movies> | datasets | use <name> | "
       "schema |\n  bound <n> | query <kw...> | queryall <kw...> | "
-      "result <rank> | html <path> |\n  save <path> | load <path> | help | "
-      "quit\n");
+      "result <rank> | html <path> |\n  save <path> | load <path> | "
+      "cache [clear] | help | quit\n");
 }
 
 }  // namespace
@@ -277,6 +299,8 @@ int main() {
       CmdSave(state, rest);
     } else if (command == "load") {
       CmdLoad(&state, rest);
+    } else if (command == "cache") {
+      CmdCache(&state, rest);
     } else {
       std::printf("unknown command '%s' — try 'help'\n", command.c_str());
     }

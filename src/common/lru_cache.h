@@ -1,0 +1,176 @@
+// A generic sharded LRU cache: the serving-layer building block behind the
+// cross-query snippet cache (snippet/snippet_cache.h).
+//
+// Keys hash to one of `num_shards` independent shards, each guarded by its
+// own mutex and holding its own recency list, so concurrent lookups from a
+// wide batch mostly touch disjoint locks. Capacity is split evenly across
+// shards; eviction is per-shard LRU. Hit/miss/eviction counters are
+// maintained per shard and aggregated on demand (Stats()).
+//
+// Values are returned by copy, so Value should be cheap to copy — cache
+// large payloads behind a std::shared_ptr<const T>.
+
+#ifndef EXTRACT_COMMON_LRU_CACHE_H_
+#define EXTRACT_COMMON_LRU_CACHE_H_
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace extract {
+
+/// Aggregated cache effectiveness counters (see ShardedLruCache::Stats).
+struct LruCacheStats {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  /// Entries currently resident.
+  size_t entries = 0;
+  /// Total capacity across shards.
+  size_t capacity = 0;
+
+  double hit_rate() const {
+    const size_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+  }
+};
+
+/// \brief Thread-safe LRU cache sharded by key hash.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across
+  /// `num_shards` (each shard holds at least one entry, so the effective
+  /// capacity is at least num_shards for tiny budgets).
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8)
+      : shards_(num_shards == 0 ? 1 : num_shards) {
+    const size_t n = shards_.size();
+    per_shard_capacity_ = (capacity + n - 1) / n;
+    if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Returns the cached value (refreshing its recency) or nullopt.
+  std::optional<Value> Get(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      ++shard.misses;
+      return std::nullopt;
+    }
+    ++shard.hits;
+    shard.order.splice(shard.order.begin(), shard.order, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, evicting the shard's LRU entry on
+  /// overflow.
+  void Put(const Key& key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.order.splice(shard.order.begin(), shard.order, it->second);
+      return;
+    }
+    shard.order.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.order.begin());
+    if (shard.order.size() > per_shard_capacity_) {
+      shard.index.erase(shard.order.back().first);
+      shard.order.pop_back();
+      ++shard.evictions;
+    }
+  }
+
+  /// Removes `key`; returns whether it was resident.
+  bool Erase(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) return false;
+    shard.order.erase(it->second);
+    shard.index.erase(it);
+    return true;
+  }
+
+  /// Removes every entry whose key satisfies `pred`; returns the count.
+  /// Targeted invalidation (e.g. one document's snippets): O(entries).
+  size_t EraseIf(const std::function<bool(const Key&)>& pred) {
+    size_t erased = 0;
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (auto it = shard.order.begin(); it != shard.order.end();) {
+        if (pred(it->first)) {
+          shard.index.erase(it->first);
+          it = shard.order.erase(it);
+          ++erased;
+        } else {
+          ++it;
+        }
+      }
+    }
+    return erased;
+  }
+
+  /// Drops every entry. Counters are preserved (they describe lifetime
+  /// traffic, not residency).
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.order.clear();
+      shard.index.clear();
+    }
+  }
+
+  /// Aggregated counters + residency snapshot. Shards are sampled one at a
+  /// time, so the totals are approximate under concurrent writes.
+  LruCacheStats Stats() const {
+    LruCacheStats stats;
+    stats.capacity = capacity();
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      stats.hits += shard.hits;
+      stats.misses += shard.misses;
+      stats.evictions += shard.evictions;
+      stats.entries += shard.order.size();
+    }
+    return stats;
+  }
+
+  size_t size() const { return Stats().entries; }
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    /// MRU first; index points into this list.
+    std::list<std::pair<Key, Value>> order;
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        index;
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t evictions = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  size_t per_shard_capacity_ = 1;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_COMMON_LRU_CACHE_H_

@@ -26,7 +26,25 @@ Status XmlCorpus::AddDatabase(const std::string& name, XmlDatabase db) {
                                    "' already registered");
   }
   databases_.emplace(name, std::move(db));
+  // Adding after a removal re-uses the name for different content; any
+  // snippets cached under it (e.g. from a raced Invalidate) are now stale.
+  if (snippet_cache_) snippet_cache_->Invalidate(name);
   return Status::OK();
+}
+
+Status XmlCorpus::RemoveDocument(std::string_view name) {
+  auto it = databases_.find(name);
+  if (it == databases_.end()) {
+    return Status::NotFound("document '" + std::string(name) +
+                            "' not registered");
+  }
+  databases_.erase(it);
+  if (snippet_cache_) snippet_cache_->Invalidate(name);
+  return Status::OK();
+}
+
+void XmlCorpus::EnableSnippetCache(const SnippetCache::Options& options) {
+  snippet_cache_ = std::make_unique<SnippetCache>(options);
 }
 
 const XmlDatabase* XmlCorpus::Find(std::string_view name) const {
@@ -77,9 +95,59 @@ Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
     const SnippetOptions& options, const BatchOptions& batch) const {
   const size_t n = corpus_results.size();
 
-  // One service + context per distinct document, shared by all its hits.
   // Resolve every document up front so an unknown name fails before any
-  // generation work starts.
+  // generation work starts — identically with and without a cache.
+  std::map<std::string, const XmlDatabase*, std::less<>> resolved;
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& name = corpus_results[i].document;
+    if (resolved.find(name) != resolved.end()) continue;
+    const XmlDatabase* db = Find(name);
+    if (db == nullptr) {
+      return MakeBatchResultError(
+          i, n, "", Status::NotFound("unknown document '" + name + "'"));
+    }
+    resolved.emplace(name, db);
+  }
+
+  // With a cache enabled, serve hits inline and dispatch only the misses;
+  // `todo` keeps the pending original indices in increasing order, so the
+  // failure scan below still reports the lowest failing index of the full
+  // page (hits can never fail), matching uncached serving exactly.
+  std::vector<Snippet> out(n);
+  std::vector<size_t> todo;
+  std::vector<SnippetCacheKey> todo_keys;
+  todo.reserve(n);
+  if (snippet_cache_ != nullptr) {
+    todo_keys.reserve(n);
+    // Signature prefixes are invariant per document within one page; build
+    // each once and append only the root per hit.
+    std::map<std::string, SnippetCacheKeyPrefix, std::less<>> prefixes;
+    for (size_t i = 0; i < n; ++i) {
+      const std::string& name = corpus_results[i].document;
+      auto it = prefixes.find(name);
+      if (it == prefixes.end()) {
+        it = prefixes
+                 .emplace(name, MakeSnippetCacheKeyPrefix(
+                                    name, query, options,
+                                    DefaultSnippetStageTag()))
+                 .first;
+      }
+      SnippetCacheKey key =
+          MakeSnippetCacheKey(it->second, corpus_results[i].result.root);
+      if (std::shared_ptr<const Snippet> hit = snippet_cache_->Get(key)) {
+        out[i] = hit->Clone();
+      } else {
+        todo.push_back(i);
+        todo_keys.push_back(std::move(key));
+      }
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) todo.push_back(i);
+  }
+
+  // One service + context per distinct document still being generated,
+  // shared by all its pending hits — built only now, so a fully-warm page
+  // pays no per-query context construction at all.
   struct PerDocument {
     SnippetService service;
     SnippetContext context;
@@ -87,36 +155,40 @@ Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
         : service(db), context(db, query) {}
   };
   std::map<std::string, std::unique_ptr<PerDocument>, std::less<>> documents;
-  for (size_t i = 0; i < n; ++i) {
-    const std::string& name = corpus_results[i].document;
+  for (size_t t : todo) {
+    const std::string& name = corpus_results[t].document;
     if (documents.find(name) != documents.end()) continue;
-    const XmlDatabase* db = Find(name);
-    if (db == nullptr) {
-      return MakeBatchResultError(
-          i, n, "", Status::NotFound("unknown document '" + name + "'"));
-    }
-    documents.emplace(name, std::make_unique<PerDocument>(db, query));
+    documents.emplace(name, std::make_unique<PerDocument>(
+                                resolved.find(name)->second, query));
   }
 
-  // Every hit generates into its own slot: deterministic ordering, and the
-  // contexts' memoization is thread-safe, so scheduling only changes cost.
-  std::vector<Snippet> out(n);
-  std::vector<Status> statuses(n);
-  ParallelFor(n, batch.num_threads, [&](size_t i) {
+  // Every pending hit generates into its own slot: deterministic ordering,
+  // and the contexts' memoization is thread-safe, so scheduling only
+  // changes cost.
+  std::vector<Status> statuses(todo.size());
+  ParallelFor(todo.size(), batch.num_threads, [&](size_t t) {
+    const size_t i = todo[t];
     PerDocument& doc = *documents.find(corpus_results[i].document)->second;
     Result<Snippet> snippet =
         doc.service.Generate(doc.context, corpus_results[i].result, options);
-    if (snippet.ok()) {
-      out[i] = std::move(*snippet);
+    if (!snippet.ok()) {
+      statuses[t] = snippet.status();
+      return;
+    }
+    if (snippet_cache_ != nullptr) {
+      auto cached = std::make_shared<const Snippet>(std::move(*snippet));
+      out[i] = cached->Clone();
+      snippet_cache_->Put(todo_keys[t], std::move(cached));
     } else {
-      statuses[i] = snippet.status();
+      out[i] = std::move(*snippet);
     }
   });
-  for (size_t i = 0; i < n; ++i) {
-    if (!statuses[i].ok()) {
+  for (size_t t = 0; t < todo.size(); ++t) {
+    if (!statuses[t].ok()) {
+      const size_t i = todo[t];
       return MakeBatchResultError(
           i, n, " (document '" + corpus_results[i].document + "')",
-          statuses[i]);
+          statuses[t]);
     }
   }
   return out;

@@ -2,18 +2,22 @@
 // data sets (movies, stores, ...) and query whichever is selected; a full
 // deployment searches across all of them. XmlCorpus owns named databases,
 // merges cross-document search results by ranking score, and serves
-// snippets for merged result pages in parallel (GenerateSnippets).
+// snippets for merged result pages in parallel (GenerateSnippets) — with an
+// optional cross-query snippet cache so repeated/hot queries skip
+// generation entirely (snippet/snippet_cache.h).
 
 #ifndef EXTRACT_SEARCH_CORPUS_H_
 #define EXTRACT_SEARCH_CORPUS_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "search/ranking.h"
 #include "search/search_engine.h"
+#include "snippet/snippet_cache.h"
 #include "snippet/snippet_options.h"
 #include "snippet/snippet_tree.h"
 
@@ -37,6 +41,12 @@ class XmlCorpus {
 
   /// Adds an already-loaded database. Fails on duplicate name.
   Status AddDatabase(const std::string& name, XmlDatabase db);
+
+  /// Removes the document registered under `name` (invalidating its cached
+  /// snippets). Fails with NotFound for unknown names. Not safe to call
+  /// concurrently with serving — callers own that ordering, as with every
+  /// other corpus mutation.
+  Status RemoveDocument(std::string_view name);
 
   /// The database registered under `name`, or nullptr.
   const XmlDatabase* Find(std::string_view name) const;
@@ -63,6 +73,9 @@ class XmlCorpus {
   /// output i corresponds to corpus_results[i], byte-identical to the
   /// sequential path. Fails with the hit's index and document name if a
   /// hit references an unknown document or an invalid result.
+  /// When a snippet cache is enabled, each hit's signature is consulted
+  /// first and only the misses dispatch to the thread pool; output stays
+  /// byte-identical to uncached serving.
   Result<std::vector<Snippet>> GenerateSnippets(
       const Query& query, const std::vector<CorpusResult>& corpus_results,
       const SnippetOptions& options, const BatchOptions& batch) const;
@@ -70,8 +83,21 @@ class XmlCorpus {
       const Query& query, const std::vector<CorpusResult>& corpus_results,
       const SnippetOptions& options) const;
 
+  /// \brief Turns on the cross-query snippet cache for GenerateSnippets.
+  ///
+  /// Document add/remove invalidates the affected entries automatically;
+  /// Invalidate/Clear on snippet_cache() are the manual hooks. Calling
+  /// again replaces the cache (and drops its contents).
+  void EnableSnippetCache(const SnippetCache::Options& options);
+  void EnableSnippetCache() { EnableSnippetCache(SnippetCache::Options{}); }
+
+  /// The enabled cache, or nullptr. Exposes stats, Invalidate and Clear.
+  SnippetCache* snippet_cache() const { return snippet_cache_.get(); }
+
  private:
   std::map<std::string, XmlDatabase, std::less<>> databases_;
+  /// Shared by every document; keys carry the document name.
+  std::unique_ptr<SnippetCache> snippet_cache_;
 };
 
 }  // namespace extract

@@ -1,0 +1,232 @@
+#include "snippet/snippet_cache.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace extract {
+
+namespace {
+
+// Field and list separators of the canonical signature. Unit/record
+// separators cannot appear in XML text or query tokens, so joined fields
+// never collide ("ab"+"c" vs "a"+"bc").
+constexpr char kFieldSep = '\x1F';
+constexpr char kItemSep = '\x1E';
+// Escape byte for reserved bytes inside caller-supplied document ids.
+constexpr char kEsc = '\x10';
+
+void AppendList(std::string& out, const std::vector<std::string>& items) {
+  out.push_back(kFieldSep);
+  for (const std::string& item : items) {
+    out.append(item);
+    out.push_back(kItemSep);
+  }
+}
+
+// Document ids are caller-supplied arbitrary strings; escape the reserved
+// bytes (kEsc followed by the byte + 0x40, a printable char) so the encoded
+// id never contains a separator. Injective, so distinct ids can neither
+// alias each other's signatures nor be clipped by prefix invalidation.
+void AppendDocumentId(std::string& out, std::string_view document) {
+  for (char c : document) {
+    if (c == kFieldSep || c == kItemSep || c == kEsc) {
+      out.push_back(kEsc);
+      out.push_back(static_cast<char>(c + 0x40));
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string SnippetStageTag(const SnippetService& service) {
+  std::string tag;
+  for (const std::unique_ptr<SnippetStage>& stage : service.stages()) {
+    tag.append(stage->name());
+    tag.push_back(kItemSep);
+  }
+  return tag;
+}
+
+SnippetCacheKeyPrefix MakeSnippetCacheKeyPrefix(std::string_view document,
+                                                const Query& query,
+                                                const SnippetOptions& options,
+                                                std::string_view stage_tag) {
+  std::string text;
+  text.reserve(document.size() + stage_tag.size() + 64);
+  AppendDocumentId(text, document);
+  // Both spellings matter: normalized keywords drive matching, raw keywords
+  // appear verbatim in IList keyword displays.
+  AppendList(text, query.keywords);
+  AppendList(text, query.raw_keywords);
+  text.push_back(kFieldSep);
+  text.append(std::to_string(options.size_bound));
+  text.push_back(kFieldSep);
+  text.append(std::to_string(options.features.max_features));
+  text.push_back(kFieldSep);
+  text.push_back(options.features.normalize ? '1' : '0');
+  text.push_back(options.stop_on_first_overflow ? '1' : '0');
+  text.push_back(options.use_exact_selector ? '1' : '0');
+  text.push_back(kFieldSep);
+  text.append(stage_tag);
+  text.push_back(kFieldSep);
+  return SnippetCacheKeyPrefix{std::move(text)};
+}
+
+SnippetCacheKey MakeSnippetCacheKey(const SnippetCacheKeyPrefix& prefix,
+                                    NodeId result_root) {
+  return SnippetCacheKey{prefix.text + std::to_string(result_root)};
+}
+
+SnippetCacheKey MakeSnippetCacheKey(std::string_view document,
+                                    const Query& query, NodeId result_root,
+                                    const SnippetOptions& options,
+                                    std::string_view stage_tag) {
+  return MakeSnippetCacheKey(
+      MakeSnippetCacheKeyPrefix(document, query, options, stage_tag),
+      result_root);
+}
+
+const std::string& DefaultSnippetStageTag() {
+  // Computed once: the Figure 4 sequence is immutable.
+  static const std::string* default_tag = [] {
+    std::string tag;
+    for (const std::unique_ptr<SnippetStage>& stage : BuildDefaultStages()) {
+      tag.append(stage->name());
+      tag.push_back(kItemSep);
+    }
+    return new std::string(std::move(tag));
+  }();
+  return *default_tag;
+}
+
+SnippetCacheKey MakeSnippetCacheKey(std::string_view document,
+                                    const Query& query, NodeId result_root,
+                                    const SnippetOptions& options) {
+  return MakeSnippetCacheKey(document, query, result_root, options,
+                             DefaultSnippetStageTag());
+}
+
+size_t SnippetCache::Invalidate(std::string_view document) {
+  // Same encoding as MakeSnippetCacheKeyPrefix, so the prefix match is
+  // exact for any document id.
+  std::string prefix;
+  AppendDocumentId(prefix, document);
+  prefix.push_back(kFieldSep);
+  return cache_.EraseIf([&prefix](const SnippetCacheKey& key) {
+    return key.text.compare(0, prefix.size(), prefix) == 0;
+  });
+}
+
+Result<Snippet> CachingSnippetService::GenerateAndStore(
+    SnippetContext& ctx, const QueryResult& result,
+    const SnippetOptions& options, const SnippetCacheKey& key) const {
+  Result<Snippet> generated = service_->Generate(ctx, result, options);
+  if (!generated.ok()) return generated;
+  auto cached = std::make_shared<const Snippet>(std::move(*generated));
+  cache_->Put(key, cached);
+  return cached->Clone();
+}
+
+Result<Snippet> CachingSnippetService::Generate(
+    SnippetContext& ctx, const QueryResult& result,
+    const SnippetOptions& options) const {
+  SnippetCacheKey key =
+      MakeSnippetCacheKey(document_, ctx.query(), result.root, options,
+                          stage_tag_);
+  if (std::shared_ptr<const Snippet> hit = cache_->Get(key)) {
+    return hit->Clone();
+  }
+  return GenerateAndStore(ctx, result, options, key);
+}
+
+Result<Snippet> CachingSnippetService::Generate(
+    const Query& query, const QueryResult& result,
+    const SnippetOptions& options) const {
+  // Probe before building a context: a hit needs no per-query state at all.
+  SnippetCacheKey key =
+      MakeSnippetCacheKey(document_, query, result.root, options, stage_tag_);
+  if (std::shared_ptr<const Snippet> hit = cache_->Get(key)) {
+    return hit->Clone();
+  }
+  SnippetContext ctx(service_->db(), query);
+  return GenerateAndStore(ctx, result, options, key);
+}
+
+void CachingSnippetService::ProbeBatch(
+    const Query& query, const std::vector<QueryResult>& results,
+    const SnippetOptions& options, std::vector<Snippet>& out,
+    std::vector<size_t>& misses,
+    std::vector<SnippetCacheKey>& miss_keys) const {
+  // `misses` keeps the original indices in increasing order, so the miss
+  // path reports the lowest failing index of the full batch — a hit can
+  // never fail, so this matches the uncached error exactly.
+  const SnippetCacheKeyPrefix prefix =
+      MakeSnippetCacheKeyPrefix(document_, query, options, stage_tag_);
+  for (size_t i = 0; i < results.size(); ++i) {
+    SnippetCacheKey key = MakeSnippetCacheKey(prefix, results[i].root);
+    if (std::shared_ptr<const Snippet> hit = cache_->Get(key)) {
+      out[i] = hit->Clone();
+    } else {
+      misses.push_back(i);
+      miss_keys.push_back(std::move(key));
+    }
+  }
+}
+
+Result<std::vector<Snippet>> CachingSnippetService::GenerateMisses(
+    SnippetContext& ctx, const std::vector<QueryResult>& results,
+    const SnippetOptions& options, const BatchOptions& batch,
+    std::vector<Snippet> out, const std::vector<size_t>& misses,
+    const std::vector<SnippetCacheKey>& miss_keys) const {
+  std::vector<Status> statuses(misses.size());
+  ParallelFor(misses.size(), batch.num_threads, [&](size_t m) {
+    const size_t i = misses[m];
+    Result<Snippet> generated = service_->Generate(ctx, results[i], options);
+    if (generated.ok()) {
+      auto cached = std::make_shared<const Snippet>(std::move(*generated));
+      out[i] = cached->Clone();
+      cache_->Put(miss_keys[m], std::move(cached));
+    } else {
+      statuses[m] = generated.status();
+    }
+  });
+  for (size_t m = 0; m < misses.size(); ++m) {
+    if (!statuses[m].ok()) {
+      return MakeBatchResultError(misses[m], results.size(), "", statuses[m]);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Snippet>> CachingSnippetService::GenerateBatch(
+    SnippetContext& ctx, const std::vector<QueryResult>& results,
+    const SnippetOptions& options, const BatchOptions& batch) const {
+  std::vector<Snippet> out(results.size());
+  std::vector<size_t> misses;
+  std::vector<SnippetCacheKey> miss_keys;
+  ProbeBatch(ctx.query(), results, options, out, misses, miss_keys);
+  if (misses.empty()) return out;
+  return GenerateMisses(ctx, results, options, batch, std::move(out), misses,
+                        miss_keys);
+}
+
+Result<std::vector<Snippet>> CachingSnippetService::GenerateBatch(
+    const Query& query, const std::vector<QueryResult>& results,
+    const SnippetOptions& options, const BatchOptions& batch) const {
+  // Probe before building a context: a fully-warm batch needs no per-query
+  // state at all.
+  std::vector<Snippet> out(results.size());
+  std::vector<size_t> misses;
+  std::vector<SnippetCacheKey> miss_keys;
+  ProbeBatch(query, results, options, out, misses, miss_keys);
+  if (misses.empty()) return out;
+  SnippetContext ctx(service_->db(), query);
+  return GenerateMisses(ctx, results, options, batch, std::move(out), misses,
+                        miss_keys);
+}
+
+}  // namespace extract

@@ -1,0 +1,234 @@
+// Cross-query snippet cache (ROADMAP: "repeated/hot queries skip generation
+// entirely").
+//
+// The pipeline is a deterministic function of (document, query, result
+// root, options): the default Figure 4 stages read only QueryResult::root
+// plus the query's keywords, and every memoized scan is a pure function of
+// those. So a snippet generated once can be served for every later request
+// with the same signature — across queries, requests and threads — not just
+// within one SnippetContext.
+//
+// Layers:
+//   * SnippetCacheKey / MakeSnippetCacheKey — the canonical signature. It
+//     covers everything the pipeline output depends on: the document id,
+//     the normalized AND raw query keywords (raw spellings appear verbatim
+//     in IList displays), the result root, every SnippetOptions field, and
+//     the service's stage sequence (so custom-stage services can share a
+//     cache without aliasing).
+//   * SnippetCache — a sharded LRU (common/lru_cache.h) from signature to
+//     immutable Snippet, with per-document invalidation, Clear(), and a
+//     CacheStats snapshot for observability.
+//   * CachingSnippetService — a SnippetService decorator serving single
+//     and batch generation through the cache; batch misses still fan out
+//     on the thread pool and failures keep the MakeBatchResultError shape
+//     with the original result index.
+//
+// Cached snippets are stored once (shared_ptr) and handed out as deep
+// copies (Snippet::Clone), so hits are byte-identical to fresh generation
+// and callers never observe eviction.
+//
+// The diversifier path (GenerateWithFeatures) intentionally bypasses the
+// cache: its output depends on the whole result page, not the signature.
+
+#ifndef EXTRACT_SNIPPET_SNIPPET_CACHE_H_
+#define EXTRACT_SNIPPET_SNIPPET_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/lru_cache.h"
+#include "snippet/snippet_options.h"
+#include "snippet/snippet_service.h"
+#include "snippet/snippet_tree.h"
+
+namespace extract {
+
+/// Canonical signature of one cacheable generation request. `text` is the
+/// full key; the leading "<document>\x1F" prefix supports per-document
+/// invalidation.
+struct SnippetCacheKey {
+  std::string text;
+
+  bool operator==(const SnippetCacheKey& other) const {
+    return text == other.text;
+  }
+};
+
+struct SnippetCacheKeyHash {
+  size_t operator()(const SnippetCacheKey& key) const {
+    return std::hash<std::string>{}(key.text);
+  }
+};
+
+/// The stage-sequence component of a signature: the service's stage names,
+/// joined. Services with different sequences (ablations, instrumentation)
+/// produce different snippets for the same request, so their entries must
+/// never alias in a shared cache.
+std::string SnippetStageTag(const SnippetService& service);
+
+/// The tag of the default Figure 4 sequence (computed once).
+const std::string& DefaultSnippetStageTag();
+
+/// The invariant part of a batch's signatures — everything but the result
+/// root. One page shares document, query, options and stage tag across all
+/// its results, so the probe loop builds this once and appends each root.
+struct SnippetCacheKeyPrefix {
+  std::string text;
+};
+
+SnippetCacheKeyPrefix MakeSnippetCacheKeyPrefix(std::string_view document,
+                                                const Query& query,
+                                                const SnippetOptions& options,
+                                                std::string_view stage_tag);
+
+/// Completes a prefix with the per-result root.
+SnippetCacheKey MakeSnippetCacheKey(const SnippetCacheKeyPrefix& prefix,
+                                    NodeId result_root);
+
+/// Builds the signature of (document, query, result root, options,
+/// stage sequence). `document` is the caller's stable id of the loaded
+/// document — the corpus name in XmlCorpus, anything unique-per-database
+/// elsewhere. Any string is safe: reserved separator bytes are escaped in
+/// the encoding, so distinct ids can never alias.
+SnippetCacheKey MakeSnippetCacheKey(std::string_view document,
+                                    const Query& query, NodeId result_root,
+                                    const SnippetOptions& options,
+                                    std::string_view stage_tag);
+
+/// MakeSnippetCacheKey for the default Figure 4 stage sequence (what
+/// XmlCorpus serves with) — identical to passing the SnippetStageTag of a
+/// default-constructed SnippetService.
+SnippetCacheKey MakeSnippetCacheKey(std::string_view document,
+                                    const Query& query, NodeId result_root,
+                                    const SnippetOptions& options);
+
+/// Observability snapshot of a SnippetCache (see also LruCacheStats).
+using SnippetCacheStats = LruCacheStats;
+
+/// \brief Sharded LRU over generated snippets, shared across queries and
+/// threads. Thread-safe.
+class SnippetCache {
+ public:
+  struct Options {
+    /// Total cached snippets (split across shards, floor 1 per shard).
+    size_t capacity = 4096;
+    /// Lock shards; more shards = less contention, slightly more memory.
+    size_t num_shards = 8;
+  };
+
+  explicit SnippetCache(const Options& options)
+      : cache_(options.capacity, options.num_shards) {}
+  SnippetCache() : SnippetCache(Options{}) {}
+
+  /// The cached snippet for `key`, or nullptr on miss. The pointee is
+  /// immutable and stays alive while the caller holds the pointer, even
+  /// across eviction; copy it out with Snippet::Clone().
+  std::shared_ptr<const Snippet> Get(const SnippetCacheKey& key) {
+    auto hit = cache_.Get(key);
+    return hit ? std::move(*hit) : nullptr;
+  }
+
+  void Put(const SnippetCacheKey& key, std::shared_ptr<const Snippet> value) {
+    cache_.Put(key, std::move(value));
+  }
+
+  /// Drops every entry generated against `document`. Call when a document
+  /// is removed or replaced; entries of other documents are untouched.
+  /// Returns the number of entries dropped.
+  ///
+  /// Ordering caveat (applies to Clear() too): invalidation only covers
+  /// entries already stored. A generation in flight against the old content
+  /// completes and Puts *after* the invalidation, resurrecting a stale
+  /// snippet. Callers own the ordering of content swaps versus in-flight
+  /// serving — quiesce serving around the swap, exactly as XmlCorpus
+  /// documents for its mutators.
+  size_t Invalidate(std::string_view document);
+
+  /// Drops everything.
+  void Clear() { cache_.Clear(); }
+
+  /// Hits/misses/evictions/residency snapshot.
+  SnippetCacheStats Stats() const { return cache_.Stats(); }
+
+  size_t capacity() const { return cache_.capacity(); }
+
+ private:
+  ShardedLruCache<SnippetCacheKey, std::shared_ptr<const Snippet>,
+                  SnippetCacheKeyHash>
+      cache_;
+};
+
+/// \brief SnippetService decorator that consults a SnippetCache before
+/// running the pipeline. Stateless apart from the borrowed service, cache
+/// and document id; safe to share across threads.
+class CachingSnippetService {
+ public:
+  /// `service` and `cache` must outlive this decorator; `document` is the
+  /// cache-key id of the database `service` is bound to.
+  CachingSnippetService(const SnippetService* service, SnippetCache* cache,
+                        std::string document)
+      : service_(service),
+        cache_(cache),
+        document_(std::move(document)),
+        stage_tag_(SnippetStageTag(*service)) {}
+
+  const SnippetService& service() const { return *service_; }
+  SnippetCache& cache() const { return *cache_; }
+  const std::string& document() const { return document_; }
+
+  /// Generate through the cache: a hit returns a deep copy of the cached
+  /// snippet (byte-identical to generation); a miss runs the pipeline via
+  /// `ctx` and populates the cache on success.
+  Result<Snippet> Generate(SnippetContext& ctx, const QueryResult& result,
+                           const SnippetOptions& options) const;
+
+  /// One-shot convenience: builds a throwaway context (only used on miss).
+  Result<Snippet> Generate(const Query& query, const QueryResult& result,
+                           const SnippetOptions& options) const;
+
+  /// GenerateBatch through the cache: hits are served immediately, misses
+  /// fan out in parallel per `batch`. Output ordering and failure reporting
+  /// are identical to SnippetService::GenerateBatch — on failure the Status
+  /// names the lowest failing index within `results`, not within the miss
+  /// subset.
+  Result<std::vector<Snippet>> GenerateBatch(
+      SnippetContext& ctx, const std::vector<QueryResult>& results,
+      const SnippetOptions& options, const BatchOptions& batch) const;
+
+  Result<std::vector<Snippet>> GenerateBatch(
+      const Query& query, const std::vector<QueryResult>& results,
+      const SnippetOptions& options, const BatchOptions& batch) const;
+
+ private:
+  /// The miss path: runs the pipeline, stores the snippet under `key`, and
+  /// returns the caller's deep copy.
+  Result<Snippet> GenerateAndStore(SnippetContext& ctx,
+                                   const QueryResult& result,
+                                   const SnippetOptions& options,
+                                   const SnippetCacheKey& key) const;
+
+  /// Fills `out` slots from the cache; appends each miss's index and key.
+  void ProbeBatch(const Query& query, const std::vector<QueryResult>& results,
+                  const SnippetOptions& options, std::vector<Snippet>& out,
+                  std::vector<size_t>& misses,
+                  std::vector<SnippetCacheKey>& miss_keys) const;
+
+  /// Generates the missed slots in parallel and stores them.
+  Result<std::vector<Snippet>> GenerateMisses(
+      SnippetContext& ctx, const std::vector<QueryResult>& results,
+      const SnippetOptions& options, const BatchOptions& batch,
+      std::vector<Snippet> out, const std::vector<size_t>& misses,
+      const std::vector<SnippetCacheKey>& miss_keys) const;
+
+  const SnippetService* service_;
+  SnippetCache* cache_;
+  std::string document_;
+  /// Keys carry the decorated service's stage sequence, so services with
+  /// different sequences can safely share one cache.
+  std::string stage_tag_;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_SNIPPET_SNIPPET_CACHE_H_

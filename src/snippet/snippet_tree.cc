@@ -11,6 +11,18 @@ size_t Snippet::covered_count() const {
   return static_cast<size_t>(std::count(covered.begin(), covered.end(), true));
 }
 
+Snippet Snippet::Clone() const {
+  Snippet copy;
+  copy.result_root = result_root;
+  copy.nodes = nodes;
+  copy.ilist = ilist;
+  copy.covered = covered;
+  copy.return_entity = return_entity;
+  copy.key = key;
+  copy.tree = tree ? tree->Clone() : nullptr;
+  return copy;
+}
+
 std::unique_ptr<XmlNode> MaterializeSelection(const IndexedDocument& doc,
                                               NodeId result_root,
                                               const Selection& selection) {

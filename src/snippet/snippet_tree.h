@@ -32,6 +32,11 @@ struct Snippet {
   size_t edges() const { return nodes.empty() ? 0 : nodes.size() - 1; }
   /// Number of IList items covered.
   size_t covered_count() const;
+
+  /// Deep copy, including the materialized tree — what the snippet cache
+  /// hands out so callers own their snippets independently of cache
+  /// eviction. The copy serializes byte-identically to the original.
+  Snippet Clone() const;
 };
 
 /// Materializes `selection` (from the instance selector) into a DOM tree.

@@ -1,0 +1,132 @@
+#include "common/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace extract {
+namespace {
+
+TEST(LruCacheTest, GetMissThenHit) {
+  ShardedLruCache<int, std::string> cache(8, 2);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  cache.Put(1, "one");
+  auto hit = cache.Get(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "one");
+
+  LruCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(LruCacheTest, PutOverwrites) {
+  ShardedLruCache<int, std::string> cache(8);
+  cache.Put(1, "one");
+  cache.Put(1, "uno");
+  EXPECT_EQ(*cache.Get(1), "uno");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedPerShard) {
+  // One shard makes the recency order global and the test deterministic.
+  ShardedLruCache<int, int> cache(3, 1);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(3, 30);
+  // Touch 1 so 2 becomes the LRU entry.
+  EXPECT_TRUE(cache.Get(1).has_value());
+  cache.Put(4, 40);
+  EXPECT_FALSE(cache.Get(2).has_value()) << "LRU entry must be evicted";
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+  EXPECT_TRUE(cache.Get(4).has_value());
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(LruCacheTest, CapacityIsSplitAcrossShardsWithFloorOne) {
+  ShardedLruCache<int, int> split(16, 4);
+  EXPECT_EQ(split.capacity(), 16u);
+  EXPECT_EQ(split.num_shards(), 4u);
+  // A budget below the shard count still holds one entry per shard.
+  ShardedLruCache<int, int> tiny(1, 4);
+  EXPECT_EQ(tiny.capacity(), 4u);
+  // Zero shards is clamped to one.
+  ShardedLruCache<int, int> one_shard(4, 0);
+  EXPECT_EQ(one_shard.num_shards(), 1u);
+}
+
+TEST(LruCacheTest, SizeNeverExceedsCapacity) {
+  ShardedLruCache<int, int> cache(10, 4);
+  for (int i = 0; i < 1000; ++i) cache.Put(i, i);
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GE(cache.Stats().evictions, 1000u - cache.capacity());
+}
+
+TEST(LruCacheTest, EraseAndClear) {
+  ShardedLruCache<int, int> cache(8);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_TRUE(cache.Erase(1));
+  EXPECT_FALSE(cache.Erase(1));
+  EXPECT_FALSE(cache.Get(1).has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, EraseIfRemovesMatchingEntriesAcrossShards) {
+  ShardedLruCache<std::string, int> cache(64, 4);
+  for (int i = 0; i < 10; ++i) {
+    cache.Put("a/" + std::to_string(i), i);
+    cache.Put("b/" + std::to_string(i), i);
+  }
+  size_t erased = cache.EraseIf(
+      [](const std::string& key) { return key.rfind("a/", 0) == 0; });
+  EXPECT_EQ(erased, 10u);
+  EXPECT_EQ(cache.size(), 10u);
+  EXPECT_FALSE(cache.Get("a/3").has_value());
+  EXPECT_TRUE(cache.Get("b/3").has_value());
+}
+
+TEST(LruCacheTest, ConcurrentMixedWorkloadStaysConsistent) {
+  ShardedLruCache<int, int> cache(128, 8);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<size_t> observed_hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int key = (t * 37 + i) % 200;
+        if (i % 3 == 0) {
+          cache.Put(key, key * 2);
+        } else {
+          auto hit = cache.Get(key);
+          if (hit.has_value()) {
+            EXPECT_EQ(*hit, key * 2) << "value must never tear";
+            observed_hits.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (i % 501 == 0) cache.Erase(key);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  LruCacheStats stats = cache.Stats();
+  const size_t gets = kThreads * (kOpsPerThread - (kOpsPerThread + 2) / 3);
+  EXPECT_EQ(stats.hits + stats.misses, gets);
+  EXPECT_EQ(stats.hits, observed_hits.load());
+  EXPECT_LE(stats.entries, cache.capacity());
+}
+
+}  // namespace
+}  // namespace extract

@@ -1,0 +1,309 @@
+#include "snippet/snippet_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/stores_dataset.h"
+#include "xml/serializer.h"
+
+namespace extract {
+namespace {
+
+struct Ctx {
+  XmlDatabase db;
+  Query query;
+  std::vector<QueryResult> results;
+};
+
+Ctx RunQuery(std::string xml, const std::string& query_text) {
+  auto db = XmlDatabase::Load(std::move(xml));
+  EXPECT_TRUE(db.ok()) << db.status();
+  Query query = Query::Parse(query_text);
+  XSeekEngine engine;
+  auto results = engine.Search(*db, query);
+  EXPECT_TRUE(results.ok()) << results.status();
+  return Ctx{std::move(*db), std::move(query), std::move(*results)};
+}
+
+void ExpectSnippetsIdentical(const Snippet& a, const Snippet& b) {
+  EXPECT_EQ(a.result_root, b.result_root);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.covered, b.covered);
+  EXPECT_EQ(a.key.value, b.key.value);
+  EXPECT_EQ(a.return_entity.label, b.return_entity.label);
+  EXPECT_EQ(a.return_entity.evidence, b.return_entity.evidence);
+  EXPECT_EQ(a.return_entity.instances, b.return_entity.instances);
+  EXPECT_EQ(a.ilist.ToString(), b.ilist.ToString());
+  ASSERT_NE(a.tree, nullptr);
+  ASSERT_NE(b.tree, nullptr);
+  EXPECT_EQ(WriteXml(*a.tree), WriteXml(*b.tree));
+}
+
+TEST(SnippetCacheKeyTest, IdenticalRequestsShareOneKey) {
+  Query q = Query::Parse("store texas");
+  SnippetOptions options;
+  EXPECT_EQ(MakeSnippetCacheKey("doc", q, 5, options),
+            MakeSnippetCacheKey("doc", q, 5, options));
+}
+
+TEST(SnippetCacheKeyTest, EveryKeyedFieldChangesTheSignature) {
+  Query q = Query::Parse("store texas");
+  SnippetOptions options;
+  const SnippetCacheKey base = MakeSnippetCacheKey("doc", q, 5, options);
+
+  EXPECT_FALSE(MakeSnippetCacheKey("doc2", q, 5, options) == base);
+  EXPECT_FALSE(MakeSnippetCacheKey("doc", q, 6, options) == base);
+  EXPECT_FALSE(MakeSnippetCacheKey("doc", Query::Parse("store dallas"), 5,
+                                   options) == base);
+
+  // Same normalized keywords, different raw spelling: the IList displays
+  // raw keywords, so the signatures must differ.
+  Query shouty = Query::Parse("STORE TEXAS");
+  ASSERT_EQ(shouty.keywords, q.keywords);
+  EXPECT_FALSE(MakeSnippetCacheKey("doc", shouty, 5, options) == base);
+
+  SnippetOptions other = options;
+  other.size_bound += 1;
+  EXPECT_FALSE(MakeSnippetCacheKey("doc", q, 5, other) == base);
+  other = options;
+  other.features.normalize = !other.features.normalize;
+  EXPECT_FALSE(MakeSnippetCacheKey("doc", q, 5, other) == base);
+  other = options;
+  other.features.max_features = 3;
+  EXPECT_FALSE(MakeSnippetCacheKey("doc", q, 5, other) == base);
+  other = options;
+  other.stop_on_first_overflow = !other.stop_on_first_overflow;
+  EXPECT_FALSE(MakeSnippetCacheKey("doc", q, 5, other) == base);
+  other = options;
+  other.use_exact_selector = !other.use_exact_selector;
+  EXPECT_FALSE(MakeSnippetCacheKey("doc", q, 5, other) == base);
+}
+
+TEST(SnippetCacheKeyTest, StageSequenceChangesTheSignature) {
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  Query q = Query::Parse("store texas");
+  SnippetOptions options;
+
+  // The tag-less overload means "default Figure 4 stages": identical to a
+  // default-constructed service's tag.
+  SnippetService default_service(&ctx.db);
+  EXPECT_EQ(MakeSnippetCacheKey("doc", q, 5, options),
+            MakeSnippetCacheKey("doc", q, 5, options,
+                                SnippetStageTag(default_service)));
+
+  // A custom sequence signs differently.
+  std::vector<std::unique_ptr<SnippetStage>> truncated = BuildDefaultStages();
+  truncated.pop_back();  // drop materialize
+  SnippetService custom_service(&ctx.db, std::move(truncated));
+  EXPECT_FALSE(MakeSnippetCacheKey("doc", q, 5, options,
+                                   SnippetStageTag(custom_service)) ==
+               MakeSnippetCacheKey("doc", q, 5, options));
+}
+
+TEST(SnippetCacheKeyTest, ServicesWithDifferentStagesCanShareACache) {
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  ASSERT_FALSE(ctx.results.empty());
+  SnippetCache cache;  // shared
+  SnippetOptions options;
+  options.size_bound = 10;
+
+  SnippetService full(&ctx.db);
+  CachingSnippetService full_caching(&full, &cache, "stores");
+  auto with_tree = full_caching.Generate(ctx.query, ctx.results[0], options);
+  ASSERT_TRUE(with_tree.ok());
+  ASSERT_NE(with_tree->tree, nullptr);
+
+  // A service without the materialize stage produces tree-less snippets; it
+  // must not be served the full pipeline's cached entry.
+  std::vector<std::unique_ptr<SnippetStage>> truncated = BuildDefaultStages();
+  truncated.pop_back();
+  SnippetService partial(&ctx.db, std::move(truncated));
+  CachingSnippetService partial_caching(&partial, &cache, "stores");
+  auto without_tree =
+      partial_caching.Generate(ctx.query, ctx.results[0], options);
+  ASSERT_TRUE(without_tree.ok()) << without_tree.status();
+  EXPECT_EQ(without_tree->tree, nullptr)
+      << "custom-stage service must not alias the default pipeline's entry";
+  EXPECT_EQ(cache.Stats().entries, 2u);
+}
+
+TEST(SnippetCacheKeyTest, JoinedKeywordListsCannotCollide) {
+  Query ab;
+  ab.keywords = {"ab", "c"};
+  ab.raw_keywords = {"ab", "c"};
+  Query a_bc;
+  a_bc.keywords = {"a", "bc"};
+  a_bc.raw_keywords = {"a", "bc"};
+  EXPECT_FALSE(MakeSnippetCacheKey("doc", ab, 1, SnippetOptions{}) ==
+               MakeSnippetCacheKey("doc", a_bc, 1, SnippetOptions{}));
+}
+
+TEST(SnippetCacheTest, PutGetInvalidateClear) {
+  SnippetCache::Options opts;
+  opts.capacity = 16;
+  SnippetCache cache(opts);
+  Query q = Query::Parse("texas");
+  SnippetCacheKey a = MakeSnippetCacheKey("stores", q, 1, SnippetOptions{});
+  SnippetCacheKey b = MakeSnippetCacheKey("retailer", q, 1, SnippetOptions{});
+
+  EXPECT_EQ(cache.Get(a), nullptr);
+  auto snippet = std::make_shared<const Snippet>();
+  cache.Put(a, snippet);
+  cache.Put(b, snippet);
+  EXPECT_NE(cache.Get(a), nullptr);
+
+  // Per-document invalidation drops only that document's entries.
+  EXPECT_EQ(cache.Invalidate("stores"), 1u);
+  EXPECT_EQ(cache.Get(a), nullptr);
+  EXPECT_NE(cache.Get(b), nullptr);
+
+  cache.Clear();
+  EXPECT_EQ(cache.Get(b), nullptr);
+
+  SnippetCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 3u);
+}
+
+TEST(SnippetCacheTest, DocumentNamesSharingAPrefixDoNotCollide) {
+  SnippetCache cache;
+  Query q = Query::Parse("texas");
+  SnippetCacheKey longer =
+      MakeSnippetCacheKey("stores2", q, 1, SnippetOptions{});
+  cache.Put(longer, std::make_shared<const Snippet>());
+  // Invalidating "stores" must not clip "stores2".
+  EXPECT_EQ(cache.Invalidate("stores"), 0u);
+  EXPECT_NE(cache.Get(longer), nullptr);
+}
+
+TEST(SnippetCacheTest, SeparatorBytesInDocumentIdsAreEscaped) {
+  // Reserved bytes in a caller-supplied id are escaped in the encoding, so
+  // crafted ids can neither alias another document's signatures nor be
+  // clipped (or over-matched) by prefix invalidation.
+  SnippetCache cache;
+  Query q = Query::Parse("texas");
+  const std::string tricky = std::string("a\x1F") + "b";
+  SnippetCacheKey tricky_key =
+      MakeSnippetCacheKey(tricky, q, 1, SnippetOptions{});
+  SnippetCacheKey plain_key = MakeSnippetCacheKey("a", q, 1, SnippetOptions{});
+  EXPECT_FALSE(tricky_key == plain_key);
+
+  cache.Put(tricky_key, std::make_shared<const Snippet>());
+  cache.Put(plain_key, std::make_shared<const Snippet>());
+  EXPECT_EQ(cache.Invalidate("a"), 1u) << "must not clip 'a\\x1Fb'";
+  EXPECT_NE(cache.Get(tricky_key), nullptr);
+  EXPECT_EQ(cache.Invalidate(tricky), 1u);
+  EXPECT_EQ(cache.Get(tricky_key), nullptr);
+}
+
+TEST(CachingSnippetServiceTest, HitIsByteIdenticalToGeneration) {
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  ASSERT_FALSE(ctx.results.empty());
+  SnippetService service(&ctx.db);
+  SnippetCache cache;
+  CachingSnippetService caching(&service, &cache, "stores");
+  SnippetOptions options;
+  options.size_bound = 10;
+
+  auto uncached = service.Generate(ctx.query, ctx.results[0], options);
+  ASSERT_TRUE(uncached.ok()) << uncached.status();
+
+  auto cold = caching.Generate(ctx.query, ctx.results[0], options);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  auto warm = caching.Generate(ctx.query, ctx.results[0], options);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+
+  ExpectSnippetsIdentical(*cold, *uncached);
+  ExpectSnippetsIdentical(*warm, *uncached);
+
+  SnippetCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(CachingSnippetServiceTest, HitsOutliveEvictionAndCacheOwner) {
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  ASSERT_FALSE(ctx.results.empty());
+  SnippetService service(&ctx.db);
+  SnippetOptions options;
+  options.size_bound = 10;
+
+  Result<Snippet> warm = Snippet{};
+  {
+    SnippetCache cache;
+    CachingSnippetService caching(&service, &cache, "stores");
+    ASSERT_TRUE(caching.Generate(ctx.query, ctx.results[0], options).ok());
+    warm = caching.Generate(ctx.query, ctx.results[0], options);
+    ASSERT_TRUE(warm.ok());
+    cache.Clear();
+  }
+  // The returned snippet is a deep copy: usable after Clear() and after the
+  // cache itself is gone.
+  EXPECT_NE(warm->tree, nullptr);
+  EXPECT_FALSE(WriteXml(*warm->tree).empty());
+}
+
+TEST(CachingSnippetServiceTest, BatchServesHitsAndGeneratesMisses) {
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  ASSERT_EQ(ctx.results.size(), 2u);
+  SnippetService service(&ctx.db);
+  SnippetCache cache;
+  CachingSnippetService caching(&service, &cache, "stores");
+  SnippetOptions options;
+  options.size_bound = 10;
+
+  // Pre-warm only the second result, then batch over both: one hit, one
+  // generated miss, byte-identical to the uncached batch.
+  ASSERT_TRUE(caching.Generate(ctx.query, ctx.results[1], options).ok());
+  auto expected =
+      service.GenerateBatch(ctx.query, ctx.results, options, BatchOptions{});
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  auto got =
+      caching.GenerateBatch(ctx.query, ctx.results, options, BatchOptions{});
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_EQ(got->size(), expected->size());
+  for (size_t i = 0; i < got->size(); ++i) {
+    ExpectSnippetsIdentical((*got)[i], (*expected)[i]);
+  }
+
+  SnippetCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);  // pre-warm miss + the cold batch slot
+  EXPECT_EQ(stats.entries, 2u);
+
+  // A fully warm batch does no generation at all.
+  auto warm =
+      caching.GenerateBatch(ctx.query, ctx.results, options, BatchOptions{});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(cache.Stats().hits, 3u);
+  EXPECT_EQ(cache.Stats().misses, 2u);
+}
+
+TEST(CachingSnippetServiceTest, DifferentBoundsAreDistinctEntries) {
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  ASSERT_FALSE(ctx.results.empty());
+  SnippetService service(&ctx.db);
+  SnippetCache cache;
+  CachingSnippetService caching(&service, &cache, "stores");
+
+  for (size_t bound : {4u, 8u, 16u}) {
+    SnippetOptions options;
+    options.size_bound = bound;
+    auto cached = caching.Generate(ctx.query, ctx.results[0], options);
+    auto fresh = service.Generate(ctx.query, ctx.results[0], options);
+    ASSERT_TRUE(cached.ok());
+    ASSERT_TRUE(fresh.ok());
+    ExpectSnippetsIdentical(*cached, *fresh);
+  }
+  EXPECT_EQ(cache.Stats().misses, 3u);
+  EXPECT_EQ(cache.Stats().hits, 0u);
+  EXPECT_EQ(cache.Stats().entries, 3u);
+}
+
+}  // namespace
+}  // namespace extract

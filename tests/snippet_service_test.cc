@@ -9,6 +9,7 @@
 #include "datagen/stores_dataset.h"
 #include "search/corpus.h"
 #include "snippet/pipeline.h"
+#include "snippet/snippet_cache.h"
 #include "xml/serializer.h"
 
 namespace extract {
@@ -31,12 +32,15 @@ Ctx RunQuery(std::string xml, const std::string& query_text) {
 }
 
 // Byte-level equality of two snippets: selected nodes, coverage, key,
-// IList and the serialized tree.
+// return entity, IList and the serialized tree.
 void ExpectSnippetsIdentical(const Snippet& a, const Snippet& b) {
   EXPECT_EQ(a.result_root, b.result_root);
   EXPECT_EQ(a.nodes, b.nodes);
   EXPECT_EQ(a.covered, b.covered);
   EXPECT_EQ(a.key.value, b.key.value);
+  EXPECT_EQ(a.return_entity.label, b.return_entity.label);
+  EXPECT_EQ(a.return_entity.evidence, b.return_entity.evidence);
+  EXPECT_EQ(a.return_entity.instances, b.return_entity.instances);
   EXPECT_EQ(a.ilist.ToString(), b.ilist.ToString());
   ASSERT_NE(a.tree, nullptr);
   ASSERT_NE(b.tree, nullptr);
@@ -276,6 +280,142 @@ TEST(SnippetServiceTest, CorpusGenerateSnippetsThreadSafetySmoke) {
       ExpectSnippetsIdentical((*got)[i], (*expected)[i]);
     }
   }
+}
+
+// --------------------------------------------------------------------------
+// MakeBatchResultError: the shared error shape of every batch entry point.
+
+TEST(MakeBatchResultErrorTest, ShapePreservesCodeAndInnerMessage) {
+  Status inner = Status::InvalidArgument("bad root");
+  Status shaped = MakeBatchResultError(1, 3, "", inner);
+  EXPECT_EQ(shaped.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(shaped.message(), "result 1 of 3: bad root");
+
+  Status with_extra =
+      MakeBatchResultError(0, 2, " (document 'stores')",
+                           Status::NotFound("unknown document 'stores'"));
+  EXPECT_EQ(with_extra.code(), StatusCode::kNotFound);
+  EXPECT_EQ(with_extra.message(),
+            "result 0 of 2 (document 'stores'): unknown document 'stores'");
+}
+
+// A batch with a bogus result at index 1, shared by the entry-point shape
+// tests below.
+std::vector<QueryResult> WithBogusAt1(const Ctx& ctx) {
+  std::vector<QueryResult> results = ctx.results;
+  QueryResult bogus;
+  bogus.root = static_cast<NodeId>(ctx.db.index().num_nodes() + 7);
+  results.insert(results.begin() + 1, bogus);
+  return results;
+}
+
+TEST(MakeBatchResultErrorTest, ServiceGenerateBatchUsesTheShape) {
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  ASSERT_EQ(ctx.results.size(), 2u);
+  SnippetService service(&ctx.db);
+  auto batch = service.GenerateBatch(ctx.query, WithBogusAt1(ctx),
+                                     SnippetOptions{}, BatchOptions{});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(batch.status().message().find("result 1 of 3: "), 0u)
+      << batch.status();
+}
+
+TEST(MakeBatchResultErrorTest, GeneratorGenerateAllUsesTheShape) {
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  ASSERT_EQ(ctx.results.size(), 2u);
+  SnippetGenerator generator(&ctx.db);
+  auto all =
+      generator.GenerateAll(ctx.query, WithBogusAt1(ctx), SnippetOptions{});
+  ASSERT_FALSE(all.ok());
+  EXPECT_EQ(all.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(all.status().message().find("result 1 of 3: "), 0u)
+      << all.status();
+}
+
+TEST(MakeBatchResultErrorTest, CorpusGenerateSnippetsNamesTheDocument) {
+  XmlCorpus corpus;
+  ASSERT_TRUE(corpus.AddDocument("stores", GenerateStoresXml()).ok());
+  Query query = Query::Parse("texas");
+  XSeekEngine engine;
+  auto hits = corpus.SearchAll(query, engine);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  std::vector<CorpusResult> page = *hits;
+  CorpusResult bogus;
+  bogus.document = "stores";
+  bogus.result.root = static_cast<NodeId>(
+      corpus.Find("stores")->index().num_nodes() + 7);
+  page.insert(page.begin() + 1, bogus);
+
+  auto snippets = corpus.GenerateSnippets(query, page, SnippetOptions{});
+  ASSERT_FALSE(snippets.ok());
+  EXPECT_EQ(snippets.status().code(), StatusCode::kInvalidArgument);
+  const std::string expected_prefix =
+      "result 1 of " + std::to_string(page.size()) + " (document 'stores'): ";
+  EXPECT_EQ(snippets.status().message().find(expected_prefix), 0u)
+      << snippets.status();
+}
+
+TEST(MakeBatchResultErrorTest, CachedBatchPreservesTheFailingIndex) {
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  ASSERT_EQ(ctx.results.size(), 2u);
+  SnippetService service(&ctx.db);
+  SnippetCache cache;
+  CachingSnippetService caching(&service, &cache, "stores");
+  std::vector<QueryResult> results = WithBogusAt1(ctx);
+
+  // Cold: every slot is a miss; the error names the batch-level index.
+  auto cold =
+      caching.GenerateBatch(ctx.query, results, SnippetOptions{}, BatchOptions{});
+  ASSERT_FALSE(cold.ok());
+  EXPECT_EQ(cold.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cold.status().message().find("result 1 of 3: "), 0u)
+      << cold.status();
+
+  // Warm the valid results, then fail again: the miss subset is now just
+  // {1}, but the error must still name index 1 of 3, identical to the
+  // uncached path.
+  auto warmup = caching.GenerateBatch(ctx.query, ctx.results, SnippetOptions{},
+                                      BatchOptions{});
+  ASSERT_TRUE(warmup.ok()) << warmup.status();
+  auto warm =
+      caching.GenerateBatch(ctx.query, results, SnippetOptions{}, BatchOptions{});
+  ASSERT_FALSE(warm.ok());
+  EXPECT_EQ(warm.status(), cold.status());
+
+  auto uncached = service.GenerateBatch(ctx.query, results, SnippetOptions{},
+                                        BatchOptions{});
+  ASSERT_FALSE(uncached.ok());
+  EXPECT_EQ(warm.status(), uncached.status())
+      << "cached and uncached batches must report identical failures";
+}
+
+TEST(MakeBatchResultErrorTest, CachedCorpusPathPreservesIndexAndDocument) {
+  XmlCorpus corpus;
+  corpus.EnableSnippetCache();
+  ASSERT_TRUE(corpus.AddDocument("stores", GenerateStoresXml()).ok());
+  Query query = Query::Parse("texas");
+  XSeekEngine engine;
+  auto hits = corpus.SearchAll(query, engine);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+
+  // Warm the valid page first so the failing request runs against hits.
+  ASSERT_TRUE(corpus.GenerateSnippets(query, *hits, SnippetOptions{}).ok());
+
+  std::vector<CorpusResult> page = *hits;
+  CorpusResult bogus;
+  bogus.document = "stores";
+  bogus.result.root = static_cast<NodeId>(
+      corpus.Find("stores")->index().num_nodes() + 7);
+  page.insert(page.begin() + 1, bogus);
+  auto snippets = corpus.GenerateSnippets(query, page, SnippetOptions{});
+  ASSERT_FALSE(snippets.ok());
+  const std::string expected_prefix =
+      "result 1 of " + std::to_string(page.size()) + " (document 'stores'): ";
+  EXPECT_EQ(snippets.status().message().find(expected_prefix), 0u)
+      << snippets.status();
 }
 
 TEST(SnippetServiceTest, StageErrorsNameTheStage) {
