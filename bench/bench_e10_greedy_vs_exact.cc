@@ -55,6 +55,11 @@ int main() {
   std::vector<std::vector<std::string>> table;
   table.push_back({"items", "bound", "greedy/exact coverage", "ratio",
                    "greedy us", "exact us", "speedup"});
+  struct Row {
+    size_t items, bound;
+    double greedy_coverage, exact_coverage, greedy_us, exact_us;
+  };
+  std::vector<Row> rows;
   const int kTrials = 12;
   for (size_t num_items : {4u, 6u, 8u, 10u, 12u}) {
     size_t bound = num_items;  // roughly one edge per item
@@ -83,10 +88,38 @@ int main() {
          FormatDouble(exact_us_total / kTrials, 1),
          FormatDouble(exact_us_total / std::max(1.0, greedy_us_total), 1) +
              "x"});
+    rows.push_back(Row{num_items, bound, greedy_total / kTrials,
+                       exact_total / kTrials, greedy_us_total / kTrials,
+                       exact_us_total / kTrials});
   }
   std::printf("%s\n", RenderTable(table).c_str());
   std::printf("expected shape: ratio near 1.0 (greedy ~ optimal on typical "
               "inputs); exact time grows combinatorially with items, greedy "
               "stays microseconds — why eXtract ships the greedy (§2.4).\n");
+
+  // Machine-readable selector timings: the perf gate compares these against
+  // bench/baselines/BENCH_e10.json to catch selector hot-path regressions.
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("experiment").Value(std::string("e10_greedy_vs_exact"));
+  json.Key("trials").Value(static_cast<size_t>(kTrials));
+  json.Key("cases").BeginArray();
+  for (const Row& row : rows) {
+    json.BeginObject();
+    json.Key("items").Value(row.items);
+    json.Key("bound").Value(row.bound);
+    json.Key("greedy_coverage").Value(row.greedy_coverage);
+    json.Key("exact_coverage").Value(row.exact_coverage);
+    json.Key("greedy_us").Value(row.greedy_us);
+    json.Key("exact_us").Value(row.exact_us);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (json.WriteFile("BENCH_e10.json")) {
+    std::printf("wrote BENCH_e10.json\n");
+  } else {
+    std::fprintf(stderr, "cannot write BENCH_e10.json\n");
+  }
   return 0;
 }

@@ -350,6 +350,108 @@ void WriteCacheBenchJson(const std::string& path) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_search.json: sequential vs sharded corpus search over a
+// multi-document synthetic corpus, across thread counts.
+
+void WriteSearchBenchJson(const std::string& path) {
+  // Sized so per-document search+rank work dominates task dispatch by a
+  // couple of orders of magnitude — the regime sharding is for.
+  bench::SyntheticCorpusOptions corpus_options;
+  corpus_options.num_documents = 8;
+  corpus_options.entities_per_parent = 24;
+  size_t xml_bytes = 0;
+  XmlCorpus corpus = bench::MakeSyntheticCorpus(corpus_options, &xml_bytes);
+
+  // Queries drawn from one document's workload; the shared value vocabulary
+  // of the generator makes them hit most documents — the cross-corpus load
+  // sharded SearchAll exists for.
+  const XmlDatabase* db0 = corpus.Find("doc00");
+  WorkloadOptions wopts;
+  wopts.num_queries = 6;
+  wopts.keywords_per_query = 3;
+  wopts.frequency_bias = 1.0;  // broad queries: long posting lists
+  auto workload = GenerateWorkload(*db0, wopts);
+  XSeekEngine engine;
+
+  auto search_pass = [&](const CorpusServingOptions& serving, size_t* hits) {
+    size_t total = 0;
+    for (const Query& q : workload) {
+      auto results = corpus.SearchAll(q, engine, RankingOptions{}, serving);
+      benchmark::DoNotOptimize(results);
+      if (results.ok()) total += results->size();
+    }
+    if (hits != nullptr) *hits = total;
+  };
+
+  CorpusServingOptions sequential;
+  sequential.search_threads = 1;  // the plain document loop, no pool
+  size_t hits = 0;
+  double sequential_us =
+      bench::MeasureMicros([&] { search_pass(sequential, &hits); });
+
+  // Sanity: the sharded page must be byte-identical to the sequential one
+  // (the test suite asserts this exhaustively; the bench cross-checks so a
+  // regression can never hide behind a fast-but-wrong number).
+  bool identical = true;
+  for (const Query& q : workload) {
+    auto seq = corpus.SearchAll(q, engine, RankingOptions{}, sequential);
+    CorpusServingOptions sharded;
+    sharded.search_threads = 4;
+    auto par = corpus.SearchAll(q, engine, RankingOptions{}, sharded);
+    if (!seq.ok() || !par.ok() || seq->size() != par->size()) {
+      identical = false;
+      break;
+    }
+    for (size_t i = 0; i < seq->size(); ++i) {
+      if ((*seq)[i].document != (*par)[i].document ||
+          (*seq)[i].result.root != (*par)[i].result.root ||
+          (*seq)[i].score != (*par)[i].score) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  if (!identical) {
+    std::fprintf(stderr, "sharded SearchAll diverged from sequential!\n");
+  }
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("experiment").Value(std::string("corpus_search_sharded"));
+  json.Key("corpus").BeginObject();
+  json.Key("documents").Value(corpus_options.num_documents);
+  json.Key("xml_bytes_total").Value(xml_bytes);
+  json.EndObject();
+  json.Key("queries").Value(workload.size());
+  json.Key("hits").Value(hits);
+  json.Key("hardware_threads").Value(ThreadPool::HardwareThreads());
+  json.Key("results_identical_to_sequential")
+      .Value(static_cast<size_t>(identical ? 1 : 0));
+  json.Key("sequential_us").Value(sequential_us);
+  json.Key("sharded").BeginArray();
+  for (size_t threads : {1, 2, 4, 8}) {
+    CorpusServingOptions serving;
+    serving.search_threads = threads;
+    double us = bench::MeasureMicros([&] { search_pass(serving, nullptr); });
+    json.BeginObject();
+    json.Key("threads").Value(threads);
+    json.Key("us").Value(us);
+    json.Key("speedup").Value(us > 0.0 ? sequential_us / us : 0.0);
+    json.Key("queries_per_s")
+        .Value(us > 0.0 ? workload.size() / (us / 1e6) : 0.0);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  if (json.WriteFile(path)) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -359,5 +461,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   WriteBenchJson("BENCH_e7.json");
   WriteCacheBenchJson("BENCH_cache.json");
+  WriteSearchBenchJson("BENCH_search.json");
   return 0;
 }

@@ -13,7 +13,10 @@
 #include <iomanip>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "datagen/random_xml.h"
+#include "search/corpus.h"
 #include "search/search_engine.h"
 
 namespace extract {
@@ -43,6 +46,50 @@ inline XmlDatabase MustLoad(const std::string& xml) {
     std::abort();
   }
   return std::move(*db);
+}
+
+/// Shape of a multi-document synthetic corpus (the sharded-serving
+/// scaling axis: document count × per-document size).
+struct SyntheticCorpusOptions {
+  size_t num_documents = 8;
+  /// Per-document shape, as in RandomXmlOptions.
+  size_t levels = 3;
+  size_t entities_per_parent = 8;
+  size_t attributes_per_entity = 3;
+  size_t domain_size = 24;
+  double zipf_skew = 1.1;
+  uint64_t seed = 1;
+};
+
+/// \brief Generates `num_documents` random documents into one corpus,
+/// named "doc00", "doc01", ... Each document draws from the same
+/// label/value vocabulary (so one query hits many documents — the
+/// cross-corpus case sharded SearchAll is for) but a different seed, so
+/// contents and match sets differ per document. Aborts on failure; fills
+/// `total_xml_bytes` when non-null.
+inline XmlCorpus MakeSyntheticCorpus(const SyntheticCorpusOptions& options,
+                                     size_t* total_xml_bytes = nullptr) {
+  XmlCorpus corpus;
+  if (total_xml_bytes != nullptr) *total_xml_bytes = 0;
+  for (size_t d = 0; d < options.num_documents; ++d) {
+    RandomXmlOptions doc_options;
+    doc_options.levels = options.levels;
+    doc_options.entities_per_parent = options.entities_per_parent;
+    doc_options.attributes_per_entity = options.attributes_per_entity;
+    doc_options.domain_size = options.domain_size;
+    doc_options.zipf_skew = options.zipf_skew;
+    doc_options.seed = options.seed + d * 7919;  // distinct content per doc
+    RandomXmlData data = GenerateRandomXml(doc_options);
+    if (total_xml_bytes != nullptr) *total_xml_bytes += data.xml.size();
+    char name[16];
+    std::snprintf(name, sizeof(name), "doc%02zu", d);
+    Status status = corpus.AddDocument(name, data.xml);
+    if (!status.ok()) {
+      std::fprintf(stderr, "fatal: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+  }
+  return corpus;
 }
 
 /// \brief Minimal JSON object/array writer for experiment outputs. Handles

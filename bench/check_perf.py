@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Perf regression gate: compare freshly produced BENCH_*.json against the
+checked-in baselines under bench/baselines/ with a relative tolerance.
+
+Usage:
+    python3 bench/check_perf.py --current-dir build/bench \
+        [--baseline-dir bench/baselines] [--tolerance 0.5] [--strict]
+
+Comparison rules, applied to every numeric leaf shared by baseline and
+current (matched by its JSON path):
+  * keys ending in `_us` / `_ns` are latencies — warn when current exceeds
+    baseline by more than the tolerance;
+  * keys ending in `_per_s` or named `speedup` are throughputs — warn when
+    current falls below baseline by more than the tolerance;
+  * `results_identical_to_sequential` must stay 1 — correctness, not perf;
+  * other numerics (counts, sizes) are reported when they drift, as context.
+
+Speedup keys are skipped when either run's `hardware_threads` is below 2:
+a single-core runner cannot exhibit parallel speedup, and warning about it
+would teach everyone to ignore the gate.
+
+Exit status is 0 unless --strict is given and a perf warning fired. The CI
+step runs warn-only; promote to --strict once baseline noise is understood.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def numeric_leaves(node, path=""):
+    """Yields (json_path, value) for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from numeric_leaves(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from numeric_leaves(value, f"{path}[{i}]")
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield path, float(node)
+
+
+def leaf_kind(path):
+    key = path.rsplit(".", 1)[-1].split("[")[0]
+    if key == "results_identical_to_sequential":
+        return "correctness"
+    if key in ("us", "ns") or key.endswith("_us") or key.endswith("_ns"):
+        return "latency"
+    if key.endswith("_per_s") or key == "speedup" or key.endswith("_speedup"):
+        return "throughput"
+    return "info"
+
+
+def compare_file(name, baseline, current, tolerance, skip_speedup):
+    warnings = []
+    notes = []
+    errors = []  # correctness violations: fatal regardless of --strict
+    base = dict(numeric_leaves(baseline))
+    cur = dict(numeric_leaves(current))
+    for path in sorted(base.keys() & cur.keys()):
+        b, c = base[path], cur[path]
+        kind = leaf_kind(path)
+        if kind == "correctness":
+            if c != 1:
+                errors.append(f"{name}: {path} = {c} (sharded search "
+                              "diverged from sequential!)")
+            continue
+        if b == 0:
+            continue
+        ratio = c / b
+        if kind == "latency" and ratio > 1 + tolerance:
+            warnings.append(f"{name}: {path} regressed {b:.1f} -> {c:.1f} "
+                            f"({ratio:.2f}x, tolerance {1 + tolerance:.2f}x)")
+        elif kind == "throughput":
+            # Bare "speedup" keys measure parallelism; "warm_speedup" & co
+            # (cache effects) hold even on one core.
+            if skip_speedup and path.rsplit(".", 1)[-1].split("[")[0] == "speedup":
+                continue
+            if ratio < 1 - tolerance:
+                warnings.append(f"{name}: {path} dropped {b:.2f} -> {c:.2f} "
+                                f"({ratio:.2f}x of baseline)")
+        elif kind == "info" and ratio not in (1.0,) and abs(ratio - 1) > 1e-9:
+            notes.append(f"{name}: {path} changed {b:g} -> {c:g}")
+    return warnings, notes, errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir",
+                        default=os.path.join(os.path.dirname(__file__),
+                                             "baselines"))
+    parser.add_argument("--current-dir", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="relative slack before a warning (0.5 = 50%%; "
+                             "wall-clock comparisons across machines are "
+                             "noisy, keep this loose)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when a perf warning fires")
+    args = parser.parse_args()
+
+    baselines = sorted(glob.glob(os.path.join(args.baseline_dir,
+                                              "BENCH_*.json")))
+    if not baselines:
+        print(f"no baselines under {args.baseline_dir}; nothing to check")
+        return 0
+
+    all_warnings, all_notes, all_errors, compared = [], [], [], 0
+    for baseline_path in baselines:
+        name = os.path.basename(baseline_path)
+        current_path = os.path.join(args.current_dir, name)
+        if not os.path.exists(current_path):
+            all_notes.append(f"{name}: not produced by this run (skipped)")
+            continue
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        with open(current_path) as f:
+            current = json.load(f)
+
+        def hardware_threads(doc):
+            # The key may be nested (BENCH_e7.json keeps it under "batch").
+            found = [v for p, v in numeric_leaves(doc)
+                     if p.rsplit(".", 1)[-1] == "hardware_threads"]
+            return min(found) if found else 99
+
+        threads = min(hardware_threads(baseline), hardware_threads(current))
+        warnings, notes, errors = compare_file(
+            name, baseline, current, args.tolerance,
+            skip_speedup=threads < 2)
+        compared += 1
+        all_warnings += warnings
+        all_notes += notes
+        all_errors += errors
+
+    for note in all_notes:
+        print(f"note: {note}")
+    for warning in all_warnings:
+        print(f"WARNING: {warning}")
+    for error in all_errors:
+        print(f"ERROR: {error}")
+    print(f"perf gate: {compared} file(s) compared, "
+          f"{len(all_warnings)} warning(s), {len(all_errors)} error(s), "
+          f"tolerance {args.tolerance:.0%}")
+    if all_errors:  # correctness is a boolean, not noisy wall clock
+        return 1
+    if all_warnings and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,13 +12,18 @@
 //   datasets                        list loaded data sets
 //   use <name>                      switch the active data set
 //   schema                          show the Data Analyzer's summary
-//   bound <n>                       set the snippet size bound (edges)
+//   bound <n>                       set the snippet size bound (edges) and
+//                                   regenerate the last query's snippets —
+//                                   reusing the query's memoized scans, so
+//                                   only selection + materialize re-run
 //   query <keywords...>             search + snippets (active data set)
 //   queryall <keywords...>          search every loaded data set, ranked
+//                                   (sharded parallel SearchAll)
 //   result <rank>                   print the full tree of a result
 //   html <path>                     write the last results page as HTML
 //   save <path> / load <path>       snapshot the active data set's index
 //   cache [clear]                   snippet-cache stats / drop all entries
+//   stats [reset]                   per-stage serving-time breakdown
 //   help / quit
 
 #include <cstdio>
@@ -27,6 +32,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <memory>
 
 #include "common/string_util.h"
 #include "datagen/movies_dataset.h"
@@ -39,23 +46,61 @@
 #include "search/snapshot.h"
 #include "snippet/distinguishability.h"
 #include "snippet/pipeline.h"
+#include "snippet/snippet_context.h"
+#include "snippet/stage_stats.h"
 #include "xml/serializer.h"
 
 namespace {
 
 using namespace extract;
 
+// The live pipeline of the last `query`: service + per-query context kept
+// across commands, so changing only the size bound regenerates snippets
+// from the context's memoized statistics/entity/key/instance scans instead
+// of re-running the whole pipeline from scratch.
+struct QuerySession {
+  std::string document;  ///< data set the session is bound to
+  std::string text;      ///< raw query text, to detect query changes
+  std::unique_ptr<SnippetService> service;
+  std::unique_ptr<SnippetContext> context;
+};
+
 struct ShellState {
   XmlCorpus corpus;
   std::string active;
   size_t bound = 10;
   Query last_query;
+  /// Raw text of the query that produced last_results — `bound` only
+  /// regenerates when the live session still matches it.
+  std::string last_query_text;
   std::vector<QueryResult> last_results;
   std::vector<Snippet> last_snippets;
+  QuerySession session;
+  /// Stage time of retired query sessions (a new query replaces the
+  /// session; its counters are folded in here first).
+  StageStatsRegistry retired_stats;
 
   ShellState() { corpus.EnableSnippetCache(); }
 
   const XmlDatabase* ActiveDb() const { return corpus.Find(active); }
+
+  /// The session bound to (active data set, query text), creating it (and
+  /// retiring any previous one) if needed. Requires an active data set.
+  QuerySession& SessionFor(const std::string& text, const Query& query) {
+    if (session.service != nullptr && session.document == active &&
+        session.text == text) {
+      return session;
+    }
+    if (session.service != nullptr) {
+      retired_stats.Merge(session.service->StageStatsSnapshot());
+    }
+    const XmlDatabase* db = ActiveDb();
+    session.document = active;
+    session.text = text;
+    session.service = std::make_unique<SnippetService>(db);
+    session.context = std::make_unique<SnippetContext>(db, query);
+    return session;
+  }
 };
 
 void CmdOpen(ShellState* state, const std::string& name) {
@@ -83,6 +128,17 @@ void CmdOpen(ShellState* state, const std::string& name) {
               state->ActiveDb()->index().num_nodes());
 }
 
+void PrintSnippets(const ShellState& state) {
+  std::printf("%zu result(s), snippet bound %zu\n\n",
+              state.last_results.size(), state.bound);
+  for (size_t i = 0; i < state.last_snippets.size(); ++i) {
+    const Snippet& s = state.last_snippets[i];
+    std::string key_note = s.key.found() ? "  key: " + s.key.value : "";
+    std::printf("[%zu]%s\n%s\n", i + 1, key_note.c_str(),
+                RenderSnippet(s).c_str());
+  }
+}
+
 void CmdQuery(ShellState* state, const std::string& text) {
   const XmlDatabase* db = state->ActiveDb();
   if (db == nullptr) {
@@ -98,23 +154,77 @@ void CmdQuery(ShellState* state, const std::string& text) {
   }
   SnippetOptions options;
   options.size_bound = state->bound;
-  auto snippets = GenerateDiverseSnippets(*db, query, *results, options,
+  QuerySession& session = state->SessionFor(text, query);
+  auto snippets = GenerateDiverseSnippets(*session.service, *session.context,
+                                          *results, options,
                                           DiversifyOptions{});
   if (!snippets.ok()) {
     std::printf("error: %s\n", snippets.status().ToString().c_str());
     return;
   }
-  std::printf("%zu result(s), snippet bound %zu\n\n", results->size(),
-              state->bound);
-  for (size_t i = 0; i < snippets->size(); ++i) {
-    const Snippet& s = (*snippets)[i];
-    std::string key_note = s.key.found() ? "  key: " + s.key.value : "";
-    std::printf("[%zu]%s\n%s\n", i + 1, key_note.c_str(),
-                RenderSnippet(s).c_str());
-  }
   state->last_query = std::move(query);
+  state->last_query_text = text;
   state->last_results = std::move(*results);
   state->last_snippets = std::move(*snippets);
+  PrintSnippets(*state);
+}
+
+// `bound <n>`: regenerate the last query's snippets at the new bound. The
+// session context memoizes every per-query scan, so this re-runs only
+// instance selection + materialization — no re-search, no re-analysis.
+void CmdBound(ShellState* state, const std::string& rest) {
+  state->bound = static_cast<size_t>(std::atoi(rest.c_str()));
+  std::printf("snippet size bound = %zu\n", state->bound);
+  // Regenerate only when the live session is the one that produced
+  // last_results — a failed or differently-targeted query in between must
+  // not mix another query's context with these results.
+  if (state->session.service == nullptr || state->last_results.empty() ||
+      state->session.document != state->active ||
+      state->session.text != state->last_query_text) {
+    return;
+  }
+  SnippetOptions options;
+  options.size_bound = state->bound;
+  auto snippets = GenerateDiverseSnippets(
+      *state->session.service, *state->session.context, state->last_results,
+      options, DiversifyOptions{});
+  if (!snippets.ok()) {
+    std::printf("error: %s\n", snippets.status().ToString().c_str());
+    return;
+  }
+  state->last_snippets = std::move(*snippets);
+  PrintSnippets(*state);
+}
+
+void CmdStats(ShellState* state, const std::string& arg) {
+  if (arg == "reset") {
+    state->corpus.ResetStageStats();
+    state->retired_stats.Reset();
+    if (state->session.service != nullptr) {
+      state->session.service->ResetStageStats();
+    }
+    std::printf("serving stats reset\n");
+    return;
+  }
+  std::vector<StageStat> corpus_stats = state->corpus.StageStatsSnapshot();
+  if (!corpus_stats.empty()) {
+    std::printf("corpus serving (queryall):\n%s",
+                FormatStageStats(corpus_stats).c_str());
+  }
+  StageStatsRegistry query_stats;
+  query_stats.Merge(state->retired_stats.Snapshot());
+  if (state->session.service != nullptr) {
+    query_stats.Merge(state->session.service->StageStatsSnapshot());
+  }
+  std::vector<StageStat> pipeline_stats = query_stats.Snapshot();
+  if (!pipeline_stats.empty()) {
+    std::printf("%squery pipeline (query/bound):\n%s",
+                corpus_stats.empty() ? "" : "\n",
+                FormatStageStats(pipeline_stats).c_str());
+  }
+  if (corpus_stats.empty() && pipeline_stats.empty()) {
+    std::printf("no serving stats yet — run a query\n");
+  }
 }
 
 void CmdQueryAll(ShellState* state, const std::string& text) {
@@ -246,7 +356,7 @@ void PrintHelp() {
       "commands: open <retailer|stores|movies> | datasets | use <name> | "
       "schema |\n  bound <n> | query <kw...> | queryall <kw...> | "
       "result <rank> | html <path> |\n  save <path> | load <path> | "
-      "cache [clear] | help | quit\n");
+      "cache [clear] | stats [reset] | help | quit\n");
 }
 
 }  // namespace
@@ -285,8 +395,7 @@ int main() {
     } else if (command == "schema") {
       CmdSchema(state);
     } else if (command == "bound") {
-      state.bound = static_cast<size_t>(std::atoi(rest.c_str()));
-      std::printf("snippet size bound = %zu\n", state.bound);
+      CmdBound(&state, rest);
     } else if (command == "query") {
       CmdQuery(&state, rest);
     } else if (command == "queryall") {
@@ -301,6 +410,8 @@ int main() {
       CmdLoad(&state, rest);
     } else if (command == "cache") {
       CmdCache(&state, rest);
+    } else if (command == "stats") {
+      CmdStats(&state, rest);
     } else {
       std::printf("unknown command '%s' — try 'help'\n", command.c_str());
     }

@@ -57,9 +57,23 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// \brief The process-wide serving pool: HardwareThreads() workers, created
+/// lazily on first use and never torn down (serving paths outlive any
+/// scoped owner). ParallelFor fans out on this pool, so per-query parallel
+/// work (sharded corpus search, batch snippet generation) pays a task
+/// submit, not a thread spawn.
+ThreadPool& SharedThreadPool();
+
 /// \brief Invokes fn(i) for every i in [0, n), using up to `num_threads`
 /// workers (0 = one per hardware core). With one effective worker — or
-/// n <= 1 — runs inline on the calling thread, with no pool construction.
+/// n <= 1 — runs inline on the calling thread, with no pool involvement.
+///
+/// Parallel runs execute on SharedThreadPool(): the calling thread works
+/// through indices alongside up to num_threads - 1 pool workers and returns
+/// only when every index is done. A ParallelFor issued from any pool-run
+/// work — a nested call inside fn, or a task submitted to a pool directly —
+/// runs inline on its caller instead: work still completes exactly once,
+/// and a pool can never deadlock on workers waiting for queued helpers.
 ///
 /// Indices are handed out dynamically (an atomic cursor), so uneven
 /// per-index cost balances across workers. fn must be safe to call

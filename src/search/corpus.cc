@@ -1,13 +1,36 @@
 #include "search/corpus.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
+#include <queue>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "snippet/snippet_context.h"
 #include "snippet/snippet_service.h"
 
 namespace extract {
+
+namespace {
+
+/// The merged-page order: best score first, ties by document name, then
+/// document order. A strict weak ordering shared by the sequential sort and
+/// the sharded merge, so both produce the same page.
+bool CorpusHitBefore(const CorpusResult& a, const CorpusResult& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.document != b.document) return a.document < b.document;
+  return a.result.root < b.result.root;
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 Status XmlCorpus::AddDocument(const std::string& name, std::string_view xml) {
   return AddDocument(name, xml, LoadOptions{});
@@ -61,27 +84,120 @@ std::vector<std::string> XmlCorpus::DocumentNames() const {
 
 Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
     const Query& query, const SearchEngine& engine) const {
-  return SearchAll(query, engine, RankingOptions{});
+  return SearchAll(query, engine, RankingOptions{}, CorpusServingOptions{});
 }
 
 Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
     const Query& query, const SearchEngine& engine,
     const RankingOptions& ranking) const {
-  std::vector<CorpusResult> out;
-  for (const auto& [name, db] : databases_) {
-    std::vector<QueryResult> results;
-    EXTRACT_ASSIGN_OR_RETURN(results, engine.Search(db, query));
-    for (RankedResult& ranked : RankResults(db, results, ranking)) {
-      out.push_back(CorpusResult{name, std::move(ranked.result), ranked.score});
+  return SearchAll(query, engine, ranking, CorpusServingOptions{});
+}
+
+Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
+    const Query& query, const SearchEngine& engine,
+    const RankingOptions& ranking, const CorpusServingOptions& serving) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  // Snapshot the documents in name order — the order the sequential loop
+  // visits, the shard partition axis, and the merge tie-break.
+  std::vector<std::pair<const std::string*, const XmlDatabase*>> docs;
+  docs.reserve(databases_.size());
+  for (const auto& [name, db] : databases_) docs.emplace_back(&name, &db);
+  const size_t n = docs.size();
+
+  size_t shards = serving.max_shards == 0 ? n : std::min(n, serving.max_shards);
+  if (n <= 1 || shards <= 1 || serving.search_threads == 1) {
+    // Sequential fallback: the plain document loop, no pool. This is the
+    // reference path the sharded one must reproduce byte-for-byte.
+    std::vector<CorpusResult> out;
+    for (const auto& [name, db] : docs) {
+      Result<std::vector<QueryResult>> searched = engine.Search(*db, query);
+      if (!searched.ok()) {
+        stage_stats_.Record("search", ElapsedNs(start));
+        return searched.status();
+      }
+      for (RankedResult& ranked : RankResults(*db, *searched, ranking)) {
+        out.push_back(
+            CorpusResult{*name, std::move(ranked.result), ranked.score});
+      }
+    }
+    std::stable_sort(out.begin(), out.end(), CorpusHitBefore);
+    stage_stats_.Record("search", ElapsedNs(start));
+    return out;
+  }
+
+  // Sharded fan-out: shard s owns the contiguous name-order document range
+  // [s*n/shards, (s+1)*n/shards) and searches + ranks it as one task,
+  // leaving a run already sorted by CorpusHitBefore (stable sort of the
+  // in-order concatenation, exactly what the sequential path does to the
+  // whole corpus).
+  std::vector<std::vector<CorpusResult>> shard_out(shards);
+  std::vector<Status> doc_status(n);
+  ParallelFor(shards, serving.search_threads, [&](size_t s) {
+    const size_t begin = s * n / shards;
+    const size_t end = (s + 1) * n / shards;
+    std::vector<CorpusResult>& out = shard_out[s];
+    for (size_t d = begin; d < end; ++d) {
+      const auto& [name, db] = docs[d];
+      Result<std::vector<QueryResult>> searched = engine.Search(*db, query);
+      if (!searched.ok()) {
+        // Stop the shard at its first failure, like the sequential loop.
+        doc_status[d] = searched.status();
+        return;
+      }
+      for (RankedResult& ranked : RankResults(*db, *searched, ranking)) {
+        out.push_back(
+            CorpusResult{*name, std::move(ranked.result), ranked.score});
+      }
+    }
+    std::stable_sort(out.begin(), out.end(), CorpusHitBefore);
+  });
+
+  // The sequential loop surfaces the error of the first failing document in
+  // name order; scan in the same order so the reported error is identical
+  // no matter which shards failed or finished first.
+  for (size_t d = 0; d < n; ++d) {
+    if (!doc_status[d].ok()) {
+      stage_stats_.Record("search", ElapsedNs(start));
+      return doc_status[d];
     }
   }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const CorpusResult& a, const CorpusResult& b) {
-                     if (a.score != b.score) return a.score > b.score;
-                     if (a.document != b.document) return a.document < b.document;
-                     return a.result.root < b.result.root;
-                   });
-  return out;
+
+  // K-way stable merge of the shard runs via a min-heap over the shard
+  // fronts — O(total · log shards), so a many-document corpus is not
+  // penalized by its own shard count. Smallest front wins; ties go to the
+  // lowest shard index (= earlier document names), which is exactly the
+  // relative order a stable sort of the full concatenation would keep.
+  size_t total = 0;
+  for (const std::vector<CorpusResult>& run : shard_out) total += run.size();
+  struct Front {
+    size_t shard;
+    size_t index;
+  };
+  auto worse = [&](const Front& a, const Front& b) {
+    const CorpusResult& hit_a = shard_out[a.shard][a.index];
+    const CorpusResult& hit_b = shard_out[b.shard][b.index];
+    if (CorpusHitBefore(hit_a, hit_b)) return false;
+    if (CorpusHitBefore(hit_b, hit_a)) return true;
+    return a.shard > b.shard;  // equivalent hits: earlier shard first
+  };
+  std::priority_queue<Front, std::vector<Front>, decltype(worse)> fronts(
+      worse);
+  for (size_t s = 0; s < shards; ++s) {
+    if (!shard_out[s].empty()) fronts.push(Front{s, 0});
+  }
+  std::vector<CorpusResult> merged;
+  merged.reserve(total);
+  while (!fronts.empty()) {
+    const Front front = fronts.top();
+    fronts.pop();
+    merged.push_back(std::move(shard_out[front.shard][front.index]));
+    if (front.index + 1 < shard_out[front.shard].size()) {
+      fronts.push(Front{front.shard, front.index + 1});
+    }
+  }
+  stage_stats_.Record("search", ElapsedNs(start));
+  return merged;
 }
 
 Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
@@ -183,6 +299,12 @@ Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
       out[i] = std::move(*snippet);
     }
   });
+  // The services are per-page, so their counters are exactly this page's
+  // contribution; fold them into the corpus-lifetime breakdown (even when
+  // a slot failed — the stages that did run still cost time).
+  for (const auto& [name, doc] : documents) {
+    stage_stats_.Merge(doc->service.StageStatsSnapshot());
+  }
   for (size_t t = 0; t < todo.size(); ++t) {
     if (!statuses[t].ok()) {
       const size_t i = todo[t];

@@ -5,6 +5,15 @@
 // snippets for merged result pages in parallel (GenerateSnippets) — with an
 // optional cross-query snippet cache so repeated/hot queries skip
 // generation entirely (snippet/snippet_cache.h).
+//
+// Query evaluation is sharded (CorpusServingOptions): documents are
+// partitioned into shards, each shard searches and ranks its documents as
+// one thread-pool task, and the per-shard ranked runs are k-way
+// stable-merged — the merged page is byte-identical to the sequential loop,
+// shard count and scheduling only change latency. Per-stage serving time
+// (search plus every snippet pipeline stage) accumulates into a
+// StageStatsRegistry for production observability (the shell's `stats`
+// command).
 
 #ifndef EXTRACT_SEARCH_CORPUS_H_
 #define EXTRACT_SEARCH_CORPUS_H_
@@ -20,6 +29,7 @@
 #include "snippet/snippet_cache.h"
 #include "snippet/snippet_options.h"
 #include "snippet/snippet_tree.h"
+#include "snippet/stage_stats.h"
 
 namespace extract {
 
@@ -29,6 +39,25 @@ struct CorpusResult {
   std::string document;
   QueryResult result;
   double score = 0.0;
+};
+
+/// \brief How SearchAll distributes query evaluation over the corpus.
+///
+/// Defaults parallelize: one shard per document, one thread per hardware
+/// core. Results never depend on these knobs — only latency does. The
+/// engine is shared across shards, so SearchEngine::Search must tolerate
+/// concurrent calls (see its contract); pin search_threads to 1 for an
+/// engine that cannot.
+struct CorpusServingOptions {
+  /// Worker threads searching shards: 0 = one per hardware core, 1 = the
+  /// sequential fallback (searches on the calling thread, no pool).
+  size_t search_threads = 0;
+
+  /// Upper bound on the number of shards the documents are partitioned
+  /// into (contiguous runs in document-name order). 0 = one shard per
+  /// document, the finest grain; smaller values batch documents per task
+  /// to cut per-task overhead on huge corpora.
+  size_t max_shards = 0;
 };
 
 /// \brief A named collection of loaded databases.
@@ -58,6 +87,17 @@ class XmlCorpus {
 
   /// \brief Searches every document and merges the hits best-score-first
   /// (ties: document name, then document order).
+  ///
+  /// Evaluation is sharded per `serving`: each shard searches and ranks its
+  /// documents in one thread-pool task, and the shard runs are k-way
+  /// stable-merged into the final page. The merged vector is byte-identical
+  /// to the sequential document loop for every shard/thread combination,
+  /// and an engine failure reports exactly the error the sequential loop
+  /// would have hit first (lowest document in name order).
+  Result<std::vector<CorpusResult>> SearchAll(
+      const Query& query, const SearchEngine& engine,
+      const RankingOptions& ranking,
+      const CorpusServingOptions& serving) const;
   Result<std::vector<CorpusResult>> SearchAll(
       const Query& query, const SearchEngine& engine,
       const RankingOptions& ranking) const;
@@ -94,10 +134,21 @@ class XmlCorpus {
   /// The enabled cache, or nullptr. Exposes stats, Invalidate and Clear.
   SnippetCache* snippet_cache() const { return snippet_cache_.get(); }
 
+  /// \brief Cumulative serving-time breakdown: the pseudo-stage "search"
+  /// (every SearchAll call) plus each snippet pipeline stage, aggregated
+  /// over all GenerateSnippets pages served by this corpus.
+  std::vector<StageStat> StageStatsSnapshot() const {
+    return stage_stats_.Snapshot();
+  }
+  void ResetStageStats() { stage_stats_.Reset(); }
+
  private:
   std::map<std::string, XmlDatabase, std::less<>> databases_;
   /// Shared by every document; keys carry the document name.
   std::unique_ptr<SnippetCache> snippet_cache_;
+  /// Observability only (mutated by const serving calls): internally
+  /// synchronized, never affects results.
+  mutable StageStatsRegistry stage_stats_;
 };
 
 }  // namespace extract

@@ -61,11 +61,18 @@ Result<std::vector<Snippet>> GenerateDiverseSnippets(
     const XmlDatabase& db, const Query& query,
     const std::vector<QueryResult>& results, const SnippetOptions& options,
     const DiversifyOptions& diversify) {
-  const IndexedDocument& doc = db.index();
-  const size_t R = results.size();
-
   SnippetService service(&db);
   SnippetContext ctx(&db, query);
+  return GenerateDiverseSnippets(service, ctx, results, options, diversify);
+}
+
+Result<std::vector<Snippet>> GenerateDiverseSnippets(
+    const SnippetService& service, SnippetContext& ctx,
+    const std::vector<QueryResult>& results, const SnippetOptions& options,
+    const DiversifyOptions& diversify) {
+  const XmlDatabase& db = *service.db();
+  const IndexedDocument& doc = db.index();
+  const size_t R = results.size();
 
   // Phase 1: per-result analysis (statistics, return entity, key, dominant
   // features under the paper's ranking) through the shared context, so the

@@ -56,6 +56,18 @@ Result<std::vector<Snippet>> GenerateDiverseSnippets(
     const std::vector<QueryResult>& results, const SnippetOptions& options,
     const DiversifyOptions& diversify);
 
+/// \brief GenerateDiverseSnippets over a caller-owned service and context.
+///
+/// Lets repeated generations of the same query reuse the context's memoized
+/// statistics/entity/key/instance scans — regenerating at a new size bound
+/// re-runs only selection and materialization, the first step of the
+/// roadmap's incremental selection across bounds. `ctx` must be bound to
+/// the same database and query as the batch.
+Result<std::vector<Snippet>> GenerateDiverseSnippets(
+    const SnippetService& service, SnippetContext& ctx,
+    const std::vector<QueryResult>& results, const SnippetOptions& options,
+    const DiversifyOptions& diversify);
+
 }  // namespace extract
 
 #endif  // EXTRACT_SNIPPET_DISTINGUISHABILITY_H_

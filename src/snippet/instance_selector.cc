@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <unordered_set>
 
 #include "common/string_util.h"
+#include "snippet/snippet_tree_set.h"
 
 namespace extract {
 
@@ -109,58 +109,14 @@ std::vector<ItemInstances> FindItemInstances(
   return out;
 }
 
-namespace {
-
-// Incremental snippet tree: a set of selected node ids (closed under
-// parents, seeded with the result root) supporting "cost to connect" and
-// "commit path" in O(path length).
-class SnippetTreeSet {
- public:
-  SnippetTreeSet(const IndexedDocument& doc, NodeId root)
-      : doc_(&doc), root_(root) {
-    members_.insert(root);
-  }
-
-  // Number of new edges needed to include `n`; fills `path` with the nodes
-  // to add (n and its not-yet-selected ancestors). Requires n to be in the
-  // result subtree.
-  size_t ConnectCost(NodeId n, std::vector<NodeId>* path) const {
-    path->clear();
-    NodeId cur = n;
-    while (members_.find(cur) == members_.end()) {
-      path->push_back(cur);
-      cur = doc_->parent(cur);
-      assert(cur != kInvalidNode && "instance outside the result subtree");
-    }
-    return path->size();
-  }
-
-  void Commit(const std::vector<NodeId>& path) {
-    members_.insert(path.begin(), path.end());
-  }
-
-  bool Contains(NodeId n) const { return members_.count(n) > 0; }
-
-  std::vector<NodeId> SortedMembers() const {
-    std::vector<NodeId> out(members_.begin(), members_.end());
-    std::sort(out.begin(), out.end());
-    return out;
-  }
-
-  size_t edges() const { return members_.size() - 1; }
-
- private:
-  const IndexedDocument* doc_;
-  NodeId root_;
-  std::unordered_set<NodeId> members_;
-};
-
-}  // namespace
-
 Selection SelectInstancesGreedy(const IndexedDocument& doc, NodeId result_root,
                                 const std::vector<ItemInstances>& instances,
                                 const SelectorOptions& options) {
-  SnippetTreeSet tree(doc, result_root);
+  // One tree set per thread, reused across selections: Reset is O(1) via
+  // the epoch stamp, so a batch generating thousands of snippets allocates
+  // the membership array once per worker instead of once per result.
+  static thread_local SnippetTreeSet tree;
+  tree.Reset(doc, result_root);
   Selection selection;
   selection.covered.assign(instances.size(), false);
 
@@ -282,12 +238,12 @@ struct ExactSearch {
     for (NodeId inst : instances[item].nodes) {
       size_t cost = tree.ConnectCost(inst, &path);
       if (tree.edges() + cost > bound) continue;
-      SnippetTreeSet saved = tree;  // small trees; copy is acceptable here
+      const size_t mark = tree.Mark();  // undo log beats copying the tree
       tree.Commit(path);
       covered[item] = true;
       Recurse(item + 1);
       covered[item] = false;
-      tree = saved;
+      tree.RollbackTo(mark);
     }
     // Branch 0: skip this item.
     Recurse(item + 1);

@@ -1,5 +1,6 @@
 #include "snippet/snippet_service.h"
 
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -30,14 +31,40 @@ Result<Snippet> SnippetService::RunPipeline(SnippetContext& ctx,
                                             SnippetDraft& draft,
                                             const SnippetOptions& options) const {
   EXTRACT_RETURN_IF_ERROR(ValidateResult(*db_, *draft.result));
-  for (const std::unique_ptr<SnippetStage>& stage : stages_) {
-    Status status = stage->Run(ctx, options, draft);
+  using Clock = std::chrono::steady_clock;
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    const SnippetStage& stage = *stages_[s];
+    const Clock::time_point start = Clock::now();
+    Status status = stage.Run(ctx, options, draft);
+    counters_[s].Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count()));
     if (!status.ok()) {
-      return Status(status.code(), std::string(stage->name()) + " stage: " +
+      return Status(status.code(), std::string(stage.name()) + " stage: " +
                                        status.message());
     }
   }
   return std::move(draft.snippet);
+}
+
+std::vector<StageStat> SnippetService::StageStatsSnapshot() const {
+  std::vector<StageStat> out(stages_.size());
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    out[s].name = std::string(stages_[s]->name());
+    out[s].calls = counters_[s].calls.load(std::memory_order_relaxed);
+    out[s].total_ns = counters_[s].total_ns.load(std::memory_order_relaxed);
+    out[s].max_ns = counters_[s].max_ns.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void SnippetService::ResetStageStats() const {
+  for (StageCounters& counters : counters_) {
+    counters.calls.store(0, std::memory_order_relaxed);
+    counters.total_ns.store(0, std::memory_order_relaxed);
+    counters.max_ns.store(0, std::memory_order_relaxed);
+  }
 }
 
 Result<Snippet> SnippetService::Generate(SnippetContext& ctx,

@@ -25,6 +25,7 @@
 #include "snippet/snippet_context.h"
 #include "snippet/snippet_options.h"
 #include "snippet/snippet_stages.h"
+#include "snippet/stage_stats.h"
 
 namespace extract {
 
@@ -47,7 +48,7 @@ class SnippetService {
   /// Custom stage sequence (instrumentation, ablations, extensions).
   SnippetService(const XmlDatabase* db,
                  std::vector<std::unique_ptr<SnippetStage>> stages)
-      : db_(db), stages_(std::move(stages)) {}
+      : db_(db), stages_(std::move(stages)), counters_(stages_.size()) {}
 
   const XmlDatabase* db() const { return db_; }
   const std::vector<std::unique_ptr<SnippetStage>>& stages() const {
@@ -86,12 +87,28 @@ class SnippetService {
       const Query& query, const std::vector<QueryResult>& results,
       const SnippetOptions& options, const BatchOptions& batch) const;
 
+  /// \brief Cumulative per-stage timing of every Generate* call served so
+  /// far: calls, total ns, peak single-run ns per stage, in stage order.
+  ///
+  /// Counters are always on (relaxed atomics — two adds and a CAS-max per
+  /// stage run) so production serving can see where time goes without a
+  /// special build; snapshots are safe to take while other threads
+  /// generate.
+  std::vector<StageStat> StageStatsSnapshot() const;
+
+  /// Zeroes the per-stage counters (e.g. between measurement windows).
+  void ResetStageStats() const;
+
  private:
   Result<Snippet> RunPipeline(SnippetContext& ctx, SnippetDraft& draft,
                               const SnippetOptions& options) const;
 
   const XmlDatabase* db_;
   std::vector<std::unique_ptr<SnippetStage>> stages_;
+  /// Parallel to stages_. Mutable: timing a const Generate is observability,
+  /// not state. Never resized after construction, so workers may touch
+  /// their slots without synchronization beyond the atomics themselves.
+  mutable std::vector<StageCounters> counters_;
 };
 
 }  // namespace extract

@@ -1,0 +1,60 @@
+#include "snippet/stage_stats.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/tree_printer.h"
+
+namespace extract {
+
+StageStat& StageStatsRegistry::SlotLocked(std::string_view name) {
+  for (StageStat& stat : stats_) {
+    if (stat.name == name) return stat;
+  }
+  stats_.push_back(StageStat{std::string(name), 0, 0, 0});
+  return stats_.back();
+}
+
+void StageStatsRegistry::Record(std::string_view name, uint64_t ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StageStat& stat = SlotLocked(name);
+  stat.calls += 1;
+  stat.total_ns += ns;
+  stat.max_ns = std::max(stat.max_ns, ns);
+}
+
+void StageStatsRegistry::Merge(const std::vector<StageStat>& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const StageStat& in : stats) {
+    if (in.calls == 0) continue;  // never-run stages add nothing
+    StageStat& stat = SlotLocked(in.name);
+    stat.calls += in.calls;
+    stat.total_ns += in.total_ns;
+    stat.max_ns = std::max(stat.max_ns, in.max_ns);
+  }
+}
+
+std::vector<StageStat> StageStatsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void StageStatsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.clear();
+}
+
+std::string FormatStageStats(const std::vector<StageStat>& stats) {
+  if (stats.empty()) return std::string();
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"stage", "calls", "total us", "mean us", "max us"});
+  for (const StageStat& stat : stats) {
+    rows.push_back({stat.name, std::to_string(stat.calls),
+                    FormatDouble(stat.total_us(), 1),
+                    FormatDouble(stat.mean_us(), 2),
+                    FormatDouble(stat.max_us(), 1)});
+  }
+  return RenderTable(rows);
+}
+
+}  // namespace extract

@@ -1,0 +1,103 @@
+// Production per-stage timing: where does snippet-serving time go?
+//
+// bench_e7 measures stage wall clock offline; this module moves the same
+// breakdown into the serving path itself. SnippetService keeps one
+// cache-friendly atomic counter block per stage (calls, cumulative ns, peak
+// ns — a relaxed fetch_add and a CAS-max per stage run, cheap enough to
+// leave on in production) and snapshots them on demand. StageStatsRegistry
+// aggregates snapshots across services — XmlCorpus merges the per-document
+// services of every served page into one registry, which is what the
+// shell's `stats` command prints.
+
+#ifndef EXTRACT_SNIPPET_STAGE_STATS_H_
+#define EXTRACT_SNIPPET_STAGE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace extract {
+
+/// Aggregated timing of one pipeline stage (or pseudo-stage, e.g. the
+/// corpus's "search" phase).
+struct StageStat {
+  std::string name;
+  uint64_t calls = 0;
+  uint64_t total_ns = 0;
+  /// Slowest single run — the latency-outlier signal a mean hides.
+  uint64_t max_ns = 0;
+
+  double total_us() const { return static_cast<double>(total_ns) / 1e3; }
+  double mean_us() const {
+    return calls == 0 ? 0.0 : static_cast<double>(total_ns) / 1e3 /
+                                  static_cast<double>(calls);
+  }
+  double max_us() const { return static_cast<double>(max_ns) / 1e3; }
+};
+
+/// \brief Lock-free accumulation slot for one stage. Relaxed ordering:
+/// counters are statistics, not synchronization.
+struct StageCounters {
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> total_ns{0};
+  std::atomic<uint64_t> max_ns{0};
+
+  void Record(uint64_t ns) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+    total_ns.fetch_add(ns, std::memory_order_relaxed);
+    uint64_t seen = max_ns.load(std::memory_order_relaxed);
+    while (seen < ns && !max_ns.compare_exchange_weak(
+                            seen, ns, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// \brief Thread-safe accumulator of StageStat snapshots, keyed by stage
+/// name (insertion-ordered). The merge sink for transient services.
+class StageStatsRegistry {
+ public:
+  StageStatsRegistry() = default;
+
+  /// Movable so owners (XmlCorpus) stay movable; moving is not thread-safe
+  /// against concurrent serving — owners only move while quiescent, like
+  /// every other corpus mutation.
+  StageStatsRegistry(StageStatsRegistry&& other) noexcept {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    stats_ = std::move(other.stats_);
+  }
+  StageStatsRegistry& operator=(StageStatsRegistry&& other) noexcept {
+    if (this != &other) {
+      std::scoped_lock lock(mu_, other.mu_);
+      stats_ = std::move(other.stats_);
+    }
+    return *this;
+  }
+
+  /// Adds one timed run of `name` (for pseudo-stages recorded directly).
+  void Record(std::string_view name, uint64_t ns);
+
+  /// Folds a snapshot in: sums calls and totals, maxes the peaks.
+  void Merge(const std::vector<StageStat>& stats);
+
+  /// Current totals, in first-seen order.
+  std::vector<StageStat> Snapshot() const;
+
+  void Reset();
+
+ private:
+  StageStat& SlotLocked(std::string_view name);
+
+  mutable std::mutex mu_;
+  std::vector<StageStat> stats_;
+};
+
+/// Renders a snapshot as an aligned text table ("stage calls total mean
+/// max"), the shell's `stats` output. Empty string for an empty snapshot.
+std::string FormatStageStats(const std::vector<StageStat>& stats);
+
+}  // namespace extract
+
+#endif  // EXTRACT_SNIPPET_STAGE_STATS_H_

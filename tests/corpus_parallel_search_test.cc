@@ -1,0 +1,196 @@
+// Sharded SearchAll must be indistinguishable from the sequential loop:
+// identical result vectors (documents, roots, bitwise-equal scores) for
+// every shard/thread configuration and across repeated runs, and identical
+// error reporting when an engine fails in any shard. This suite — also run
+// under ThreadSanitizer in CI — is what lets the sharded path be the
+// default.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datagen/movies_dataset.h"
+#include "datagen/random_xml.h"
+#include "datagen/retailer_dataset.h"
+#include "datagen/stores_dataset.h"
+#include "search/corpus.h"
+
+namespace extract {
+namespace {
+
+// Demo data sets plus synthetic documents: 8 documents, realistic skew in
+// per-document hit counts (several documents produce no hits at all).
+XmlCorpus MakeWideCorpus() {
+  XmlCorpus corpus;
+  EXPECT_TRUE(corpus.AddDocument("retailer", GenerateRetailerXml()).ok());
+  EXPECT_TRUE(corpus.AddDocument("stores", GenerateStoresXml()).ok());
+  EXPECT_TRUE(corpus.AddDocument("movies", GenerateMoviesXml()).ok());
+  for (int d = 0; d < 5; ++d) {
+    RandomXmlOptions options;
+    options.levels = 2;
+    options.entities_per_parent = 6;
+    options.seed = 1000 + d;
+    EXPECT_TRUE(corpus
+                    .AddDocument("random" + std::to_string(d),
+                                 GenerateRandomXml(options).xml)
+                    .ok());
+  }
+  return corpus;
+}
+
+void ExpectSamePage(const std::vector<CorpusResult>& expected,
+                    const std::vector<CorpusResult>& actual,
+                    const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].document, actual[i].document)
+        << label << " hit " << i;
+    EXPECT_EQ(expected[i].result.root, actual[i].result.root)
+        << label << " hit " << i;
+    // Bitwise double equality: both paths run the identical per-document
+    // ranking computation, so even the last ulp must match.
+    EXPECT_EQ(expected[i].score, actual[i].score) << label << " hit " << i;
+  }
+}
+
+TEST(CorpusParallelSearchTest, ShardedEqualsSequentialAcrossConfigurations) {
+  XmlCorpus corpus = MakeWideCorpus();
+  XSeekEngine engine;
+  const char* queries[] = {"texas", "texas store", "drama", "v1_0 v1_1"};
+
+  CorpusServingOptions sequential;
+  sequential.search_threads = 1;
+
+  struct Config {
+    size_t threads;
+    size_t max_shards;
+  };
+  const Config configs[] = {{0, 0}, {2, 0}, {4, 0}, {8, 0},
+                            {2, 2}, {4, 3}, {3, 8}, {16, 16}};
+  for (const char* text : queries) {
+    Query query = Query::Parse(text);
+    auto expected = corpus.SearchAll(query, engine, RankingOptions{},
+                                     sequential);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+    for (const Config& config : configs) {
+      CorpusServingOptions serving;
+      serving.search_threads = config.threads;
+      serving.max_shards = config.max_shards;
+      for (int run = 0; run < 3; ++run) {  // repeated runs: no schedule dep
+        auto actual = corpus.SearchAll(query, engine, RankingOptions{},
+                                       serving);
+        ASSERT_TRUE(actual.ok()) << actual.status();
+        ExpectSamePage(*expected, *actual,
+                       std::string(text) + " threads=" +
+                           std::to_string(config.threads) + " shards=" +
+                           std::to_string(config.max_shards) + " run=" +
+                           std::to_string(run));
+      }
+    }
+  }
+}
+
+TEST(CorpusParallelSearchTest, DefaultSearchAllIsShardedAndUnchanged) {
+  XmlCorpus corpus = MakeWideCorpus();
+  XSeekEngine engine;
+  Query query = Query::Parse("texas");
+  CorpusServingOptions sequential;
+  sequential.search_threads = 1;
+  auto expected =
+      corpus.SearchAll(query, engine, RankingOptions{}, sequential);
+  ASSERT_TRUE(expected.ok());
+  auto via_default = corpus.SearchAll(query, engine);
+  ASSERT_TRUE(via_default.ok());
+  ExpectSamePage(*expected, *via_default, "default overload");
+}
+
+// An engine that fails on chosen documents, to pin the error shape.
+class FailingEngine : public SearchEngine {
+ public:
+  FailingEngine(const XmlCorpus& corpus, std::vector<std::string> fail_docs)
+      : inner_() {
+    for (const std::string& name : fail_docs) {
+      fail_dbs_.push_back(corpus.Find(name));
+    }
+  }
+
+  Result<std::vector<QueryResult>> Search(const XmlDatabase& db,
+                                          const Query& query) const override {
+    for (const XmlDatabase* fail : fail_dbs_) {
+      if (fail == &db) {
+        return Status::Internal("engine exploded on this shard");
+      }
+    }
+    return inner_.Search(db, query);
+  }
+
+ private:
+  XSeekEngine inner_;
+  std::vector<const XmlDatabase*> fail_dbs_;
+};
+
+TEST(CorpusParallelSearchTest, ShardFailureReportsSequentialError) {
+  XmlCorpus corpus = MakeWideCorpus();
+  Query query = Query::Parse("texas");
+  CorpusServingOptions sequential;
+  sequential.search_threads = 1;
+
+  // Fail a middle document, a first one, and several at once: the reported
+  // error must always be the one the sequential loop hits first (lowest
+  // document in name order), regardless of which shard finishes first.
+  const std::vector<std::vector<std::string>> failure_sets = {
+      {"random2"},
+      {"movies"},
+      {"stores", "random0", "retailer"},
+  };
+  for (const auto& fail_docs : failure_sets) {
+    FailingEngine engine(corpus, fail_docs);
+    auto expected = corpus.SearchAll(query, engine, RankingOptions{},
+                                     sequential);
+    ASSERT_FALSE(expected.ok());
+    for (size_t threads : {0, 2, 4, 8}) {
+      CorpusServingOptions serving;
+      serving.search_threads = threads;
+      auto actual =
+          corpus.SearchAll(query, engine, RankingOptions{}, serving);
+      ASSERT_FALSE(actual.ok());
+      EXPECT_EQ(expected.status().code(), actual.status().code());
+      EXPECT_EQ(expected.status().message(), actual.status().message());
+    }
+  }
+}
+
+TEST(CorpusParallelSearchTest, EmptyQueryErrorMatchesSequential) {
+  XmlCorpus corpus = MakeWideCorpus();
+  XSeekEngine engine;
+  CorpusServingOptions sequential;
+  sequential.search_threads = 1;
+  auto expected = corpus.SearchAll(Query{}, engine, RankingOptions{},
+                                   sequential);
+  ASSERT_FALSE(expected.ok());
+  CorpusServingOptions sharded;
+  sharded.search_threads = 4;
+  auto actual = corpus.SearchAll(Query{}, engine, RankingOptions{}, sharded);
+  ASSERT_FALSE(actual.ok());
+  EXPECT_EQ(expected.status().code(), actual.status().code());
+  EXPECT_EQ(expected.status().message(), actual.status().message());
+}
+
+TEST(CorpusParallelSearchTest, SearchRecordsStageStats) {
+  XmlCorpus corpus = MakeWideCorpus();
+  XSeekEngine engine;
+  ASSERT_TRUE(corpus.SearchAll(Query::Parse("texas"), engine).ok());
+  ASSERT_TRUE(corpus.SearchAll(Query::Parse("drama"), engine).ok());
+  std::vector<StageStat> stats = corpus.StageStatsSnapshot();
+  ASSERT_FALSE(stats.empty());
+  EXPECT_EQ(stats[0].name, "search");
+  EXPECT_EQ(stats[0].calls, 2u);
+  EXPECT_GT(stats[0].total_ns, 0u);
+  EXPECT_GE(stats[0].total_ns, stats[0].max_ns);
+  corpus.ResetStageStats();
+  EXPECT_TRUE(corpus.StageStatsSnapshot().empty());
+}
+
+}  // namespace
+}  // namespace extract

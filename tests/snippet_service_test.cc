@@ -418,6 +418,90 @@ TEST(MakeBatchResultErrorTest, CachedCorpusPathPreservesIndexAndDocument) {
       << snippets.status();
 }
 
+TEST(SnippetServiceTest, StageStatsCountEveryStageRun) {
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  SnippetService service(&ctx.db);
+  EXPECT_TRUE(service.StageStatsSnapshot()[0].calls == 0);
+
+  SnippetContext context(&ctx.db, ctx.query);
+  const size_t generations = 3;
+  for (size_t g = 0; g < generations; ++g) {
+    ASSERT_TRUE(
+        service.Generate(context, ctx.results[0], SnippetOptions{}).ok());
+  }
+  std::vector<StageStat> stats = service.StageStatsSnapshot();
+  ASSERT_EQ(stats.size(), service.stages().size());
+  for (size_t s = 0; s < stats.size(); ++s) {
+    EXPECT_EQ(stats[s].name, service.stages()[s]->name());
+    EXPECT_EQ(stats[s].calls, generations) << stats[s].name;
+    EXPECT_GE(stats[s].total_ns, stats[s].max_ns) << stats[s].name;
+  }
+  service.ResetStageStats();
+  for (const StageStat& stat : service.StageStatsSnapshot()) {
+    EXPECT_EQ(stat.calls, 0u);
+    EXPECT_EQ(stat.total_ns, 0u);
+    EXPECT_EQ(stat.max_ns, 0u);
+  }
+}
+
+TEST(SnippetServiceTest, StageStatsAccumulateAcrossParallelBatches) {
+  Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
+  ASSERT_GT(ctx.results.size(), 1u);
+  SnippetService service(&ctx.db);
+  BatchOptions batch;
+  batch.num_threads = 4;
+  ASSERT_TRUE(
+      service.GenerateBatch(ctx.query, ctx.results, SnippetOptions{}, batch)
+          .ok());
+  for (const StageStat& stat : service.StageStatsSnapshot()) {
+    EXPECT_EQ(stat.calls, ctx.results.size()) << stat.name;
+  }
+}
+
+TEST(StageStatsRegistryTest, MergeSumsTotalsAndMaxesPeaks) {
+  StageStatsRegistry registry;
+  registry.Record("search", 100);
+  registry.Record("search", 300);
+  registry.Merge({StageStat{"search", 2, 500, 250},
+                  StageStat{"ilist", 1, 40, 40},
+                  StageStat{"never-ran", 0, 0, 0}});
+  std::vector<StageStat> stats = registry.Snapshot();
+  ASSERT_EQ(stats.size(), 2u);  // never-ran stages are not materialized
+  EXPECT_EQ(stats[0].name, "search");
+  EXPECT_EQ(stats[0].calls, 4u);
+  EXPECT_EQ(stats[0].total_ns, 900u);
+  EXPECT_EQ(stats[0].max_ns, 300u);
+  EXPECT_EQ(stats[1].name, "ilist");
+  EXPECT_EQ(stats[1].calls, 1u);
+  registry.Reset();
+  EXPECT_TRUE(registry.Snapshot().empty());
+}
+
+TEST(StageStatsTest, CorpusAggregatesSnippetStagesAcrossDocuments) {
+  XmlCorpus corpus;
+  ASSERT_TRUE(corpus.AddDocument("retailer", GenerateRetailerXml()).ok());
+  ASSERT_TRUE(corpus.AddDocument("stores", GenerateStoresXml()).ok());
+  XSeekEngine engine;
+  Query query = Query::Parse("texas");
+  auto hits = corpus.SearchAll(query, engine);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  ASSERT_TRUE(corpus.GenerateSnippets(query, *hits, SnippetOptions{}).ok());
+
+  std::vector<StageStat> stats = corpus.StageStatsSnapshot();
+  ASSERT_FALSE(stats.empty());
+  EXPECT_EQ(stats[0].name, "search");
+  bool saw_selection = false;
+  for (const StageStat& stat : stats) {
+    if (stat.name == "instance-selection") {
+      saw_selection = true;
+      // Every merged hit ran the pipeline once, across both documents.
+      EXPECT_EQ(stat.calls, hits->size());
+    }
+  }
+  EXPECT_TRUE(saw_selection);
+}
+
 TEST(SnippetServiceTest, StageErrorsNameTheStage) {
   Ctx ctx = RunQuery(GenerateStoresXml(), "store texas");
   // A custom sequence missing the statistics stage: the ilist stage must

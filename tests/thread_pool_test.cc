@@ -76,5 +76,35 @@ TEST(ParallelForTest, SlotWritesMatchSequential) {
   EXPECT_EQ(sequential, parallel);
 }
 
+TEST(ParallelForTest, NestedCallsCompleteEveryIndex) {
+  const size_t outer = 8, inner = 16;
+  std::vector<std::atomic<int>> counts(outer * inner);
+  ParallelFor(outer, 4, [&](size_t o) {
+    ParallelFor(inner, 4, [&](size_t i) {
+      counts[o * inner + i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+// Regression: tasks submitted straight to the shared pool that themselves
+// call ParallelFor must not deadlock the pool (every worker waiting on
+// helper tasks stuck behind the other waiting workers). The fix routes any
+// pool-run caller to the inline loop; without it this test hangs.
+TEST(ParallelForTest, CallableFromTasksOnTheSharedPool) {
+  ThreadPool& pool = SharedThreadPool();
+  const size_t tasks = pool.num_threads() + 2;  // saturate every worker
+  std::atomic<size_t> total{0};
+  for (size_t t = 0; t < tasks; ++t) {
+    pool.Submit([&] {
+      ParallelFor(50, 0, [&](size_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(total.load(), tasks * 50);
+}
+
 }  // namespace
 }  // namespace extract
