@@ -209,9 +209,15 @@ void WriteBenchJson(const std::string& path) {
       benchmark::DoNotOptimize(generated);
     }
   };
-  double sequential_us = bench::MeasureMicros([&] { run_batches(1); });
-  size_t hardware = ThreadPool::HardwareThreads();
-  double parallel_us = bench::MeasureMicros([&] { run_batches(hardware); });
+  // One sample set per configuration: min_us doubles as the central
+  // number, the percentiles as the tail.
+  size_t hardware = ThreadPool::ConfiguredThreads();
+  bench::LatencyPercentiles sequential_pct =
+      bench::MeasurePercentilesMicros([&] { run_batches(1); });
+  bench::LatencyPercentiles parallel_pct =
+      bench::MeasurePercentilesMicros([&] { run_batches(hardware); });
+  double sequential_us = sequential_pct.min_us;
+  double parallel_us = parallel_pct.min_us;
 
   bench::JsonWriter json;
   json.BeginObject();
@@ -237,6 +243,12 @@ void WriteBenchJson(const std::string& path) {
   json.Key("hardware_threads").Value(hardware);
   json.Key("sequential_us").Value(sequential_us);
   json.Key("parallel_us").Value(parallel_us);
+  json.Key("sequential_percentiles").BeginObject();
+  bench::WritePercentiles(json, sequential_pct);
+  json.EndObject();
+  json.Key("parallel_percentiles").BeginObject();
+  bench::WritePercentiles(json, parallel_pct);
+  json.EndObject();
   auto per_second = [&](double us) {
     return us > 0.0 ? total_results / (us / 1e6) : 0.0;
   };
@@ -425,7 +437,7 @@ void WriteSearchBenchJson(const std::string& path) {
   json.EndObject();
   json.Key("queries").Value(workload.size());
   json.Key("hits").Value(hits);
-  json.Key("hardware_threads").Value(ThreadPool::HardwareThreads());
+  json.Key("hardware_threads").Value(ThreadPool::ConfiguredThreads());
   json.Key("results_identical_to_sequential")
       .Value(static_cast<size_t>(identical ? 1 : 0));
   json.Key("sequential_us").Value(sequential_us);
@@ -433,16 +445,125 @@ void WriteSearchBenchJson(const std::string& path) {
   for (size_t threads : {1, 2, 4, 8}) {
     CorpusServingOptions serving;
     serving.search_threads = threads;
-    double us = bench::MeasureMicros([&] { search_pass(serving, nullptr); });
+    bench::LatencyPercentiles pct = bench::MeasurePercentilesMicros(
+        [&] { search_pass(serving, nullptr); });
+    double us = pct.min_us;
     json.BeginObject();
     json.Key("threads").Value(threads);
     json.Key("us").Value(us);
+    bench::WritePercentiles(json, pct);
     json.Key("speedup").Value(us > 0.0 ? sequential_us / us : 0.0);
     json.Key("queries_per_s")
         .Value(us > 0.0 ? workload.size() / (us / 1e6) : 0.0);
     json.EndObject();
   }
   json.EndArray();
+
+  // -------------------------------------------------------------------
+  // The single-huge-document scenario: one document, 100k+ nodes — the
+  // corpus-sharding blind spot intra-document index partitions exist for.
+  // `partitions=1` (an engine pinned to one thread) is the reference; the
+  // partition-parallel engine must produce identical pages and, on a
+  // multi-core runner, a >= 2x end-to-end speedup at 4 threads.
+  bench::SyntheticCorpusOptions huge_options;
+  huge_options.num_documents = 1;
+  huge_options.levels = 3;
+  huge_options.entities_per_parent = 26;
+  huge_options.seed = 99;
+  size_t huge_xml_bytes = 0;
+  XmlCorpus huge_corpus =
+      bench::MakeSyntheticCorpus(huge_options, &huge_xml_bytes);
+  const XmlDatabase* huge_db = huge_corpus.Find("doc00");
+  // Broad hand-picked queries (frequent generator values and the leaf
+  // entity tag): driving posting lists thousands of entries long and
+  // result pages in the hundreds-to-thousands — the regime where the SLCA
+  // candidate loop and the match-attachment copies dominate, i.e. exactly
+  // the work the partition fan-out spreads. Random workloads here draw
+  // mid-frequency keywords whose lists are a few dozen entries, which
+  // under-measures the partitioned path by two orders of magnitude.
+  std::vector<Query> huge_workload;
+  for (const char* text : {"v20r0 v21r0 v22r0", "e2 v20r0 v21r0",
+                           "v20r0 v20r1 v21r1", "e1 v10r0 v20r0"}) {
+    huge_workload.push_back(Query::Parse(text));
+  }
+
+  auto huge_pass = [&](const XSeekEngine& engine, size_t* total_hits) {
+    size_t total = 0;
+    for (const Query& q : huge_workload) {
+      auto results = huge_corpus.SearchAll(q, engine, RankingOptions{},
+                                           CorpusServingOptions{});
+      benchmark::DoNotOptimize(results);
+      if (results.ok()) total += results->size();
+    }
+    if (total_hits != nullptr) *total_hits = total;
+  };
+
+  SearchOptions huge_seq_options;
+  huge_seq_options.partition_threads = 1;  // the partitions=1 reference
+  XSeekEngine huge_seq_engine(huge_seq_options);
+  size_t huge_hits = 0;
+  double huge_sequential_us =
+      bench::MeasureMicros([&] { huge_pass(huge_seq_engine, &huge_hits); });
+
+  // Identity cross-check: partition-parallel pages must match the
+  // partitions=1 pages exactly (the test suite pins this byte-level; the
+  // bench re-checks so a fast-but-wrong run can never look good).
+  bool huge_identical = true;
+  {
+    SearchOptions par_options;
+    par_options.partition_threads = 4;
+    XSeekEngine par_engine(par_options);
+    for (const Query& q : huge_workload) {
+      auto seq = huge_corpus.SearchAll(q, huge_seq_engine, RankingOptions{},
+                                       CorpusServingOptions{});
+      auto par = huge_corpus.SearchAll(q, par_engine, RankingOptions{},
+                                       CorpusServingOptions{});
+      if (!seq.ok() || !par.ok() || seq->size() != par->size()) {
+        huge_identical = false;
+        break;
+      }
+      for (size_t i = 0; i < seq->size(); ++i) {
+        if ((*seq)[i].document != (*par)[i].document ||
+            (*seq)[i].result.root != (*par)[i].result.root ||
+            (*seq)[i].score != (*par)[i].score) {
+          huge_identical = false;
+          break;
+        }
+      }
+    }
+  }
+  if (!huge_identical) {
+    std::fprintf(stderr,
+                 "partition-parallel search diverged from partitions=1!\n");
+  }
+
+  json.Key("single_huge_document").BeginObject();
+  json.Key("documents").Value(huge_options.num_documents);
+  json.Key("xml_bytes").Value(huge_xml_bytes);
+  json.Key("nodes").Value(huge_db->index().num_nodes());
+  json.Key("index_partitions").Value(huge_db->partitions().count());
+  json.Key("queries").Value(huge_workload.size());
+  json.Key("hits").Value(huge_hits);
+  json.Key("results_identical_to_partitions1")
+      .Value(static_cast<size_t>(huge_identical ? 1 : 0));
+  json.Key("partitions1_us").Value(huge_sequential_us);
+  json.Key("partitioned").BeginArray();
+  for (size_t threads : {1, 2, 4, 8}) {
+    SearchOptions par_options;
+    par_options.partition_threads = threads;
+    XSeekEngine par_engine(par_options);
+    bench::LatencyPercentiles pct = bench::MeasurePercentilesMicros(
+        [&] { huge_pass(par_engine, nullptr); }, 9);
+    double us = pct.min_us;
+    json.BeginObject();
+    json.Key("threads").Value(threads);
+    json.Key("us").Value(us);
+    bench::WritePercentiles(json, pct);
+    json.Key("speedup").Value(us > 0.0 ? huge_sequential_us / us : 0.0);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
   json.EndObject();
 
   if (json.WriteFile(path)) {

@@ -5,6 +5,7 @@
 #ifndef EXTRACT_BENCH_BENCH_UTIL_H_
 #define EXTRACT_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -38,6 +39,53 @@ inline double MeasureMicros(const std::function<void()>& fn, int runs = 5) {
   return best;
 }
 
+/// Latency distribution of repeated runs — what the BENCH_*.json files
+/// report instead of a single central number: a mean (or min) hides the
+/// tail, and the tail is what a serving path is judged on.
+struct LatencyPercentiles {
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  /// Fastest sample — the same statistic MeasureMicros reports, so one
+  /// sample set serves both the central "us" key and the percentiles.
+  double min_us = 0.0;
+  size_t runs = 0;
+};
+
+/// Runs `fn` `runs` times and reports p50/p95/p99 wall microseconds
+/// (nearest-rank percentiles of the sorted samples).
+inline LatencyPercentiles MeasurePercentilesMicros(
+    const std::function<void()>& fn, int runs = 15) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            end - start)
+            .count());
+  }
+  std::sort(samples.begin(), samples.end());
+  auto rank = [&](double q) {
+    size_t i = static_cast<size_t>(std::ceil(q * samples.size()));
+    return samples[std::min(samples.size() - 1, i == 0 ? 0 : i - 1)];
+  };
+  LatencyPercentiles out;
+  out.p50_us = rank(0.50);
+  out.p95_us = rank(0.95);
+  out.p99_us = rank(0.99);
+  out.min_us = samples.front();
+  out.runs = samples.size();
+  return out;
+}
+
+/// Emits the three percentile keys into the currently open JSON object.
+/// Defined after JsonWriter below.
+class JsonWriter;
+inline void WritePercentiles(JsonWriter& json, const LatencyPercentiles& p);
+
 /// Loads a database or aborts the binary with a message.
 inline XmlDatabase MustLoad(const std::string& xml) {
   auto db = XmlDatabase::Load(xml);
@@ -59,6 +107,9 @@ struct SyntheticCorpusOptions {
   size_t domain_size = 24;
   double zipf_skew = 1.1;
   uint64_t seed = 1;
+  /// Per-document load options (e.g. index partitioning for the
+  /// single-huge-document scenario).
+  LoadOptions load;
 };
 
 /// \brief Generates `num_documents` random documents into one corpus,
@@ -83,7 +134,7 @@ inline XmlCorpus MakeSyntheticCorpus(const SyntheticCorpusOptions& options,
     if (total_xml_bytes != nullptr) *total_xml_bytes += data.xml.size();
     char name[16];
     std::snprintf(name, sizeof(name), "doc%02zu", d);
-    Status status = corpus.AddDocument(name, data.xml);
+    Status status = corpus.AddDocument(name, data.xml, options.load);
     if (!status.ok()) {
       std::fprintf(stderr, "fatal: %s\n", status.ToString().c_str());
       std::abort();
@@ -175,6 +226,13 @@ class JsonWriter {
   bool need_comma_ = false;
   bool just_keyed_ = false;
 };
+
+inline void WritePercentiles(JsonWriter& json, const LatencyPercentiles& p) {
+  json.Key("p50_us").Value(p.p50_us);
+  json.Key("p95_us").Value(p.p95_us);
+  json.Key("p99_us").Value(p.p99_us);
+  json.Key("percentile_runs").Value(p.runs);
+}
 
 }  // namespace bench
 }  // namespace extract

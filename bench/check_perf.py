@@ -12,15 +12,22 @@ current (matched by its JSON path):
     baseline by more than the tolerance;
   * keys ending in `_per_s` or named `speedup` are throughputs — warn when
     current falls below baseline by more than the tolerance;
-  * `results_identical_to_sequential` must stay 1 — correctness, not perf;
+  * every `results_identical*` key (`results_identical_to_sequential`,
+    `results_identical_to_partitions1`, ...) must stay 1 — correctness,
+    not perf;
   * other numerics (counts, sizes) are reported when they drift, as context.
 
 Speedup keys are skipped when either run's `hardware_threads` is below 2:
 a single-core runner cannot exhibit parallel speedup, and warning about it
 would teach everyone to ignore the gate.
 
-Exit status is 0 unless --strict is given and a perf warning fired. The CI
-step runs warn-only; promote to --strict once baseline noise is understood.
+Strictness is per kind. Correctness/identity keys are STRICT by default —
+a parallel path diverging from its sequential reference is a bug, not
+noise — and fail the gate regardless of --strict (CI relies on this;
+--no-strict-correctness downgrades them to warnings for local
+experiments). Latency/throughput keys stay warn-only unless --strict is
+given: wall-clock comparisons across runner classes are noisy, and the
+checked-in baselines track the CI runner class, not developer laptops.
 """
 
 import argparse
@@ -44,7 +51,7 @@ def numeric_leaves(node, path=""):
 
 def leaf_kind(path):
     key = path.rsplit(".", 1)[-1].split("[")[0]
-    if key == "results_identical_to_sequential":
+    if key.startswith("results_identical"):
         return "correctness"
     if key in ("us", "ns") or key.endswith("_us") or key.endswith("_ns"):
         return "latency"
@@ -64,8 +71,8 @@ def compare_file(name, baseline, current, tolerance, skip_speedup):
         kind = leaf_kind(path)
         if kind == "correctness":
             if c != 1:
-                errors.append(f"{name}: {path} = {c} (sharded search "
-                              "diverged from sequential!)")
+                errors.append(f"{name}: {path} = {c} (a parallel path "
+                              "diverged from its sequential reference!)")
             continue
         if b == 0:
             continue
@@ -97,7 +104,12 @@ def main():
                              "wall-clock comparisons across machines are "
                              "noisy, keep this loose)")
     parser.add_argument("--strict", action="store_true",
-                        help="exit non-zero when a perf warning fires")
+                        help="exit non-zero when a perf (latency/throughput) "
+                             "warning fires")
+    parser.add_argument("--no-strict-correctness", action="store_true",
+                        help="downgrade results_identical* violations to "
+                             "warnings (local experiments only; CI keeps "
+                             "correctness strict)")
     args = parser.parse_args()
 
     baselines = sorted(glob.glob(os.path.join(args.baseline_dir,
@@ -142,8 +154,8 @@ def main():
     print(f"perf gate: {compared} file(s) compared, "
           f"{len(all_warnings)} warning(s), {len(all_errors)} error(s), "
           f"tolerance {args.tolerance:.0%}")
-    if all_errors:  # correctness is a boolean, not noisy wall clock
-        return 1
+    if all_errors and not args.no_strict_correctness:
+        return 1  # correctness is a boolean, not noisy wall clock
     if all_warnings and args.strict:
         return 1
     return 0

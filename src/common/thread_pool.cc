@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <exception>
 #include <memory>
 #include <utility>
 
@@ -54,6 +56,25 @@ size_t ThreadPool::HardwareThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+size_t ParsePoolThreadsOverride(const char* value) {
+  if (value == nullptr || *value == '\0') return 0;
+  size_t threads = 0;
+  for (const char* c = value; *c != '\0'; ++c) {
+    if (*c < '0' || *c > '9') return 0;
+    threads = threads * 10 + static_cast<size_t>(*c - '0');
+    if (threads > 512) return 512;
+  }
+  return threads;  // 0 stays 0 ("no override")
+}
+
+size_t ThreadPool::ConfiguredThreads() {
+  static const size_t threads = [] {
+    size_t override = ParsePoolThreadsOverride(std::getenv("EXTRACT_POOL_THREADS"));
+    return override > 0 ? override : HardwareThreads();
+  }();
+  return threads;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -77,7 +98,7 @@ void ThreadPool::WorkerLoop() {
 ThreadPool& SharedThreadPool() {
   // Leaked on purpose: workers must stay valid for serving paths that run
   // during static destruction, and the OS reclaims threads at exit anyway.
-  static ThreadPool* pool = new ThreadPool(ThreadPool::HardwareThreads());
+  static ThreadPool* pool = new ThreadPool(ThreadPool::ConfiguredThreads());
   return *pool;
 }
 
@@ -108,12 +129,23 @@ struct ParallelRegion {
   std::mutex mu;
   std::condition_variable done_cv;
   size_t completed = 0;  ///< indices fully executed; guarded by mu
+  /// First exception thrown by fn, rethrown on the calling thread after
+  /// every index has finished. The library is exception-free by design,
+  /// but a throwing fn must never let the caller unwind while helpers
+  /// still run against its stack frame (fn captures caller locals by
+  /// reference), and must not escape into a pool worker's loop.
+  std::exception_ptr error;  ///< guarded by mu
 
   /// Claims and runs indices until none remain, then accounts for them.
   void Work() {
     size_t ran = 0;
     for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-      fn(i);
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
       ++ran;
     }
     if (ran == 0) return;
@@ -129,7 +161,7 @@ struct ParallelRegion {
 
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t)>& fn) {
-  if (num_threads == 0) num_threads = ThreadPool::HardwareThreads();
+  if (num_threads == 0) num_threads = ThreadPool::ConfiguredThreads();
   num_threads = std::min(num_threads, n);
   if (num_threads <= 1 || in_parallel_region || on_pool_worker) {
     for (size_t i = 0; i < n; ++i) fn(i);
@@ -143,9 +175,10 @@ void ParallelFor(size_t n, size_t num_threads,
   }
   // The caller is a worker too; it waits for index completion, not helper
   // scheduling, so a busy pool queue cannot stall a region the caller
-  // finished on its own. The flag is reset even if fn unwinds (the library
-  // is exception-free by design, but a throwing fn must not silently
-  // serialize this thread's future regions).
+  // finished on its own. Work() contains any exception from fn inside the
+  // region (so the caller cannot unwind past this wait while helpers still
+  // reference its frame); the first one is rethrown below, after every
+  // index has finished.
   struct RegionFlag {
     RegionFlag() { in_parallel_region = true; }
     ~RegionFlag() { in_parallel_region = false; }
@@ -156,6 +189,18 @@ void ParallelFor(size_t n, size_t num_threads,
   }
   std::unique_lock<std::mutex> lock(region->mu);
   region->done_cv.wait(lock, [&] { return region->completed == n; });
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+void ParallelForChunked(size_t n, size_t num_threads,
+                        const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t width =
+      num_threads == 0 ? ThreadPool::ConfiguredThreads() : num_threads;
+  const size_t chunks = std::min(n, std::max<size_t>(1, width * 4));
+  ParallelFor(chunks, num_threads, [&](size_t c) {
+    fn(c * n / chunks, (c + 1) * n / chunks);
+  });
 }
 
 }  // namespace extract

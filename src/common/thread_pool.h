@@ -45,6 +45,16 @@ class ThreadPool {
   /// some platforms).
   static size_t HardwareThreads();
 
+  /// \brief Worker count SharedThreadPool() is (or would be) built with,
+  /// and the width a ParallelFor with num_threads == 0 fans out to.
+  ///
+  /// Defaults to HardwareThreads(); the EXTRACT_POOL_THREADS environment
+  /// variable overrides it (clamped to [1, 512]) so bench runs on shared /
+  /// oversubscribed CI runners can pin a stable width instead of inheriting
+  /// whatever hardware_concurrency reports. Read once, at first use —
+  /// changing the variable after the shared pool exists has no effect.
+  static size_t ConfiguredThreads();
+
  private:
   void WorkerLoop();
 
@@ -57,15 +67,22 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// \brief The process-wide serving pool: HardwareThreads() workers, created
-/// lazily on first use and never torn down (serving paths outlive any
-/// scoped owner). ParallelFor fans out on this pool, so per-query parallel
-/// work (sharded corpus search, batch snippet generation) pays a task
-/// submit, not a thread spawn.
+/// \brief The process-wide serving pool: ConfiguredThreads() workers,
+/// created lazily on first use and never torn down (serving paths outlive
+/// any scoped owner). ParallelFor fans out on this pool, so per-query
+/// parallel work (sharded corpus search, partition-parallel scans, batch
+/// snippet generation) pays a task submit, not a thread spawn.
 ThreadPool& SharedThreadPool();
 
+/// \brief Parses an EXTRACT_POOL_THREADS-style value: digits only, clamped
+/// to [1, 512]; 0 when `value` is null/empty/non-numeric (meaning "use the
+/// hardware default"). Exposed so the parsing contract is unit-testable
+/// without re-creating the process-wide pool.
+size_t ParsePoolThreadsOverride(const char* value);
+
 /// \brief Invokes fn(i) for every i in [0, n), using up to `num_threads`
-/// workers (0 = one per hardware core). With one effective worker — or
+/// workers (0 = ConfiguredThreads(): one per hardware core unless
+/// EXTRACT_POOL_THREADS overrides it). With one effective worker — or
 /// n <= 1 — runs inline on the calling thread, with no pool involvement.
 ///
 /// Parallel runs execute on SharedThreadPool(): the calling thread works
@@ -78,8 +95,22 @@ ThreadPool& SharedThreadPool();
 /// Indices are handed out dynamically (an atomic cursor), so uneven
 /// per-index cost balances across workers. fn must be safe to call
 /// concurrently from multiple threads for distinct i.
+///
+/// The library is exception-free by design, but a throwing fn is contained:
+/// every index still runs, the caller returns only after all of them
+/// finished (so helpers never outlive the caller's stack frame), and the
+/// first exception is rethrown on the calling thread.
 void ParallelFor(size_t n, size_t num_threads,
                  const std::function<void(size_t)>& fn);
+
+/// \brief Invokes fn(begin, end) over contiguous chunks covering [0, n) in
+/// parallel — for loops whose per-element work (an ancestor walk, a couple
+/// of binary searches) is far too small for one ParallelFor index each.
+/// A few chunks per worker (so uneven chunk cost still balances), same
+/// num_threads semantics as ParallelFor. Chunk boundaries must never
+/// affect output: callers write each element to its own pre-sized slot.
+void ParallelForChunked(size_t n, size_t num_threads,
+                        const std::function<void(size_t, size_t)>& fn);
 
 }  // namespace extract
 

@@ -1,0 +1,46 @@
+#include "index/index_partitions.h"
+
+#include <algorithm>
+
+namespace extract {
+
+IndexPartitions IndexPartitions::Build(const IndexedDocument& doc,
+                                       const IndexPartitionOptions& options) {
+  const size_t n = doc.num_nodes();
+  const size_t target = std::max<size_t>(1, options.target_nodes_per_partition);
+  size_t count = n == 0 ? 1 : (n + target - 1) / target;
+  if (options.max_partitions > 0) {
+    count = std::min(count, options.max_partitions);
+  }
+  count = std::max<size_t>(1, count);
+
+  IndexPartitions out;
+  out.bounds_.clear();
+  out.bounds_.reserve(count + 1);
+  // Even split, remainder spread over the first partitions — the same
+  // contiguous-range formula the corpus uses for document shards.
+  for (size_t p = 0; p <= count; ++p) {
+    out.bounds_.push_back(static_cast<NodeId>(p * n / count));
+  }
+  return out;
+}
+
+std::vector<NodeRange> IndexPartitions::Clip(NodeId begin, NodeId end) const {
+  std::vector<NodeRange> out;
+  if (begin >= end) return out;
+  // First partition whose end exceeds `begin`; walk forward from there.
+  size_t p = static_cast<size_t>(
+      std::upper_bound(bounds_.begin() + 1, bounds_.end(), begin) -
+      (bounds_.begin() + 1));
+  for (; p < count() && bounds_[p] < end; ++p) {
+    NodeRange r{std::max(begin, bounds_[p]), std::min(end, bounds_[p + 1])};
+    if (!r.empty()) out.push_back(r);
+  }
+  // The grid covers [0, total_end()); an interval reaching past it (never
+  // the case for ranges from the same document) keeps its tail in one slice.
+  if (!out.empty() && out.back().end < end) out.back().end = end;
+  if (out.empty()) out.push_back(NodeRange{begin, end});
+  return out;
+}
+
+}  // namespace extract

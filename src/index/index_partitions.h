@@ -1,0 +1,91 @@
+// Index partitions: the intra-document shard axis.
+//
+// Documents are the corpus-level shard axis (search/corpus.h); one giant
+// document still serializes every scan that walks its node interval. An
+// IndexPartitions splits the pre-order node range [0, num_nodes) of one
+// IndexedDocument into contiguous partitions at load time, so the
+// single-document hot paths — SLCA posting traversal, the snippet
+// statistics / entity / key / instance scans — can fan each partition out as
+// one ParallelFor index and merge at partition boundaries.
+//
+// Partitions are pure intervals over NodeIds. They deliberately do NOT
+// align to subtree boundaries: a query result or an SLCA witness may
+// straddle a partition, and every partition-parallel consumer merges with
+// that in mind (per-partition partial results are combined by an order-
+// preserving, associative reduction, so output is byte-identical to the
+// sequential scan for every partition count).
+
+#ifndef EXTRACT_INDEX_INDEX_PARTITIONS_H_
+#define EXTRACT_INDEX_INDEX_PARTITIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "index/indexed_document.h"
+
+namespace extract {
+
+/// Build-time partitioning knobs (LoadOptions carries one of these).
+struct IndexPartitionOptions {
+  /// Aim for this many nodes per partition. Small documents end up with a
+  /// single partition, which is exactly the sequential reference path; the
+  /// default keeps per-partition work far above task-dispatch cost.
+  size_t target_nodes_per_partition = 16384;
+
+  /// Hard cap on the partition count (0 = no cap beyond what the target
+  /// implies). Bounds per-query merge state on pathologically huge inputs.
+  size_t max_partitions = 64;
+};
+
+/// One contiguous node range [begin, end) of a partitioned scan.
+struct NodeRange {
+  NodeId begin = 0;
+  NodeId end = 0;
+
+  size_t size() const { return static_cast<size_t>(end - begin); }
+  bool empty() const { return begin >= end; }
+};
+
+/// \brief The partition grid of one document: contiguous NodeId ranges
+/// covering [0, num_nodes) exactly. Immutable after Build, so it is shared
+/// freely across query threads, like the IndexedDocument it partitions.
+class IndexPartitions {
+ public:
+  /// A single all-covering partition (the sequential layout). Used as the
+  /// default so an un-partitioned database behaves exactly as before.
+  IndexPartitions() : bounds_{0, 0} {}
+
+  /// Partitions `doc` per `options`. Always produces at least one
+  /// partition; every partition is non-empty (except for an empty doc).
+  static IndexPartitions Build(const IndexedDocument& doc,
+                               const IndexPartitionOptions& options);
+
+  /// Number of partitions (>= 1).
+  size_t count() const { return bounds_.size() - 1; }
+
+  /// Partition p's node range.
+  NodeRange partition(size_t p) const {
+    return NodeRange{bounds_[p], bounds_[p + 1]};
+  }
+
+  /// One past the last node of the grid (== num_nodes at Build time).
+  NodeId total_end() const { return bounds_.back(); }
+
+  /// \brief Clips [begin, end) against the grid: the ranges, in ascending
+  /// order, that the grid's partitions carve the interval into.
+  ///
+  /// This is the scan decomposition used by every partition-parallel
+  /// reduction: slice s is scanned by one worker, and the partial results
+  /// are merged in slice order. Returns a single range (the input) when the
+  /// interval lies inside one partition, and an empty vector for an empty
+  /// interval.
+  std::vector<NodeRange> Clip(NodeId begin, NodeId end) const;
+
+ private:
+  /// bounds_[p] .. bounds_[p+1] delimit partition p; bounds_.front() == 0.
+  std::vector<NodeId> bounds_;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_INDEX_INDEX_PARTITIONS_H_

@@ -23,13 +23,6 @@ bool CorpusHitBefore(const CorpusResult& a, const CorpusResult& b) {
   return a.result.root < b.result.root;
 }
 
-uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count());
-}
-
 }  // namespace
 
 Status XmlCorpus::AddDocument(const std::string& name, std::string_view xml) {
@@ -106,14 +99,44 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
   const size_t n = docs.size();
 
   size_t shards = serving.max_shards == 0 ? n : std::min(n, serving.max_shards);
-  if (n <= 1 || shards <= 1 || serving.search_threads == 1) {
+
+  // Axis composition under the one serving budget: the document axis fans
+  // out at most min(shards, threads) wide; the intra-document partition
+  // axis — the engine's own internal parallelism, which it must advertise
+  // via ParallelizesWithinDocument — only engages when the engine runs on
+  // the calling thread, since parallel regions issued from pool tasks run
+  // inline. Trade document sharding away only when the document axis
+  // cannot even fill the budget (fewer documents than threads) AND the
+  // engine can actually go wider inside a document: then the sequential
+  // document loop lets every core work inside each document (the extreme:
+  // one giant partitioned document). Corpora with documents to spare — or
+  // engines without intra-document parallelism — shard over documents
+  // exactly as before. Results are byte-identical either way.
+  const size_t effective_threads = serving.search_threads == 0
+                                       ? ThreadPool::ConfiguredThreads()
+                                       : serving.search_threads;
+  size_t max_engine_partitions = 1;
+  for (const auto& [name, db] : docs) {
+    if (engine.ParallelizesWithinDocument(*db)) {
+      max_engine_partitions =
+          std::max(max_engine_partitions, db->partitions().count());
+    }
+  }
+  const size_t document_width = std::min(shards, effective_threads);
+  const size_t partition_width =
+      std::min(max_engine_partitions, effective_threads);
+  const bool prefer_partition_axis =
+      n <= effective_threads && partition_width > document_width;
+
+  if (n <= 1 || shards <= 1 || serving.search_threads == 1 ||
+      prefer_partition_axis) {
     // Sequential fallback: the plain document loop, no pool. This is the
     // reference path the sharded one must reproduce byte-for-byte.
     std::vector<CorpusResult> out;
     for (const auto& [name, db] : docs) {
       Result<std::vector<QueryResult>> searched = engine.Search(*db, query);
       if (!searched.ok()) {
-        stage_stats_.Record("search", ElapsedNs(start));
+        stage_stats_.Record("search", ElapsedNsSince(start));
         return searched.status();
       }
       for (RankedResult& ranked : RankResults(*db, *searched, ranking)) {
@@ -122,7 +145,7 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
       }
     }
     std::stable_sort(out.begin(), out.end(), CorpusHitBefore);
-    stage_stats_.Record("search", ElapsedNs(start));
+    stage_stats_.Record("search", ElapsedNsSince(start));
     return out;
   }
 
@@ -158,7 +181,7 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
   // no matter which shards failed or finished first.
   for (size_t d = 0; d < n; ++d) {
     if (!doc_status[d].ok()) {
-      stage_stats_.Record("search", ElapsedNs(start));
+      stage_stats_.Record("search", ElapsedNsSince(start));
       return doc_status[d];
     }
   }
@@ -196,7 +219,7 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
       fronts.push(Front{front.shard, front.index + 1});
     }
   }
-  stage_stats_.Record("search", ElapsedNs(start));
+  stage_stats_.Record("search", ElapsedNsSince(start));
   return merged;
 }
 
@@ -301,9 +324,12 @@ Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
   });
   // The services are per-page, so their counters are exactly this page's
   // contribution; fold them into the corpus-lifetime breakdown (even when
-  // a slot failed — the stages that did run still cost time).
+  // a slot failed — the stages that did run still cost time). The contexts
+  // contribute the partition-parallel scan attribution ("scan.*" and
+  // "scan.*.p<i>" pseudo-stages).
   for (const auto& [name, doc] : documents) {
     stage_stats_.Merge(doc->service.StageStatsSnapshot());
+    stage_stats_.Merge(doc->context.ScanStatsSnapshot());
   }
   for (size_t t = 0; t < todo.size(); ++t) {
     if (!statuses[t].ok()) {

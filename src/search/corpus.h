@@ -43,13 +43,23 @@ struct CorpusResult {
 
 /// \brief How SearchAll distributes query evaluation over the corpus.
 ///
-/// Defaults parallelize: one shard per document, one thread per hardware
+/// Defaults parallelize: one shard per document, one thread per configured
 /// core. Results never depend on these knobs — only latency does. The
 /// engine is shared across shards, so SearchEngine::Search must tolerate
 /// concurrent calls (see its contract); pin search_threads to 1 for an
 /// engine that cannot.
+///
+/// Two shard axes compose under this one budget: documents (this struct)
+/// and index partitions *within* each document (built at load per
+/// LoadOptions::partitioning; exploited by the engine, see
+/// SearchOptions::partition_threads). SearchAll picks the wider axis per
+/// corpus shape: small-many corpora fan out over document shards (nested
+/// partition regions then run inline on the pool workers), huge-few
+/// corpora run the document loop on the calling thread so the engine's
+/// partition parallelism gets the whole pool.
 struct CorpusServingOptions {
-  /// Worker threads searching shards: 0 = one per hardware core, 1 = the
+  /// Worker threads searching shards: 0 = one per configured core
+  /// (EXTRACT_POOL_THREADS overrides hardware_concurrency), 1 = the
   /// sequential fallback (searches on the calling thread, no pool).
   size_t search_threads = 0;
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <functional>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "search/slca.h"
 #include "xml/parser.h"
 
@@ -34,6 +36,7 @@ Result<XmlDatabase> XmlDatabase::FromIndexedDocument(IndexedDocument index,
                                                      const LoadOptions& options) {
   XmlDatabase db;
   db.index_ = std::make_unique<IndexedDocument>(std::move(index));
+  db.partitions_ = IndexPartitions::Build(*db.index_, options.partitioning);
   if (dtd != nullptr) {
     db.dtd_ = *dtd;
     db.has_dtd_ = true;
@@ -105,21 +108,48 @@ Result<std::vector<QueryResult>> XSeekEngine::Search(const XmlDatabase& db,
     return std::vector<QueryResult>{};  // all keywords were stopwords
   }
 
+  // Intra-document partition parallelism: on when the document was loaded
+  // with more than one partition and the options allow it. Every parallel
+  // region below is a pure fan-out into pre-sized slots merged in a fixed
+  // order, so the partitioned path is byte-identical to the sequential one.
+  const bool partitioned =
+      db.partitions().count() > 1 && options_.partition_threads != 1;
+
   std::vector<NodeId> slcas =
-      ComputeSlcaIndexedLookupEager(db.index(), lists);
+      partitioned
+          ? ComputeSlcaIndexedLookupEagerPartitioned(
+                db.index(), lists, db.partitions(), options_.partition_threads)
+          : ComputeSlcaIndexedLookupEager(db.index(), lists);
 
   // Scope each SLCA to its result root; collapse results that share a root
-  // (two SLCAs can live under one master entity).
-  std::vector<QueryResult> results;
-  for (NodeId slca : slcas) {
-    NodeId root = slca;
-    if (options_.scope == ResultScope::kMasterEntity) {
-      root = MasterEntityOf(db.index(), db.classification(), slca);
+  // (two SLCAs can live under one master entity). The per-SLCA ancestor
+  // walks are independent, so the partitioned path precomputes them in
+  // parallel; the dedup scan stays sequential (it is order-dependent and
+  // linear).
+  std::vector<NodeId> roots(slcas.size());
+  if (options_.scope == ResultScope::kMasterEntity) {
+    if (partitioned) {
+      ParallelForChunked(slcas.size(), options_.partition_threads,
+                         [&](size_t begin, size_t end) {
+                           for (size_t i = begin; i < end; ++i) {
+                             roots[i] = MasterEntityOf(
+                                 db.index(), db.classification(), slcas[i]);
+                           }
+                         });
+    } else {
+      for (size_t i = 0; i < slcas.size(); ++i) {
+        roots[i] = MasterEntityOf(db.index(), db.classification(), slcas[i]);
+      }
     }
-    if (!results.empty() && results.back().root == root) continue;
+  } else {
+    roots.assign(slcas.begin(), slcas.end());
+  }
+  std::vector<QueryResult> results;
+  for (size_t i = 0; i < slcas.size(); ++i) {
+    if (!results.empty() && results.back().root == roots[i]) continue;
     QueryResult result;
-    result.root = root;
-    result.slca = slca;
+    result.root = roots[i];
+    result.slca = slcas[i];
     results.push_back(std::move(result));
   }
   // Deduplicate non-adjacent repeats (possible when master entities repeat
@@ -136,17 +166,27 @@ Result<std::vector<QueryResult>> XSeekEngine::Search(const XmlDatabase& db,
   results = std::move(dedup);
 
   // Attach per-keyword matches restricted to each result subtree (dropped
-  // stopword keywords keep empty match lists).
-  for (QueryResult& result : results) {
-    NodeId begin = result.root;
-    NodeId end = db.index().subtree_end(result.root);
-    result.matches.resize(query.keywords.size());
-    for (size_t i = 0; i < lists.size(); ++i) {
-      const std::vector<NodeId>& nodes = lists[i]->nodes;
-      auto lo = std::lower_bound(nodes.begin(), nodes.end(), begin);
-      auto hi = std::lower_bound(nodes.begin(), nodes.end(), end);
-      result.matches[keyword_of_list[i]].assign(lo, hi);
+  // stopword keywords keep empty match lists). Each result fills only its
+  // own slot, so the partitioned path copies match ranges in parallel.
+  auto attach_matches = [&](size_t begin_result, size_t end_result) {
+    for (size_t r = begin_result; r < end_result; ++r) {
+      QueryResult& result = results[r];
+      NodeId begin = result.root;
+      NodeId end = db.index().subtree_end(result.root);
+      result.matches.resize(query.keywords.size());
+      for (size_t i = 0; i < lists.size(); ++i) {
+        const std::vector<NodeId>& nodes = lists[i]->nodes;
+        auto lo = std::lower_bound(nodes.begin(), nodes.end(), begin);
+        auto hi = std::lower_bound(nodes.begin(), nodes.end(), end);
+        result.matches[keyword_of_list[i]].assign(lo, hi);
+      }
     }
+  };
+  if (partitioned) {
+    ParallelForChunked(results.size(), options_.partition_threads,
+                       attach_matches);
+  } else {
+    attach_matches(0, results.size());
   }
 
   if (options_.max_results > 0 && results.size() > options_.max_results) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/thread_pool.h"
+
 namespace extract {
 
 namespace {
@@ -19,6 +21,47 @@ NodeId RightMatch(const PostingList& list, NodeId v) {
   auto it = std::lower_bound(list.nodes.begin(), list.nodes.end(), v);
   if (it == list.nodes.end()) return kInvalidNode;
   return *it;
+}
+
+// Index of the shortest list — the driving list of the ILE traversal.
+size_t ShortestList(const std::vector<const PostingList*>& lists) {
+  size_t shortest = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i]->size() < lists[shortest]->size()) shortest = i;
+  }
+  return shortest;
+}
+
+// The candidate SLCA for one driving posting v: incrementally tighten x =
+// the deepest node that is an LCA of v with one match from every other list
+// (XKSearch's closest-match argument: the SLCA containing v is reachable
+// through left/right matches). Pure in (doc, lists, v) — the unit both the
+// sequential and the partition-parallel traversal are built from.
+NodeId CandidateSlcaFor(const IndexedDocument& doc,
+                        const std::vector<const PostingList*>& lists,
+                        size_t shortest, NodeId v) {
+  NodeId x = v;
+  for (size_t i = 0; i < lists.size(); ++i) {
+    if (i == shortest) continue;
+    NodeId lm = LeftMatch(*lists[i], x);
+    NodeId rm = RightMatch(*lists[i], x);
+    NodeId left_lca =
+        lm == kInvalidNode ? kInvalidNode : doc.LowestCommonAncestor(x, lm);
+    NodeId right_lca =
+        rm == kInvalidNode ? kInvalidNode : doc.LowestCommonAncestor(x, rm);
+    NodeId next;
+    if (left_lca == kInvalidNode) {
+      next = right_lca;
+    } else if (right_lca == kInvalidNode) {
+      next = left_lca;
+    } else {
+      // Both are ancestors-or-self of x, hence comparable; keep the deeper.
+      next = doc.depth(left_lca) >= doc.depth(right_lca) ? left_lca : right_lca;
+    }
+    assert(next != kInvalidNode);  // all lists non-empty
+    x = next;
+  }
+  return x;
 }
 
 }  // namespace
@@ -43,39 +86,63 @@ std::vector<NodeId> ComputeSlcaIndexedLookupEager(
     if (list == nullptr || list->empty()) return {};
   }
   // Drive from the shortest list.
-  size_t shortest = 0;
-  for (size_t i = 1; i < lists.size(); ++i) {
-    if (lists[i]->size() < lists[shortest]->size()) shortest = i;
-  }
-
+  const size_t shortest = ShortestList(lists);
   std::vector<NodeId> candidates;
   candidates.reserve(lists[shortest]->size());
   for (NodeId v : lists[shortest]->nodes) {
-    // Incrementally tighten x = the deepest node that is an LCA of v with
-    // one match from every other list (XKSearch's closest-match argument:
-    // the SLCA containing v is reachable through left/right matches).
-    NodeId x = v;
-    for (size_t i = 0; i < lists.size(); ++i) {
-      if (i == shortest) continue;
-      NodeId lm = LeftMatch(*lists[i], x);
-      NodeId rm = RightMatch(*lists[i], x);
-      NodeId left_lca =
-          lm == kInvalidNode ? kInvalidNode : doc.LowestCommonAncestor(x, lm);
-      NodeId right_lca =
-          rm == kInvalidNode ? kInvalidNode : doc.LowestCommonAncestor(x, rm);
-      NodeId next;
-      if (left_lca == kInvalidNode) {
-        next = right_lca;
-      } else if (right_lca == kInvalidNode) {
-        next = left_lca;
-      } else {
-        // Both are ancestors-or-self of x, hence comparable; keep the deeper.
-        next = doc.depth(left_lca) >= doc.depth(right_lca) ? left_lca : right_lca;
-      }
-      assert(next != kInvalidNode);  // all lists non-empty
-      x = next;
+    candidates.push_back(CandidateSlcaFor(doc, lists, shortest, v));
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return RemoveAncestors(doc, candidates);
+}
+
+std::vector<NodeId> ComputeSlcaIndexedLookupEagerPartitioned(
+    const IndexedDocument& doc, const std::vector<const PostingList*>& lists,
+    const IndexPartitions& partitions, size_t num_threads) {
+  assert(!lists.empty());
+  if (partitions.count() <= 1 || num_threads == 1) {
+    return ComputeSlcaIndexedLookupEager(doc, lists);
+  }
+  for (const PostingList* list : lists) {
+    if (list == nullptr || list->empty()) return {};
+  }
+  const size_t shortest = ShortestList(lists);
+  const std::vector<NodeId>& driving = lists[shortest]->nodes;
+
+  // Decompose the driving list along the partition grid: chunk p owns the
+  // postings falling in partition p's node range. A keyword absent from a
+  // partition yields an empty chunk, which never even dispatches; the other
+  // lists stay whole — left/right matches may cross partition boundaries,
+  // exactly as in the sequential traversal.
+  const size_t parts = partitions.count();
+  std::vector<size_t> chunk_begin(parts + 1);
+  for (size_t p = 0; p < parts; ++p) {
+    chunk_begin[p] = static_cast<size_t>(
+        std::lower_bound(driving.begin(), driving.end(),
+                         partitions.partition(p).begin) -
+        driving.begin());
+  }
+  chunk_begin[parts] = driving.size();
+
+  std::vector<std::vector<NodeId>> chunk_candidates(parts);
+  ParallelFor(parts, num_threads, [&](size_t p) {
+    const size_t begin = chunk_begin[p];
+    const size_t end = chunk_begin[p + 1];
+    if (begin >= end) return;
+    std::vector<NodeId>& out = chunk_candidates[p];
+    out.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      out.push_back(CandidateSlcaFor(doc, lists, shortest, driving[i]));
     }
-    candidates.push_back(x);
+  });
+
+  // Merge at partition boundaries: candidates are a multiset, and the
+  // sequential path's sort + RemoveAncestors is order-insensitive, so the
+  // concatenation reduces to the identical output.
+  std::vector<NodeId> candidates;
+  candidates.reserve(driving.size());
+  for (const std::vector<NodeId>& chunk : chunk_candidates) {
+    candidates.insert(candidates.end(), chunk.begin(), chunk.end());
   }
   std::sort(candidates.begin(), candidates.end());
   return RemoveAncestors(doc, candidates);

@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "index/index_partitions.h"
 #include "index/indexed_document.h"
 #include "index/inverted_index.h"
 
@@ -28,6 +29,22 @@ namespace extract {
 /// non-empty and sorted ascending; returns SLCAs in document order.
 std::vector<NodeId> ComputeSlcaIndexedLookupEager(
     const IndexedDocument& doc, const std::vector<const PostingList*>& lists);
+
+/// \brief Partition-parallel ILE: decomposes the driving (shortest) posting
+/// list along `partitions`' node ranges, computes each range's candidate
+/// SLCAs as one ParallelFor index, and merges at the partition boundaries
+/// (global sort + ancestor removal — the identical reduction the sequential
+/// algorithm applies to its one candidate run).
+///
+/// Output is byte-identical to ComputeSlcaIndexedLookupEager for every
+/// partition grid and thread count: candidates are a set, and the merge is
+/// order-insensitive. `num_threads` as in ParallelFor (0 = configured
+/// width, 1 = sequential — which simply calls the sequential algorithm).
+/// Partitions with no posting from the driving list cost nothing; a
+/// partition count exceeding the match count degenerates to fewer tasks.
+std::vector<NodeId> ComputeSlcaIndexedLookupEagerPartitioned(
+    const IndexedDocument& doc, const std::vector<const PostingList*>& lists,
+    const IndexPartitions& partitions, size_t num_threads);
 
 /// Scan/counting baseline (test oracle). Same contract as above.
 std::vector<NodeId> ComputeSlcaBySubtreeCounts(

@@ -27,9 +27,15 @@ NodeId NearestEntityAncestorWithin(const IndexedDocument& doc,
 FeatureStatistics FeatureStatistics::Compute(
     const IndexedDocument& doc, const NodeClassification& classification,
     NodeId result_root) {
+  return ComputeRange(doc, classification, result_root, result_root,
+                      doc.subtree_end(result_root));
+}
+
+FeatureStatistics FeatureStatistics::ComputeRange(
+    const IndexedDocument& doc, const NodeClassification& classification,
+    NodeId result_root, NodeId scan_begin, NodeId scan_end) {
   FeatureStatistics out;
-  const NodeId end = doc.subtree_end(result_root);
-  for (NodeId id = result_root; id < end; ++id) {
+  for (NodeId id = scan_begin; id < scan_end; ++id) {
     if (!doc.is_element(id) || !classification.IsAttribute(id)) continue;
     NodeId text = doc.sole_text_child(id);
     if (text == kInvalidNode) continue;  // empty attribute: no feature value
@@ -43,6 +49,16 @@ FeatureStatistics FeatureStatistics::Compute(
     ++stats.value_occurrences[doc.text(text)];
   }
   return out;
+}
+
+void FeatureStatistics::MergeFrom(const FeatureStatistics& other) {
+  for (const auto& [type, stats] : other.types_) {
+    FeatureTypeStats& mine = types_[type];
+    mine.total_occurrences += stats.total_occurrences;
+    for (const auto& [value, count] : stats.value_occurrences) {
+      mine.value_occurrences[value] += count;
+    }
+  }
 }
 
 size_t FeatureStatistics::Occurrences(const Feature& f) const {

@@ -50,6 +50,23 @@ class FeatureStatistics {
                                    const NodeClassification& classification,
                                    NodeId result_root);
 
+  /// \brief Partial scan: only nodes in [scan_begin, scan_end) contribute,
+  /// attributed exactly as Compute would (entity-ancestor walks may read
+  /// outside the range; `result_root` stays the attribution root).
+  ///
+  /// Merging the partials of a disjoint cover of [result_root,
+  /// subtree_end(result_root)) — in any order — reproduces Compute
+  /// byte-identically: counts are sums and the maps are ordered. This is
+  /// the reduction unit of the partition-parallel statistics scan
+  /// (snippet/snippet_context.h).
+  static FeatureStatistics ComputeRange(const IndexedDocument& doc,
+                                        const NodeClassification& classification,
+                                        NodeId result_root, NodeId scan_begin,
+                                        NodeId scan_end);
+
+  /// Folds `other`'s counts into this (sums occurrences per type/value).
+  void MergeFrom(const FeatureStatistics& other);
+
   /// All feature types found, with their counts.
   const std::map<FeatureType, FeatureTypeStats>& types() const {
     return types_;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "snippet/snippet_tree_set.h"
+#include "snippet/stage_stats.h"
 
 namespace extract {
 
@@ -34,16 +37,21 @@ std::vector<ItemInstances> FindItemInstances(
                            analyzed_token);
 }
 
-std::vector<ItemInstances> FindItemInstances(
-    const IndexedDocument& doc, const NodeClassification& classification,
-    NodeId result_root, const IList& ilist, const TextAnalyzer& analyzer,
-    const std::vector<std::string>& analyzed_tokens) {
-  assert(analyzed_tokens.size() == ilist.size() &&
-         "analyzed_tokens must be parallel to ilist.items()");
-  std::vector<ItemInstances> out(ilist.size());
-  const NodeId end = doc.subtree_end(result_root);
-  const std::vector<std::string>& analyzed_token = analyzed_tokens;
+namespace {
 
+// One slice of the instance scan: matches node ids in [scan_begin,
+// scan_end) against every IList item, appending to `out` (parallel to
+// ilist.items()). Attribution walks (entity ancestors, text owners) may
+// read outside the slice; each node is matched by exactly one slice of a
+// disjoint cover, so concatenating slice outputs in slice order reproduces
+// the whole-interval scan.
+void ScanInstanceRange(const IndexedDocument& doc,
+                       const NodeClassification& classification,
+                       NodeId result_root, const IList& ilist,
+                       const TextAnalyzer& analyzer,
+                       const std::vector<std::string>& analyzed_token,
+                       NodeId scan_begin, NodeId scan_end,
+                       std::vector<ItemInstances>& out) {
   // Nearest entity ancestor cache (within the result) for feature matching.
   // Computed lazily per attribute node encountered.
   auto nearest_entity_label = [&](NodeId n) -> LabelId {
@@ -55,7 +63,7 @@ std::vector<ItemInstances> FindItemInstances(
     return doc.label(result_root);
   };
 
-  for (NodeId id = result_root; id < end; ++id) {
+  for (NodeId id = scan_begin; id < scan_end; ++id) {
     if (doc.is_element(id)) {
       for (size_t i = 0; i < ilist.size(); ++i) {
         const IListItem& item = ilist[i];
@@ -104,6 +112,59 @@ std::vector<ItemInstances> FindItemInstances(
           }
         }
       }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ItemInstances> FindItemInstances(
+    const IndexedDocument& doc, const NodeClassification& classification,
+    NodeId result_root, const IList& ilist, const TextAnalyzer& analyzer,
+    const std::vector<std::string>& analyzed_tokens) {
+  assert(analyzed_tokens.size() == ilist.size() &&
+         "analyzed_tokens must be parallel to ilist.items()");
+  std::vector<ItemInstances> out(ilist.size());
+  ScanInstanceRange(doc, classification, result_root, ilist, analyzer,
+                    analyzed_tokens, result_root,
+                    doc.subtree_end(result_root), out);
+  return out;
+}
+
+std::vector<ItemInstances> FindItemInstancesPartitioned(
+    const IndexedDocument& doc, const NodeClassification& classification,
+    NodeId result_root, const IList& ilist, const TextAnalyzer& analyzer,
+    const std::vector<std::string>& analyzed_tokens,
+    const std::vector<NodeRange>& slices, size_t num_threads,
+    std::vector<uint64_t>* slice_elapsed_ns) {
+  assert(analyzed_tokens.size() == ilist.size() &&
+         "analyzed_tokens must be parallel to ilist.items()");
+  if (slices.size() <= 1 || num_threads == 1) {
+    if (slice_elapsed_ns != nullptr) slice_elapsed_ns->clear();
+    return FindItemInstances(doc, classification, result_root, ilist, analyzer,
+                             analyzed_tokens);
+  }
+  if (slice_elapsed_ns != nullptr) {
+    slice_elapsed_ns->assign(slices.size(), 0);
+  }
+  std::vector<std::vector<ItemInstances>> partials(
+      slices.size(), std::vector<ItemInstances>(ilist.size()));
+  ParallelFor(slices.size(), num_threads, [&](size_t s) {
+    const auto slice_start = std::chrono::steady_clock::now();
+    ScanInstanceRange(doc, classification, result_root, ilist, analyzer,
+                      analyzed_tokens, slices[s].begin, slices[s].end,
+                      partials[s]);
+    if (slice_elapsed_ns != nullptr) {
+      (*slice_elapsed_ns)[s] = ElapsedNsSince(slice_start);
+    }
+  });
+  // Slice order is document order, so per-item concatenation keeps every
+  // instance list ascending — identical to the sequential scan.
+  std::vector<ItemInstances> out = std::move(partials[0]);
+  for (size_t s = 1; s < partials.size(); ++s) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i].nodes.insert(out[i].nodes.end(), partials[s][i].nodes.begin(),
+                          partials[s][i].nodes.end());
     }
   }
   return out;

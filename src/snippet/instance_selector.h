@@ -53,6 +53,23 @@ std::vector<ItemInstances> FindItemInstances(
     NodeId result_root, const IList& ilist, const TextAnalyzer& analyzer,
     const std::vector<std::string>& analyzed_tokens);
 
+/// \brief Partition-parallel instance scan: scans each of `slices` (the
+/// result's node interval clipped against the document's partition grid,
+/// IndexPartitions::Clip — computed once by the caller and shared across
+/// scans) as one ParallelFor reduction, and concatenates the per-item
+/// instance lists in slice order — which is document order, so the output
+/// is byte-identical to the sequential scan for every grid and thread
+/// count. Falls back to the sequential scan for a single slice or
+/// `num_threads == 1`. When `slice_elapsed_ns` is non-null it is resized
+/// to slices.size() and filled with each slice's scan wall time
+/// (per-partition attribution for the caller's stage stats).
+std::vector<ItemInstances> FindItemInstancesPartitioned(
+    const IndexedDocument& doc, const NodeClassification& classification,
+    NodeId result_root, const IList& ilist, const TextAnalyzer& analyzer,
+    const std::vector<std::string>& analyzed_tokens,
+    const std::vector<NodeRange>& slices, size_t num_threads,
+    std::vector<uint64_t>* slice_elapsed_ns);
+
 /// Selection knobs.
 struct SelectorOptions {
   /// Maximum number of edges of the snippet tree.

@@ -36,6 +36,18 @@ ResultKeyInfo IdentifyResultKey(const IndexedDocument& doc,
                                 const ReturnEntityInfo& return_entity,
                                 NodeId result_root);
 
+/// \brief Parallel variant for results with many return-entity instances:
+/// splits the instance list into contiguous chunks scanned concurrently,
+/// then keeps the hit of the lowest-indexed instance — the same "first in
+/// document order" the sequential scan stops at, so output is identical.
+/// `num_threads` as in ParallelFor; falls back to the sequential scan for
+/// small instance counts or num_threads == 1.
+ResultKeyInfo IdentifyResultKeyParallel(const IndexedDocument& doc,
+                                        const NodeClassification& classification,
+                                        const KeyIndex& keys,
+                                        const ReturnEntityInfo& return_entity,
+                                        NodeId result_root, size_t num_threads);
+
 }  // namespace extract
 
 #endif  // EXTRACT_SNIPPET_RESULT_KEY_H_

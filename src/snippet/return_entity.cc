@@ -1,9 +1,12 @@
 #include "snippet/return_entity.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "snippet/stage_stats.h"
 
 namespace extract {
 
@@ -17,22 +20,24 @@ bool LabelMatchesAnyKeyword(const std::string& label_name,
   return false;
 }
 
-}  // namespace
+// Per-label aggregate of one scan (or scan slice): entity instances in
+// document order, the best (minimal) depth, and the keyword evidence bits.
+struct LabelInfo {
+  std::vector<NodeId> instances;
+  uint32_t min_depth = UINT32_MAX;
+  bool name_match = false;
+  bool attribute_match = false;
+};
 
-ReturnEntityInfo IdentifyReturnEntity(const IndexedDocument& doc,
-                                      const NodeClassification& classification,
-                                      const Query& query, NodeId result_root) {
-  // Gather entity instances per label, and the best (minimal) depth of each.
-  struct LabelInfo {
-    std::vector<NodeId> instances;
-    uint32_t min_depth = UINT32_MAX;
-    bool name_match = false;
-    bool attribute_match = false;
-  };
-  std::map<LabelId, LabelInfo> by_label;
+using LabelScan = std::map<LabelId, LabelInfo>;
 
-  const NodeId end = doc.subtree_end(result_root);
-  for (NodeId id = result_root; id < end; ++id) {
+// Scans node ids in [scan_begin, scan_end); the child walk for attribute
+// evidence may read past the range (children belong to their parent's
+// slice), so a disjoint cover visits every entity exactly once.
+void ScanRange(const IndexedDocument& doc,
+               const NodeClassification& classification, const Query& query,
+               NodeId scan_begin, NodeId scan_end, LabelScan& by_label) {
+  for (NodeId id = scan_begin; id < scan_end; ++id) {
     if (!doc.is_element(id) || !classification.IsEntity(id)) continue;
     LabelInfo& info = by_label[doc.label(id)];
     info.instances.push_back(id);
@@ -50,7 +55,27 @@ ReturnEntityInfo IdentifyReturnEntity(const IndexedDocument& doc,
       }
     }
   }
+}
 
+// Folds `slice` (scanned from a later node range) into `into`: instance
+// lists concatenate back into document order, depths take the min, evidence
+// bits OR. Associative, and order-preserving when applied in slice order —
+// the merge that makes the partition-parallel scan byte-identical.
+void MergeScan(LabelScan& into, LabelScan&& slice) {
+  for (auto& [label, info] : slice) {
+    auto [it, inserted] = into.try_emplace(label, std::move(info));
+    if (inserted) continue;
+    LabelInfo& mine = it->second;
+    mine.instances.insert(mine.instances.end(), info.instances.begin(),
+                          info.instances.end());
+    mine.min_depth = std::min(mine.min_depth, info.min_depth);
+    mine.name_match = mine.name_match || info.name_match;
+    mine.attribute_match = mine.attribute_match || info.attribute_match;
+  }
+}
+
+// The paper's preference order over the aggregated labels.
+ReturnEntityInfo PickReturnEntity(const LabelScan& by_label) {
   ReturnEntityInfo out;
   if (by_label.empty()) return out;  // kNone
 
@@ -70,7 +95,7 @@ ReturnEntityInfo IdentifyReturnEntity(const IndexedDocument& doc,
     }
     if (best == kInvalidLabel) return false;
     out.label = best;
-    out.instances = by_label[best].instances;
+    out.instances = by_label.find(best)->second.instances;
     out.evidence = evidence;
     return true;
   };
@@ -88,6 +113,46 @@ ReturnEntityInfo IdentifyReturnEntity(const IndexedDocument& doc,
   pick([](const LabelInfo&) { return true; },
        ReturnEntityEvidence::kDefaultHighest);
   return out;
+}
+
+}  // namespace
+
+ReturnEntityInfo IdentifyReturnEntity(const IndexedDocument& doc,
+                                      const NodeClassification& classification,
+                                      const Query& query, NodeId result_root) {
+  LabelScan by_label;
+  ScanRange(doc, classification, query, result_root,
+            doc.subtree_end(result_root), by_label);
+  return PickReturnEntity(by_label);
+}
+
+ReturnEntityInfo IdentifyReturnEntity(const IndexedDocument& doc,
+                                      const NodeClassification& classification,
+                                      const Query& query, NodeId result_root,
+                                      const std::vector<NodeRange>& slices,
+                                      size_t num_threads,
+                                      std::vector<uint64_t>* slice_elapsed_ns) {
+  if (slices.size() <= 1 || num_threads == 1) {
+    if (slice_elapsed_ns != nullptr) slice_elapsed_ns->clear();
+    return IdentifyReturnEntity(doc, classification, query, result_root);
+  }
+  if (slice_elapsed_ns != nullptr) {
+    slice_elapsed_ns->assign(slices.size(), 0);
+  }
+  std::vector<LabelScan> partials(slices.size());
+  ParallelFor(slices.size(), num_threads, [&](size_t s) {
+    const auto slice_start = std::chrono::steady_clock::now();
+    ScanRange(doc, classification, query, slices[s].begin, slices[s].end,
+              partials[s]);
+    if (slice_elapsed_ns != nullptr) {
+      (*slice_elapsed_ns)[s] = ElapsedNsSince(slice_start);
+    }
+  });
+  LabelScan by_label = std::move(partials[0]);
+  for (size_t s = 1; s < partials.size(); ++s) {
+    MergeScan(by_label, std::move(partials[s]));
+  }
+  return PickReturnEntity(by_label);
 }
 
 }  // namespace extract

@@ -45,6 +45,25 @@ ReturnEntityInfo IdentifyReturnEntity(const IndexedDocument& doc,
                                       const NodeClassification& classification,
                                       const Query& query, NodeId result_root);
 
+/// \brief Partition-parallel variant: scans the result's node interval as
+/// one ParallelFor reduction over `slices` (the result interval clipped
+/// against the document's partition grid, IndexPartitions::Clip — computed
+/// once by the caller and shared across scans), then merges the per-slice
+/// label aggregates in slice order (instances concatenate back into
+/// document order; depths take the min; evidence bits OR together).
+///
+/// Byte-identical to the sequential scan for every grid and thread count.
+/// Falls back to it for a single slice or `num_threads == 1`. When
+/// `slice_elapsed_ns` is non-null it is resized to slices.size() and
+/// filled with each slice's scan wall time (per-partition attribution for
+/// the caller's stage stats).
+ReturnEntityInfo IdentifyReturnEntity(const IndexedDocument& doc,
+                                      const NodeClassification& classification,
+                                      const Query& query, NodeId result_root,
+                                      const std::vector<NodeRange>& slices,
+                                      size_t num_threads,
+                                      std::vector<uint64_t>* slice_elapsed_ns);
+
 }  // namespace extract
 
 #endif  // EXTRACT_SNIPPET_RETURN_ENTITY_H_

@@ -1,6 +1,9 @@
 #include "snippet/snippet_context.h"
 
+#include <chrono>
 #include <utility>
+
+#include "common/thread_pool.h"
 
 namespace extract {
 
@@ -32,12 +35,40 @@ uint64_t FingerprintIList(const IList& ilist) {
 }
 
 SnippetContext::SnippetContext(const XmlDatabase* db, Query query)
-    : db_(db), query_(std::move(query)) {
+    : SnippetContext(db, std::move(query), ScanOptions{}) {}
+
+SnippetContext::SnippetContext(const XmlDatabase* db, Query query,
+                               const ScanOptions& scan)
+    : db_(db), query_(std::move(query)), scan_(scan) {
   analyzed_keywords_.reserve(query_.keywords.size());
   for (const std::string& keyword : query_.keywords) {
     analyzed_keywords_.push_back(db_->analyzer().AnalyzeToken(keyword));
     analyzed_by_token_.emplace(keyword, analyzed_keywords_.back());
   }
+}
+
+void SnippetContext::RecordScan(const char* kind, uint64_t total_ns,
+                                const std::vector<uint64_t>& slice_ns) {
+  // Recorded after the parallel region joins, so the registry mutex and
+  // the name concatenations never sit inside the timed (and contended)
+  // scan itself.
+  scan_stats_.Record(kind, total_ns);
+  for (size_t s = 0; s < slice_ns.size(); ++s) {
+    scan_stats_.Record(std::string(kind) + ".p" + std::to_string(s),
+                       slice_ns[s]);
+  }
+}
+
+std::vector<NodeRange> SnippetContext::PartitionSlicesFor(
+    NodeId result_root) const {
+  if (scan_.scan_threads == 1) return {};
+  if (db_->partitions().count() <= 1) return {};
+  // Worth fanning out only when the result actually spans partitions: a
+  // result inside one partition is a sequential scan either way.
+  std::vector<NodeRange> slices = db_->partitions().Clip(
+      result_root, db_->index().subtree_end(result_root));
+  if (slices.size() <= 1) return {};
+  return slices;
 }
 
 const FeatureStatistics& SnippetContext::StatisticsFor(NodeId result_root) {
@@ -52,8 +83,26 @@ const FeatureStatistics& SnippetContext::StatisticsFor(NodeId result_root) {
   // Compute outside the lock; concurrent first-callers may duplicate work
   // for the same root, but the result is deterministic and the first insert
   // wins.
-  FeatureStatistics stats = FeatureStatistics::Compute(
-      db_->index(), db_->classification(), result_root);
+  FeatureStatistics stats;
+  const std::vector<NodeRange> slices = PartitionSlicesFor(result_root);
+  if (!slices.empty()) {
+    const auto scan_start = std::chrono::steady_clock::now();
+    std::vector<FeatureStatistics> partials(slices.size());
+    std::vector<uint64_t> slice_ns(slices.size());
+    ParallelFor(slices.size(), scan_.scan_threads, [&](size_t s) {
+      const auto slice_start = std::chrono::steady_clock::now();
+      partials[s] = FeatureStatistics::ComputeRange(
+          db_->index(), db_->classification(), result_root, slices[s].begin,
+          slices[s].end);
+      slice_ns[s] = ElapsedNsSince(slice_start);
+    });
+    stats = std::move(partials[0]);
+    for (size_t s = 1; s < partials.size(); ++s) stats.MergeFrom(partials[s]);
+    RecordScan("scan.statistics", ElapsedNsSince(scan_start), slice_ns);
+  } else {
+    stats = FeatureStatistics::Compute(db_->index(), db_->classification(),
+                                       result_root);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = statistics_.emplace(result_root, std::move(stats));
   if (inserted) ++statistics_stats_.misses;
@@ -66,8 +115,19 @@ const ReturnEntityInfo& SnippetContext::ReturnEntityFor(NodeId result_root) {
     auto it = return_entities_.find(result_root);
     if (it != return_entities_.end()) return it->second;
   }
-  ReturnEntityInfo info = IdentifyReturnEntity(
-      db_->index(), db_->classification(), query_, result_root);
+  ReturnEntityInfo info;
+  const std::vector<NodeRange> slices = PartitionSlicesFor(result_root);
+  if (!slices.empty()) {
+    const auto scan_start = std::chrono::steady_clock::now();
+    std::vector<uint64_t> slice_ns;
+    info = IdentifyReturnEntity(db_->index(), db_->classification(), query_,
+                                result_root, slices, scan_.scan_threads,
+                                &slice_ns);
+    RecordScan("scan.entity", ElapsedNsSince(scan_start), slice_ns);
+  } else {
+    info = IdentifyReturnEntity(db_->index(), db_->classification(), query_,
+                                result_root);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   return return_entities_.emplace(result_root, std::move(info)).first->second;
 }
@@ -79,8 +139,20 @@ const ResultKeyInfo& SnippetContext::ResultKeyFor(NodeId result_root) {
     if (it != result_keys_.end()) return it->second;
   }
   const ReturnEntityInfo& entity = ReturnEntityFor(result_root);
-  ResultKeyInfo key = IdentifyResultKey(db_->index(), db_->classification(),
-                                        db_->keys(), entity, result_root);
+  ResultKeyInfo key;
+  // Cheap gate (no Clip): the key scan walks entity instances, not the node
+  // interval, and IdentifyResultKeyParallel has its own small-input
+  // fallback to the sequential early-exit scan.
+  if (scan_.scan_threads != 1 && db_->partitions().count() > 1) {
+    const auto scan_start = std::chrono::steady_clock::now();
+    key = IdentifyResultKeyParallel(db_->index(), db_->classification(),
+                                    db_->keys(), entity, result_root,
+                                    scan_.scan_threads);
+    scan_stats_.Record("scan.key", ElapsedNsSince(scan_start));
+  } else {
+    key = IdentifyResultKey(db_->index(), db_->classification(), db_->keys(),
+                            entity, result_root);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   return result_keys_.emplace(result_root, std::move(key)).first->second;
 }
@@ -107,9 +179,20 @@ const std::vector<ItemInstances>& SnippetContext::InstancesFor(
                              ? it->second
                              : db_->analyzer().AnalyzeToken(ilist[i].token);
   }
-  std::vector<ItemInstances> found =
-      FindItemInstances(db_->index(), db_->classification(), result_root,
-                        ilist, db_->analyzer(), analyzed_tokens);
+  std::vector<ItemInstances> found;
+  const std::vector<NodeRange> slices = PartitionSlicesFor(result_root);
+  if (!slices.empty()) {
+    const auto scan_start = std::chrono::steady_clock::now();
+    std::vector<uint64_t> slice_ns;
+    found = FindItemInstancesPartitioned(
+        db_->index(), db_->classification(), result_root, ilist,
+        db_->analyzer(), analyzed_tokens, slices, scan_.scan_threads,
+        &slice_ns);
+    RecordScan("scan.instances", ElapsedNsSince(scan_start), slice_ns);
+  } else {
+    found = FindItemInstances(db_->index(), db_->classification(), result_root,
+                              ilist, db_->analyzer(), analyzed_tokens);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = instances_.emplace(cache_key, std::move(found));
   if (inserted) ++instances_stats_.misses;

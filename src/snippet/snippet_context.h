@@ -29,8 +29,21 @@
 #include "snippet/instance_selector.h"
 #include "snippet/result_key.h"
 #include "snippet/return_entity.h"
+#include "snippet/stage_stats.h"
 
 namespace extract {
+
+/// How a context's memoized scans use the database's index partitions.
+struct ScanOptions {
+  /// Worker threads per partition-parallel scan (the statistics, entity,
+  /// key and instance scans): 0 = one per configured core, 1 = the
+  /// sequential reference path. Parallelism only engages when the scanned
+  /// result spans more than one partition slice; scans issued from inside a
+  /// thread-pool task (e.g. a parallel snippet batch) run inline, so the
+  /// batch and partition axes never oversubscribe the shared pool. Never
+  /// affects scan results, only latency.
+  size_t scan_threads = 0;
+};
 
 /// \brief Shared, thread-safe cache for generating the snippets of one
 /// query's results. Not copyable or movable (workers hold references).
@@ -38,6 +51,7 @@ class SnippetContext {
  public:
   /// `db` must outlive the context.
   SnippetContext(const XmlDatabase* db, Query query);
+  SnippetContext(const XmlDatabase* db, Query query, const ScanOptions& scan);
 
   SnippetContext(const SnippetContext&) = delete;
   SnippetContext& operator=(const SnippetContext&) = delete;
@@ -78,9 +92,34 @@ class SnippetContext {
   CacheStats statistics_cache() const;
   CacheStats instances_cache() const;
 
+  /// \brief Per-partition attribution of the context's parallel scans:
+  /// pseudo-stages named "scan.<kind>" (whole-scan wall clock) and, for the
+  /// interval scans (statistics/entity/instances), "scan.<kind>.p<i>" —
+  /// the time slice i of the result's clipped interval took (slice order is
+  /// document order; different result roots may map slice i to different
+  /// physical partitions). The key scan is instance-chunked, so it reports
+  /// whole-scan time only. Merged into the corpus-level stage stats by
+  /// XmlCorpus::GenerateSnippets. Empty until a partition-parallel scan has
+  /// run.
+  std::vector<StageStat> ScanStatsSnapshot() const {
+    return scan_stats_.Snapshot();
+  }
+
  private:
+  /// The result interval clipped against the database's partition grid —
+  /// computed once per scan and shared by the fan-out decision and the
+  /// scan itself. Empty means "scan sequentially" (single partition,
+  /// single-slice result, or scan_threads pinned to 1).
+  std::vector<NodeRange> PartitionSlicesFor(NodeId result_root) const;
+
+  /// Folds one parallel scan's timing into scan_stats_ (whole scan plus
+  /// one ".p<i>" entry per slice), after the region has joined.
+  void RecordScan(const char* kind, uint64_t total_ns,
+                  const std::vector<uint64_t>& slice_ns);
+
   const XmlDatabase* db_;
   Query query_;
+  ScanOptions scan_;
   std::vector<std::string> analyzed_keywords_;
   /// keyword token -> analyzed form, for mapping IList keyword items back
   /// to their precomputed analysis.
@@ -95,6 +134,8 @@ class SnippetContext {
       instances_;
   CacheStats statistics_stats_;
   CacheStats instances_stats_;
+  /// Observability only: internally synchronized, never affects results.
+  StageStatsRegistry scan_stats_;
 };
 
 /// Order-sensitive content fingerprint of an IList (FNV-1a over every item

@@ -13,6 +13,7 @@
 #define EXTRACT_SNIPPET_STAGE_STATS_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -20,6 +21,15 @@
 #include <vector>
 
 namespace extract {
+
+/// Nanoseconds elapsed since `start` (steady clock) — the unit every
+/// stage/pseudo-stage counter in this module accumulates.
+inline uint64_t ElapsedNsSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
 
 /// Aggregated timing of one pipeline stage (or pseudo-stage, e.g. the
 /// corpus's "search" phase).

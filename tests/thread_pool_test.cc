@@ -106,5 +106,32 @@ TEST(ParallelForTest, CallableFromTasksOnTheSharedPool) {
   EXPECT_EQ(total.load(), tasks * 50);
 }
 
+// The EXTRACT_POOL_THREADS parsing contract (the pool itself is created
+// once per process, so the parser is what can be pinned here): digits-only,
+// clamped, and "no override" on anything else.
+TEST(ThreadPoolTest, ParsePoolThreadsOverride) {
+  EXPECT_EQ(ParsePoolThreadsOverride(nullptr), 0u);
+  EXPECT_EQ(ParsePoolThreadsOverride(""), 0u);
+  EXPECT_EQ(ParsePoolThreadsOverride("0"), 0u);
+  EXPECT_EQ(ParsePoolThreadsOverride("1"), 1u);
+  EXPECT_EQ(ParsePoolThreadsOverride("8"), 8u);
+  EXPECT_EQ(ParsePoolThreadsOverride("512"), 512u);
+  EXPECT_EQ(ParsePoolThreadsOverride("4096"), 512u);  // clamped
+  EXPECT_EQ(ParsePoolThreadsOverride("99999999999999999999"), 512u);
+  EXPECT_EQ(ParsePoolThreadsOverride("-2"), 0u);
+  EXPECT_EQ(ParsePoolThreadsOverride("4x"), 0u);
+  EXPECT_EQ(ParsePoolThreadsOverride(" 4"), 0u);
+  EXPECT_EQ(ParsePoolThreadsOverride("auto"), 0u);
+}
+
+TEST(ThreadPoolTest, ConfiguredThreadsIsStableAndPositive) {
+  const size_t first = ThreadPool::ConfiguredThreads();
+  EXPECT_GE(first, 1u);
+  // Read once per process: later reads agree even if the env changes now.
+  setenv("EXTRACT_POOL_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::ConfiguredThreads(), first);
+  unsetenv("EXTRACT_POOL_THREADS");
+}
+
 }  // namespace
 }  // namespace extract
