@@ -14,6 +14,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -573,6 +574,255 @@ void WriteSearchBenchJson(const std::string& path) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// BENCH_stream.json: time-to-first-snippet (streamed serving) vs full-batch
+// latency on multi-slot pages — the number the streaming refactor exists
+// for. Streamed output is cross-checked byte-identical to the batch path.
+//
+// Two measurements with different roles:
+//   * default-width batch vs streamed TTFS — the headline serving numbers,
+//     warn-only latency keys (on a many-core runner a small page's batch
+//     collapses toward its slowest slot, so the gap narrows with noise);
+//   * sequential (num_threads = 1) batch vs sequential streamed TTFS — the
+//     structural invariant behind constraint_ttfs_below_batch, strict in
+//     the perf gate: on one thread the first slot of a multi-slot page
+//     finishes strictly before all slots do, on any machine, or the
+//     stream's lazy production is broken.
+
+void WriteStreamBenchJson(const std::string& path) {
+  RandomXmlData data = MakeDoc(8);
+  XmlCorpus corpus;
+  {
+    Status status = corpus.AddDocument("random8", data.xml);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot load corpus: %s\n",
+                   status.ToString().c_str());
+      return;
+    }
+  }
+  const XmlDatabase* db = corpus.Find("random8");
+  auto batches = MakeBatches(*db, 12);
+
+  // Multi-slot pages only: on a one-slot page the first snippet IS the
+  // batch, and the constraint below would measure nothing.
+  struct Page {
+    Query query;
+    std::vector<CorpusResult> hits;
+  };
+  std::vector<Page> pages;
+  size_t slots_total = 0;
+  size_t min_page_slots = SIZE_MAX;
+  for (auto& [q, results] : batches) {
+    if (results.size() < 4) continue;
+    Page page;
+    page.query = q;
+    page.hits.reserve(results.size());
+    for (const QueryResult& r : results) {
+      page.hits.push_back(CorpusResult{"random8", r, 0.0});
+    }
+    slots_total += page.hits.size();
+    min_page_slots = std::min(min_page_slots, page.hits.size());
+    pages.push_back(std::move(page));
+  }
+  if (pages.empty()) {
+    std::fprintf(stderr, "stream bench: no multi-slot pages generated\n");
+    return;
+  }
+
+  SnippetOptions options;
+  options.size_bound = 12;
+
+  // Identity cross-check: collecting the stream in slot order must be
+  // byte-identical to GenerateSnippets (uncached on both sides).
+  bool identical = true;
+  for (const Page& page : pages) {
+    auto batch = corpus.GenerateSnippets(page.query, page.hits, options);
+    StreamOptions slot_order;
+    slot_order.order = StreamOrder::kSlot;
+    auto session =
+        corpus.StreamSnippets(page.query, page.hits, options, slot_order);
+    if (!batch.ok() || !session.ok()) {
+      identical = false;
+      break;
+    }
+    auto streamed = session->stream().Collect();
+    if (!streamed.ok() || streamed->size() != batch->size()) {
+      identical = false;
+      break;
+    }
+    for (size_t i = 0; i < batch->size(); ++i) {
+      const Snippet& a = (*batch)[i];
+      const Snippet& b = (*streamed)[i];
+      if (a.result_root != b.result_root || a.nodes != b.nodes ||
+          a.ilist.ToString() != b.ilist.ToString() ||
+          RenderSnippet(a) != RenderSnippet(b)) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  if (!identical) {
+    std::fprintf(stderr, "collected stream diverged from GenerateSnippets!\n");
+  }
+
+  // Paired measurement per (run, page): batch wall clock vs streamed
+  // time-to-first-snippet (and streamed full drain, to expose the stream's
+  // own overhead) — once at the default width (the headline, warn-only)
+  // and once pinned to one thread (per-page minima drive the strict
+  // constraint: sequentially, slot one of a multi-slot page must finish
+  // strictly before all slots have).
+  using Clock = std::chrono::steady_clock;
+  auto us_since = [](Clock::time_point start) {
+    return std::chrono::duration_cast<
+               std::chrono::duration<double, std::micro>>(Clock::now() - start)
+        .count();
+  };
+  auto measure_batch = [&](const Page& page, size_t threads) {
+    BatchOptions batch;
+    batch.num_threads = threads;
+    Clock::time_point t0 = Clock::now();
+    auto generated =
+        corpus.GenerateSnippets(page.query, page.hits, options, batch);
+    benchmark::DoNotOptimize(generated);
+    return us_since(t0);
+  };
+  // Returns {ttfs_us (-1 when no snippet succeeded), full_drain_us}.
+  auto measure_stream = [&](const Page& page, size_t threads) {
+    StreamOptions stream;
+    stream.num_threads = threads;
+    Clock::time_point t0 = Clock::now();
+    auto session = corpus.StreamSnippets(page.query, page.hits, options,
+                                         stream);
+    double ttfs_us = -1.0;
+    if (session.ok()) {
+      while (auto event = session->stream().Next()) {
+        if (ttfs_us < 0.0 && event->snippet.ok()) ttfs_us = us_since(t0);
+        benchmark::DoNotOptimize(event);
+      }
+    }
+    return std::make_pair(ttfs_us, us_since(t0));
+  };
+
+  const int kRuns = 15;
+  std::vector<double> batch_samples, ttfs_samples, stream_full_samples;
+  std::vector<double> seq_batch_samples, seq_ttfs_samples;
+  std::vector<double> page_seq_batch_min(pages.size(), 1e18);
+  std::vector<double> page_seq_ttfs_min(pages.size(), 1e18);
+  for (int run = 0; run < kRuns; ++run) {
+    for (size_t p = 0; p < pages.size(); ++p) {
+      const Page& page = pages[p];
+      batch_samples.push_back(measure_batch(page, /*threads=*/0));
+      auto [ttfs_us, full_us] = measure_stream(page, /*threads=*/0);
+      stream_full_samples.push_back(full_us);
+      if (ttfs_us >= 0.0) ttfs_samples.push_back(ttfs_us);
+
+      double seq_batch_us = measure_batch(page, /*threads=*/1);
+      seq_batch_samples.push_back(seq_batch_us);
+      page_seq_batch_min[p] = std::min(page_seq_batch_min[p], seq_batch_us);
+      auto [seq_ttfs_us, seq_full_us] = measure_stream(page, /*threads=*/1);
+      benchmark::DoNotOptimize(seq_full_us);
+      if (seq_ttfs_us >= 0.0) {
+        seq_ttfs_samples.push_back(seq_ttfs_us);
+        page_seq_ttfs_min[p] = std::min(page_seq_ttfs_min[p], seq_ttfs_us);
+      }
+    }
+  }
+  bool ttfs_below_batch = true;
+  for (size_t p = 0; p < pages.size(); ++p) {
+    if (!(page_seq_ttfs_min[p] < page_seq_batch_min[p])) {
+      ttfs_below_batch = false;
+    }
+  }
+  if (!ttfs_below_batch) {
+    std::fprintf(stderr,
+                 "stream bench: sequential first snippet not below "
+                 "sequential batch latency!\n");
+  }
+
+  // Warm-cache streaming: every slot a hit, live the moment the stream
+  // opens — the repeated-query regime where time-to-first-snippet collapses
+  // to a cache probe.
+  corpus.EnableSnippetCache();
+  for (const Page& page : pages) {
+    auto warm = corpus.GenerateSnippets(page.query, page.hits, options);
+    benchmark::DoNotOptimize(warm);
+  }
+  std::vector<double> warm_ttfs_samples;
+  for (int run = 0; run < kRuns; ++run) {
+    for (const Page& page : pages) {
+      Clock::time_point t0 = Clock::now();
+      auto session =
+          corpus.StreamSnippets(page.query, page.hits, options, StreamOptions{});
+      if (!session.ok()) continue;
+      double ttfs_us = -1.0;
+      while (auto event = session->stream().Next()) {
+        if (ttfs_us < 0.0 && event->snippet.ok()) ttfs_us = us_since(t0);
+        benchmark::DoNotOptimize(event);
+      }
+      if (ttfs_us >= 0.0) warm_ttfs_samples.push_back(ttfs_us);
+    }
+  }
+
+  bench::LatencyPercentiles batch_pct =
+      bench::PercentilesFromSamplesMicros(std::move(batch_samples));
+  bench::LatencyPercentiles ttfs_pct =
+      bench::PercentilesFromSamplesMicros(std::move(ttfs_samples));
+  bench::LatencyPercentiles stream_full_pct =
+      bench::PercentilesFromSamplesMicros(std::move(stream_full_samples));
+  bench::LatencyPercentiles seq_batch_pct =
+      bench::PercentilesFromSamplesMicros(std::move(seq_batch_samples));
+  bench::LatencyPercentiles seq_ttfs_pct =
+      bench::PercentilesFromSamplesMicros(std::move(seq_ttfs_samples));
+  bench::LatencyPercentiles warm_ttfs_pct =
+      bench::PercentilesFromSamplesMicros(std::move(warm_ttfs_samples));
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Key("experiment").Value(std::string("snippet_stream_serving"));
+  json.Key("doc").BeginObject();
+  json.Key("xml_bytes").Value(data.xml.size());
+  json.Key("elements").Value(data.approx_elements);
+  json.EndObject();
+  json.Key("pages").Value(pages.size());
+  json.Key("slots_total").Value(slots_total);
+  json.Key("min_page_slots").Value(min_page_slots);
+  json.Key("hardware_threads").Value(ThreadPool::ConfiguredThreads());
+  json.Key("results_identical_stream_collect")
+      .Value(static_cast<size_t>(identical ? 1 : 0));
+  json.Key("constraint_ttfs_below_batch")
+      .Value(static_cast<size_t>(ttfs_below_batch ? 1 : 0));
+  auto emit_pct = [&](const char* key, const bench::LatencyPercentiles& p) {
+    json.Key(key).BeginObject();
+    json.Key("us").Value(p.min_us);
+    bench::WritePercentiles(json, p);
+    json.EndObject();
+  };
+  emit_pct("batch", batch_pct);
+  emit_pct("stream_ttfs", ttfs_pct);
+  emit_pct("stream_full", stream_full_pct);
+  emit_pct("sequential_batch", seq_batch_pct);
+  emit_pct("sequential_stream_ttfs", seq_ttfs_pct);
+  emit_pct("warm_stream_ttfs", warm_ttfs_pct);
+  json.Key("ttfs_speedup")
+      .Value(ttfs_pct.p50_us > 0.0 ? batch_pct.p50_us / ttfs_pct.p50_us : 0.0);
+  json.Key("per_page").BeginArray();
+  for (size_t p = 0; p < pages.size(); ++p) {
+    json.BeginObject();
+    json.Key("slots").Value(pages[p].hits.size());
+    json.Key("sequential_batch_min_us").Value(page_seq_batch_min[p]);
+    json.Key("sequential_ttfs_min_us").Value(page_seq_ttfs_min[p]);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  if (json.WriteFile(path)) {
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -583,5 +833,6 @@ int main(int argc, char** argv) {
   WriteBenchJson("BENCH_e7.json");
   WriteCacheBenchJson("BENCH_cache.json");
   WriteSearchBenchJson("BENCH_search.json");
+  WriteStreamBenchJson("BENCH_stream.json");
   return 0;
 }

@@ -52,6 +52,27 @@ struct LatencyPercentiles {
   size_t runs = 0;
 };
 
+/// Nearest-rank p50/p95/p99 of caller-collected microsecond samples — for
+/// latencies measured inside a larger operation (e.g. time-to-first-snippet
+/// within a streamed page), where MeasurePercentilesMicros's whole-closure
+/// timing cannot see the sub-interval.
+inline LatencyPercentiles PercentilesFromSamplesMicros(
+    std::vector<double> samples) {
+  LatencyPercentiles out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  auto rank = [&](double q) {
+    size_t i = static_cast<size_t>(std::ceil(q * samples.size()));
+    return samples[std::min(samples.size() - 1, i == 0 ? 0 : i - 1)];
+  };
+  out.p50_us = rank(0.50);
+  out.p95_us = rank(0.95);
+  out.p99_us = rank(0.99);
+  out.min_us = samples.front();
+  out.runs = samples.size();
+  return out;
+}
+
 /// Runs `fn` `runs` times and reports p50/p95/p99 wall microseconds
 /// (nearest-rank percentiles of the sorted samples).
 inline LatencyPercentiles MeasurePercentilesMicros(
@@ -67,18 +88,7 @@ inline LatencyPercentiles MeasurePercentilesMicros(
             end - start)
             .count());
   }
-  std::sort(samples.begin(), samples.end());
-  auto rank = [&](double q) {
-    size_t i = static_cast<size_t>(std::ceil(q * samples.size()));
-    return samples[std::min(samples.size() - 1, i == 0 ? 0 : i - 1)];
-  };
-  LatencyPercentiles out;
-  out.p50_us = rank(0.50);
-  out.p95_us = rank(0.95);
-  out.p99_us = rank(0.99);
-  out.min_us = samples.front();
-  out.runs = samples.size();
-  return out;
+  return PercentilesFromSamplesMicros(std::move(samples));
 }
 
 /// Emits the three percentile keys into the currently open JSON object.

@@ -13,8 +13,9 @@ current (matched by its JSON path):
   * keys ending in `_per_s` or named `speedup` are throughputs — warn when
     current falls below baseline by more than the tolerance;
   * every `results_identical*` key (`results_identical_to_sequential`,
-    `results_identical_to_partitions1`, ...) must stay 1 — correctness,
-    not perf;
+    `results_identical_to_partitions1`, ...) and every `constraint_*` key
+    (e.g. `constraint_ttfs_below_batch`: a stream's first snippet must beat
+    its own collector) must stay 1 — correctness, not perf;
   * other numerics (counts, sizes) are reported when they drift, as context.
 
 Speedup keys are skipped when either run's `hardware_threads` is below 2:
@@ -51,7 +52,7 @@ def numeric_leaves(node, path=""):
 
 def leaf_kind(path):
     key = path.rsplit(".", 1)[-1].split("[")[0]
-    if key.startswith("results_identical"):
+    if key.startswith("results_identical") or key.startswith("constraint_"):
         return "correctness"
     if key in ("us", "ns") or key.endswith("_us") or key.endswith("_ns"):
         return "latency"
@@ -71,8 +72,10 @@ def compare_file(name, baseline, current, tolerance, skip_speedup):
         kind = leaf_kind(path)
         if kind == "correctness":
             if c != 1:
-                errors.append(f"{name}: {path} = {c} (a parallel path "
-                              "diverged from its sequential reference!)")
+                errors.append(f"{name}: {path} = {c} (an invariant the "
+                              "bench asserts — identity with the sequential "
+                              "reference, or a structural constraint like "
+                              "first-snippet-before-batch — was violated!)")
             continue
         if b == 0:
             continue

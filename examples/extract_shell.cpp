@@ -19,6 +19,9 @@
 //   query <keywords...>             search + snippets (active data set)
 //   queryall <keywords...>          search every loaded data set, ranked
 //                                   (sharded parallel SearchAll)
+//   stream <keywords...>            queryall, but print each snippet the
+//                                   moment its slot completes (streaming
+//                                   ServeQuery; shows time-to-first-snippet)
 //   result <rank>                   print the full tree of a result
 //   html <path>                     write the last results page as HTML
 //   save <path> / load <path>       snapshot the active data set's index
@@ -269,6 +272,55 @@ void CmdQueryAll(ShellState* state, const std::string& text) {
   }
 }
 
+// `stream <keywords...>`: the progressive counterpart of queryall — search
+// + rank the whole corpus, then render each snippet the moment its slot
+// completes instead of blocking on the slowest one. Slots are labeled with
+// their page rank, so out-of-order arrivals stay attributable.
+void CmdStream(ShellState* state, const std::string& text) {
+  if (state->corpus.size() == 0) {
+    std::printf("no data sets loaded\n");
+    return;
+  }
+  Query query = Query::Parse(text);
+  XSeekEngine engine;
+  SnippetOptions options;
+  options.size_bound = state->bound;
+  StreamOptions stream;  // completion order: lowest time-to-first-snippet
+  auto served = state->corpus.ServeQuery(query, engine, options, stream);
+  if (!served.ok()) {
+    std::printf("error: %s\n", served.status().ToString().c_str());
+    return;
+  }
+  std::printf("%zu hit(s) across %zu data set(s), streaming as slots "
+              "complete\n",
+              served->page().size(), state->corpus.size());
+  std::fflush(stdout);
+  size_t arrival = 0;
+  served->stream().ForEach([&](SnippetEvent event) {
+    ++arrival;
+    const CorpusResult& hit = served->page()[event.slot];
+    if (event.snippet.ok()) {
+      std::printf("\n[rank %zu, arrival %zu] %s (score %.2f)\n%s",
+                  event.slot + 1, arrival, hit.document.c_str(), hit.score,
+                  RenderSnippet(*event.snippet).c_str());
+    } else {
+      std::printf("\n[rank %zu] error: %s\n", event.slot + 1,
+                  event.snippet.status().ToString().c_str());
+    }
+    std::fflush(stdout);
+  });
+  StreamStats stats = served->Stats();
+  if (stats.succeeded > 0) {
+    std::printf("\nstream: %zu emitted (%zu ok, %zu failed), first snippet "
+                "after %.2f ms\n",
+                stats.emitted, stats.succeeded, stats.failed,
+                static_cast<double>(stats.first_snippet_ns) / 1e6);
+  } else {
+    std::printf("\nstream: %zu emitted, no snippet succeeded (%zu failed)\n",
+                stats.emitted, stats.failed);
+  }
+}
+
 void CmdResult(ShellState* state, size_t rank) {
   const XmlDatabase* db = state->ActiveDb();
   if (db == nullptr || rank == 0 || rank > state->last_results.size()) {
@@ -355,8 +407,9 @@ void PrintHelp() {
   std::printf(
       "commands: open <retailer|stores|movies> | datasets | use <name> | "
       "schema |\n  bound <n> | query <kw...> | queryall <kw...> | "
-      "result <rank> | html <path> |\n  save <path> | load <path> | "
-      "cache [clear] | stats [reset] | help | quit\n");
+      "stream <kw...> |\n  result <rank> | html <path> | "
+      "save <path> | load <path> |\n  cache [clear] | stats [reset] | "
+      "help | quit\n");
 }
 
 }  // namespace
@@ -400,6 +453,8 @@ int main() {
       CmdQuery(&state, rest);
     } else if (command == "queryall") {
       CmdQueryAll(&state, rest);
+    } else if (command == "stream") {
+      CmdStream(&state, rest);
     } else if (command == "result") {
       CmdResult(&state, static_cast<size_t>(std::atoi(rest.c_str())));
     } else if (command == "html") {

@@ -24,6 +24,8 @@ enum class StatusCode {
   kFailedPrecondition = 5,
   kInternal = 6,
   kUnimplemented = 7,
+  kCancelled = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Human-readable name of a StatusCode (e.g. "ParseError").
@@ -65,6 +67,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -95,6 +95,63 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+TaskGroup::TaskGroup(ThreadPool* pool)
+    : pool_(pool), state_(std::make_shared<State>()) {}
+
+TaskGroup::~TaskGroup() {
+  Cancel();
+  Wait();
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->outstanding;
+  }
+  pool_->Submit([state = state_, task = std::move(task)] {
+    if (!state->cancelled.load(std::memory_order_acquire)) task();
+    std::function<void()> drained;
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->outstanding == 0) {
+        state->done_cv.notify_all();
+        drained = std::move(state->on_drained);
+        state->on_drained = nullptr;
+      }
+    }
+    if (drained) drained();
+  });
+}
+
+void TaskGroup::Cancel() {
+  state_->cancelled.store(true, std::memory_order_release);
+}
+
+bool TaskGroup::cancelled() const {
+  return state_->cancelled.load(std::memory_order_acquire);
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->done_cv.wait(lock, [this] { return state_->outstanding == 0; });
+}
+
+size_t TaskGroup::outstanding() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->outstanding;
+}
+
+void TaskGroup::NotifyOnDrain(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->outstanding > 0) {
+      state_->on_drained = std::move(fn);
+      return;
+    }
+  }
+  fn();  // already idle: notify on the caller's thread
+}
+
 ThreadPool& SharedThreadPool() {
   // Leaked on purpose: workers must stay valid for serving paths that run
   // during static destruction, and the OS reclaims threads at exit anyway.
@@ -202,5 +259,7 @@ void ParallelForChunked(size_t n, size_t num_threads,
     fn(c * n / chunks, (c + 1) * n / chunks);
   });
 }
+
+bool InParallelRegion() { return on_pool_worker || in_parallel_region; }
 
 }  // namespace extract

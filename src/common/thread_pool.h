@@ -12,10 +12,12 @@
 #ifndef EXTRACT_COMMON_THREAD_POOL_H_
 #define EXTRACT_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -67,6 +69,65 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// \brief A cancellable group of tasks submitted to one pool, with
+/// completion notification — the substrate of streaming serving sessions
+/// (snippet/snippet_stream.h), where a request's workers must be awaitable
+/// and cancellable as a unit without draining the whole pool.
+///
+/// Cancellation is cooperative: tasks that have not started when Cancel()
+/// is called are skipped entirely (they still count as finished, so Wait()
+/// and the drain callback see them); tasks already running finish normally
+/// and may poll cancelled() to cut their own work short. The destructor
+/// cancels and waits, so a group never outlives the state its tasks
+/// capture by reference.
+class TaskGroup {
+ public:
+  /// `pool` must outlive every task this group submits (the process-wide
+  /// SharedThreadPool() trivially qualifies).
+  explicit TaskGroup(ThreadPool* pool);
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues one task on the pool. Runs unless the group is cancelled
+  /// before the task starts.
+  void Submit(std::function<void()> task);
+
+  /// Requests cooperative cancellation: queued-not-started tasks are
+  /// skipped; running tasks may poll cancelled(). Idempotent.
+  void Cancel();
+
+  /// True once Cancel() has been called (from any thread).
+  bool cancelled() const;
+
+  /// Blocks until every task submitted so far has finished or been skipped.
+  void Wait();
+
+  /// Tasks submitted but not yet finished/skipped.
+  size_t outstanding() const;
+
+  /// Registers a one-shot callback invoked (on the thread finishing the
+  /// last task) when the group drains to zero outstanding tasks — the
+  /// non-blocking counterpart of Wait(). Invoked immediately when the group
+  /// is already idle. At most one callback is pending at a time.
+  void NotifyOnDrain(std::function<void()> fn);
+
+ private:
+  struct State {
+    mutable std::mutex mu;
+    std::condition_variable done_cv;
+    size_t outstanding = 0;
+    std::atomic<bool> cancelled{false};
+    std::function<void()> on_drained;  ///< one-shot; guarded by mu
+  };
+
+  ThreadPool* pool_;
+  /// Heap-shared with every submitted wrapper, so skipped tasks still
+  /// queued at destruction time drain against valid state.
+  std::shared_ptr<State> state_;
+};
+
 /// \brief The process-wide serving pool: ConfiguredThreads() workers,
 /// created lazily on first use and never torn down (serving paths outlive
 /// any scoped owner). ParallelFor fans out on this pool, so per-query
@@ -111,6 +172,13 @@ void ParallelFor(size_t n, size_t num_threads,
 /// affect output: callers write each element to its own pre-sized slot.
 void ParallelForChunked(size_t n, size_t num_threads,
                         const std::function<void(size_t, size_t)>& fn);
+
+/// \brief True when the calling thread is a pool worker or is inside a
+/// ParallelFor region — the contexts where a further parallel fan-out would
+/// run inline anyway. Streaming sessions use this to fall back to lazy
+/// inline production instead of submitting helpers that could stall behind
+/// the caller's own pool task.
+bool InParallelRegion();
 
 }  // namespace extract
 

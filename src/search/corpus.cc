@@ -223,22 +223,41 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
   return merged;
 }
 
-Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
-    const Query& query, const std::vector<CorpusResult>& corpus_results,
-    const SnippetOptions& options) const {
-  return GenerateSnippets(query, corpus_results, options, BatchOptions{});
-}
+/// Session-owned producer state of one streamed page. The compute closure
+/// and the finish hook read it through raw pointers; the ServingSession
+/// keeps the shared_ptr alive until both are done.
+struct XmlCorpus::StreamPayload {
+  /// One service + context per distinct document with pending slots,
+  /// shared by all that document's hits — built at open, so a fully-warm
+  /// page pays no per-query context construction at all.
+  struct PerDocument {
+    SnippetService service;
+    SnippetContext context;
+    PerDocument(const XmlDatabase* db, const Query& query)
+        : service(db), context(db, query) {}
+  };
 
-Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
-    const Query& query, const std::vector<CorpusResult>& corpus_results,
-    const SnippetOptions& options, const BatchOptions& batch) const {
-  const size_t n = corpus_results.size();
+  Query query;
+  /// ServeQuery owns its page here; StreamSnippets borrows the caller's.
+  std::vector<CorpusResult> owned_page;
+  const std::vector<CorpusResult>* page = nullptr;
+  std::map<std::string, std::unique_ptr<PerDocument>, std::less<>> documents;
+  /// Parallel to the page; only the pending slots' keys are used.
+  std::vector<SnippetCacheKey> keys;
+  SnippetCache* cache = nullptr;
+};
+
+Result<ServingSession> XmlCorpus::OpenStream(
+    std::shared_ptr<StreamPayload> payload, const SnippetOptions& options,
+    const StreamOptions& stream) const {
+  const std::vector<CorpusResult>& page = *payload->page;
+  const size_t n = page.size();
 
   // Resolve every document up front so an unknown name fails before any
   // generation work starts — identically with and without a cache.
   std::map<std::string, const XmlDatabase*, std::less<>> resolved;
   for (size_t i = 0; i < n; ++i) {
-    const std::string& name = corpus_results[i].document;
+    const std::string& name = page[i].document;
     if (resolved.find(name) != resolved.end()) continue;
     const XmlDatabase* db = Find(name);
     if (db == nullptr) {
@@ -248,98 +267,141 @@ Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
     resolved.emplace(name, db);
   }
 
-  // With a cache enabled, serve hits inline and dispatch only the misses;
-  // `todo` keeps the pending original indices in increasing order, so the
-  // failure scan below still reports the lowest failing index of the full
-  // page (hits can never fail), matching uncached serving exactly.
-  std::vector<Snippet> out(n);
-  std::vector<size_t> todo;
-  std::vector<SnippetCacheKey> todo_keys;
-  todo.reserve(n);
+  StreamBuilder builder;
+  builder.total_slots = n;
+  builder.options = stream;
+  builder.pending.reserve(n);
+  payload->cache = snippet_cache_.get();
   if (snippet_cache_ != nullptr) {
-    todo_keys.reserve(n);
-    // Signature prefixes are invariant per document within one page; build
-    // each once and append only the root per hit.
+    payload->keys.reserve(n);
+    // Hits go live the moment the stream opens; `pending` keeps the miss
+    // indices in increasing order, so collectors report the lowest failing
+    // index of the full page (hits can never fail), matching uncached
+    // serving exactly. Signature prefixes are invariant per document
+    // within one page; build each once and append only the root per hit.
     std::map<std::string, SnippetCacheKeyPrefix, std::less<>> prefixes;
     for (size_t i = 0; i < n; ++i) {
-      const std::string& name = corpus_results[i].document;
+      const std::string& name = page[i].document;
       auto it = prefixes.find(name);
       if (it == prefixes.end()) {
         it = prefixes
                  .emplace(name, MakeSnippetCacheKeyPrefix(
-                                    name, query, options,
+                                    name, payload->query, options,
                                     DefaultSnippetStageTag()))
                  .first;
       }
       SnippetCacheKey key =
-          MakeSnippetCacheKey(it->second, corpus_results[i].result.root);
+          MakeSnippetCacheKey(it->second, page[i].result.root);
       if (std::shared_ptr<const Snippet> hit = snippet_cache_->Get(key)) {
-        out[i] = hit->Clone();
+        builder.ready.push_back(SnippetEvent{i, hit->Clone()});
+        // Hit slots never reach compute — retain no key for them.
+        payload->keys.emplace_back();
       } else {
-        todo.push_back(i);
-        todo_keys.push_back(std::move(key));
+        builder.pending.push_back(i);
+        payload->keys.push_back(std::move(key));
       }
     }
   } else {
-    for (size_t i = 0; i < n; ++i) todo.push_back(i);
+    for (size_t i = 0; i < n; ++i) builder.pending.push_back(i);
   }
 
-  // One service + context per distinct document still being generated,
-  // shared by all its pending hits — built only now, so a fully-warm page
-  // pays no per-query context construction at all.
-  struct PerDocument {
-    SnippetService service;
-    SnippetContext context;
-    PerDocument(const XmlDatabase* db, const Query& query)
-        : service(db), context(db, query) {}
-  };
-  std::map<std::string, std::unique_ptr<PerDocument>, std::less<>> documents;
-  for (size_t t : todo) {
-    const std::string& name = corpus_results[t].document;
-    if (documents.find(name) != documents.end()) continue;
-    documents.emplace(name, std::make_unique<PerDocument>(
-                                resolved.find(name)->second, query));
+  for (size_t slot : builder.pending) {
+    const std::string& name = page[slot].document;
+    if (payload->documents.find(name) != payload->documents.end()) continue;
+    payload->documents.emplace(
+        name, std::make_unique<StreamPayload::PerDocument>(
+                  resolved.find(name)->second, payload->query));
   }
 
-  // Every pending hit generates into its own slot: deterministic ordering,
-  // and the contexts' memoization is thread-safe, so scheduling only
-  // changes cost.
-  std::vector<Status> statuses(todo.size());
-  ParallelFor(todo.size(), batch.num_threads, [&](size_t t) {
-    const size_t i = todo[t];
-    PerDocument& doc = *documents.find(corpus_results[i].document)->second;
+  StreamPayload* state = payload.get();
+  builder.compute = [state, options](size_t slot) -> Result<Snippet> {
+    const CorpusResult& hit = (*state->page)[slot];
+    StreamPayload::PerDocument& doc =
+        *state->documents.find(hit.document)->second;
     Result<Snippet> snippet =
-        doc.service.Generate(doc.context, corpus_results[i].result, options);
-    if (!snippet.ok()) {
-      statuses[t] = snippet.status();
-      return;
-    }
-    if (snippet_cache_ != nullptr) {
+        doc.service.Generate(doc.context, hit.result, options);
+    if (!snippet.ok()) return snippet;
+    if (state->cache != nullptr) {
       auto cached = std::make_shared<const Snippet>(std::move(*snippet));
-      out[i] = cached->Clone();
-      snippet_cache_->Put(todo_keys[t], std::move(cached));
-    } else {
-      out[i] = std::move(*snippet);
+      snippet = cached->Clone();
+      state->cache->Put(state->keys[slot], std::move(cached));
     }
-  });
+    return snippet;
+  };
+
   // The services are per-page, so their counters are exactly this page's
-  // contribution; fold them into the corpus-lifetime breakdown (even when
-  // a slot failed — the stages that did run still cost time). The contexts
-  // contribute the partition-parallel scan attribution ("scan.*" and
-  // "scan.*.p<i>" pseudo-stages).
-  for (const auto& [name, doc] : documents) {
-    stage_stats_.Merge(doc->service.StageStatsSnapshot());
-    stage_stats_.Merge(doc->context.ScanStatsSnapshot());
-  }
-  for (size_t t = 0; t < todo.size(); ++t) {
-    if (!statuses[t].ok()) {
-      const size_t i = todo[t];
-      return MakeBatchResultError(
-          i, n, " (document '" + corpus_results[i].document + "')",
-          statuses[t]);
+  // contribution; fold them into the corpus-lifetime breakdown when the
+  // session ends (even when a slot failed or the stream was cancelled —
+  // the stages that did run still cost time). The contexts contribute the
+  // partition-parallel scan attribution ("scan.*" pseudo-stages), the
+  // stream its own "stream.*" counters.
+  StageStatsRegistry* registry = &stage_stats_;
+  builder.on_finish = [registry, state](const StreamStats& stats) {
+    for (const auto& [name, doc] : state->documents) {
+      registry->Merge(doc->service.StageStatsSnapshot());
+      registry->Merge(doc->context.ScanStatsSnapshot());
     }
-  }
-  return out;
+    MergeStreamStats(stats, *registry);
+  };
+  builder.payload = std::move(payload);
+  return std::move(builder).Open();
+}
+
+Result<ServingSession> XmlCorpus::StreamSnippets(
+    const Query& query, const std::vector<CorpusResult>& corpus_results,
+    const SnippetOptions& options, const StreamOptions& stream) const {
+  auto payload = std::make_shared<StreamPayload>();
+  payload->query = query;
+  payload->page = &corpus_results;
+  return OpenStream(std::move(payload), options, stream);
+}
+
+Result<CorpusQueryStream> XmlCorpus::ServeQuery(
+    const Query& query, const SearchEngine& engine,
+    const RankingOptions& ranking, const CorpusServingOptions& serving,
+    const SnippetOptions& options, const StreamOptions& stream) const {
+  Result<std::vector<CorpusResult>> page =
+      SearchAll(query, engine, ranking, serving);
+  if (!page.ok()) return page.status();
+  auto payload = std::make_shared<StreamPayload>();
+  payload->query = query;
+  payload->owned_page = std::move(*page);
+  payload->page = &payload->owned_page;
+  const std::vector<CorpusResult>* page_ptr = &payload->owned_page;
+  Result<ServingSession> session =
+      OpenStream(std::move(payload), options, stream);
+  if (!session.ok()) return session.status();
+  return CorpusQueryStream(std::move(*session), page_ptr);
+}
+
+Result<CorpusQueryStream> XmlCorpus::ServeQuery(
+    const Query& query, const SearchEngine& engine,
+    const SnippetOptions& options, const StreamOptions& stream) const {
+  return ServeQuery(query, engine, RankingOptions{}, CorpusServingOptions{},
+                    options, stream);
+}
+
+Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
+    const Query& query, const std::vector<CorpusResult>& corpus_results,
+    const SnippetOptions& options) const {
+  return GenerateSnippets(query, corpus_results, options, BatchOptions{});
+}
+
+Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
+    const Query& query, const std::vector<CorpusResult>& corpus_results,
+    const SnippetOptions& options, const BatchOptions& batch) const {
+  // A collector over the slot-completion stream: open, drain every slot,
+  // report the lowest failing index with its document name — byte-identical
+  // to the historical parallel batch loop (pinned by the golden snapshots
+  // and the caching equivalence harness).
+  StreamOptions stream;
+  stream.num_threads = batch.num_threads;
+  Result<ServingSession> session =
+      StreamSnippets(query, corpus_results, options, stream);
+  if (!session.ok()) return session.status();
+  return session->stream().Collect([&corpus_results](size_t i) {
+    return " (document '" + corpus_results[i].document + "')";
+  });
 }
 
 }  // namespace extract

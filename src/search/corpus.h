@@ -14,6 +14,12 @@
 // (search plus every snippet pipeline stage) accumulates into a
 // StageStatsRegistry for production observability (the shell's `stats`
 // command).
+//
+// Snippet serving is streaming-first (snippet/snippet_stream.h): ServeQuery
+// searches + ranks, then emits one snippet per page slot as it completes
+// (cache hits the moment the stream opens); GenerateSnippets is the batch
+// collector over the same stream (StreamSnippets), byte-identical to the
+// historical parallel batch loop.
 
 #ifndef EXTRACT_SEARCH_CORPUS_H_
 #define EXTRACT_SEARCH_CORPUS_H_
@@ -28,6 +34,7 @@
 #include "search/search_engine.h"
 #include "snippet/snippet_cache.h"
 #include "snippet/snippet_options.h"
+#include "snippet/snippet_stream.h"
 #include "snippet/snippet_tree.h"
 #include "snippet/stage_stats.h"
 
@@ -68,6 +75,35 @@ struct CorpusServingOptions {
   /// document, the finest grain; smaller values batch documents per task
   /// to cut per-task overhead on huge corpora.
   size_t max_shards = 0;
+};
+
+/// \brief One live streamed query: the merged ranked page plus a
+/// SnippetStream emitting one snippet per page slot as it completes —
+/// what XmlCorpus::ServeQuery returns.
+///
+/// The page is owned by the session (stable across moves), so slot i of
+/// the stream always describes page()[i]. The corpus must outlive the
+/// session; destruction cancels unstarted slots, waits for in-flight ones,
+/// and folds the per-document stage stats plus the stream's own counters
+/// ("stream.*" pseudo-stages) into the corpus StageStatsRegistry.
+class CorpusQueryStream {
+ public:
+  CorpusQueryStream(CorpusQueryStream&&) noexcept = default;
+
+  /// The merged ranked hits, best score first (slot i <-> page()[i]).
+  const std::vector<CorpusResult>& page() const { return *page_; }
+  SnippetStream& stream() { return session_.stream(); }
+  void Cancel() { session_.Cancel(); }
+  StreamStats Stats() const { return session_.Stats(); }
+
+ private:
+  friend class XmlCorpus;
+  CorpusQueryStream(ServingSession session,
+                    const std::vector<CorpusResult>* page)
+      : session_(std::move(session)), page_(page) {}
+
+  ServingSession session_;
+  const std::vector<CorpusResult>* page_;  ///< owned by session_'s payload
 };
 
 /// \brief A named collection of loaded databases.
@@ -133,6 +169,33 @@ class XmlCorpus {
       const Query& query, const std::vector<CorpusResult>& corpus_results,
       const SnippetOptions& options) const;
 
+  /// \brief The streaming core behind GenerateSnippets: a slot-completion
+  /// stream over `corpus_results` (snippet/snippet_stream.h).
+  ///
+  /// Cache hits (when the snippet cache is enabled) are emitted the moment
+  /// the stream opens, before any miss computes. `corpus_results` and the
+  /// corpus are borrowed and must outlive the session. Fails up front —
+  /// with the exact GenerateSnippets error — when a hit references an
+  /// unknown document.
+  Result<ServingSession> StreamSnippets(
+      const Query& query, const std::vector<CorpusResult>& corpus_results,
+      const SnippetOptions& options, const StreamOptions& stream) const;
+
+  /// \brief End-to-end streamed serving: search + rank the whole corpus
+  /// (blocking — ranking is global), then stream one snippet per page slot
+  /// as it completes. The returned CorpusQueryStream owns the page, so the
+  /// caller only needs to keep the corpus alive.
+  Result<CorpusQueryStream> ServeQuery(const Query& query,
+                                       const SearchEngine& engine,
+                                       const RankingOptions& ranking,
+                                       const CorpusServingOptions& serving,
+                                       const SnippetOptions& options,
+                                       const StreamOptions& stream) const;
+  Result<CorpusQueryStream> ServeQuery(const Query& query,
+                                       const SearchEngine& engine,
+                                       const SnippetOptions& options,
+                                       const StreamOptions& stream) const;
+
   /// \brief Turns on the cross-query snippet cache for GenerateSnippets.
   ///
   /// Document add/remove invalidates the affected entries automatically;
@@ -153,6 +216,18 @@ class XmlCorpus {
   void ResetStageStats() { stage_stats_.Reset(); }
 
  private:
+  /// Session-owned producer state of one streamed page (defined in
+  /// corpus.cc): the query copy, the page (owned or borrowed), per-document
+  /// services/contexts for the pending slots, and cache keys.
+  struct StreamPayload;
+
+  /// The shared open path of StreamSnippets / ServeQuery: resolves
+  /// documents, probes the cache, builds per-document contexts for the
+  /// pending slots and opens the stream. `payload->page` must be set.
+  Result<ServingSession> OpenStream(std::shared_ptr<StreamPayload> payload,
+                                    const SnippetOptions& options,
+                                    const StreamOptions& stream) const;
+
   std::map<std::string, XmlDatabase, std::less<>> databases_;
   /// Shared by every document; keys carry the document name.
   std::unique_ptr<SnippetCache> snippet_cache_;

@@ -3,8 +3,6 @@
 #include <utility>
 #include <vector>
 
-#include "common/thread_pool.h"
-
 namespace extract {
 
 namespace {
@@ -156,77 +154,97 @@ Result<Snippet> CachingSnippetService::Generate(
   return GenerateAndStore(ctx, result, options, key);
 }
 
-void CachingSnippetService::ProbeBatch(
-    const Query& query, const std::vector<QueryResult>& results,
-    const SnippetOptions& options, std::vector<Snippet>& out,
-    std::vector<size_t>& misses,
-    std::vector<SnippetCacheKey>& miss_keys) const {
-  // `misses` keeps the original indices in increasing order, so the miss
-  // path reports the lowest failing index of the full batch — a hit can
-  // never fail, so this matches the uncached error exactly.
+namespace {
+
+/// Session-owned state of one caching stream: the per-slot keys (misses
+/// Put under them) and, when any slot missed, the per-query context the
+/// producers share.
+struct CachingStreamPayload {
+  std::unique_ptr<SnippetContext> owned_ctx;
+  SnippetContext* ctx = nullptr;  ///< owned_ctx.get() or the borrowed one
+  std::vector<SnippetCacheKey> keys;  ///< parallel to the result slots
+};
+
+}  // namespace
+
+ServingSession CachingSnippetService::StreamBatchImpl(
+    const Query& query, SnippetContext* borrowed_ctx,
+    const std::vector<QueryResult>& results, const SnippetOptions& options,
+    const StreamOptions& stream) const {
+  const size_t n = results.size();
+  auto payload = std::make_shared<CachingStreamPayload>();
+  StreamBuilder builder;
+  builder.total_slots = n;
+  builder.options = stream;
+
+  // Probe every slot up front: hits become ready events — live before any
+  // producer starts — and `pending` keeps the missing indices in increasing
+  // order, so the collector reports the lowest failing index of the full
+  // batch (a hit can never fail), matching the uncached error exactly.
   const SnippetCacheKeyPrefix prefix =
       MakeSnippetCacheKeyPrefix(document_, query, options, stage_tag_);
-  for (size_t i = 0; i < results.size(); ++i) {
+  payload->keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
     SnippetCacheKey key = MakeSnippetCacheKey(prefix, results[i].root);
     if (std::shared_ptr<const Snippet> hit = cache_->Get(key)) {
-      out[i] = hit->Clone();
+      builder.ready.push_back(SnippetEvent{i, hit->Clone()});
+      // Hit slots never reach compute — retain no key for them.
+      payload->keys.emplace_back();
     } else {
-      misses.push_back(i);
-      miss_keys.push_back(std::move(key));
+      builder.pending.push_back(i);
+      payload->keys.push_back(std::move(key));
     }
   }
+
+  // A fully warm stream builds no per-query state at all.
+  if (!builder.pending.empty()) {
+    if (borrowed_ctx != nullptr) {
+      payload->ctx = borrowed_ctx;
+    } else {
+      payload->owned_ctx =
+          std::make_unique<SnippetContext>(service_->db(), query);
+      payload->ctx = payload->owned_ctx.get();
+    }
+  }
+
+  CachingStreamPayload* state = payload.get();
+  builder.compute = [this, state, &results, options](
+                        size_t slot) -> Result<Snippet> {
+    Result<Snippet> generated =
+        service_->Generate(*state->ctx, results[slot], options);
+    if (!generated.ok()) return generated;
+    auto cached = std::make_shared<const Snippet>(std::move(*generated));
+    cache_->Put(state->keys[slot], cached);
+    return cached->Clone();
+  };
+  builder.payload = std::move(payload);
+  return std::move(builder).Open();
 }
 
-Result<std::vector<Snippet>> CachingSnippetService::GenerateMisses(
-    SnippetContext& ctx, const std::vector<QueryResult>& results,
-    const SnippetOptions& options, const BatchOptions& batch,
-    std::vector<Snippet> out, const std::vector<size_t>& misses,
-    const std::vector<SnippetCacheKey>& miss_keys) const {
-  std::vector<Status> statuses(misses.size());
-  ParallelFor(misses.size(), batch.num_threads, [&](size_t m) {
-    const size_t i = misses[m];
-    Result<Snippet> generated = service_->Generate(ctx, results[i], options);
-    if (generated.ok()) {
-      auto cached = std::make_shared<const Snippet>(std::move(*generated));
-      out[i] = cached->Clone();
-      cache_->Put(miss_keys[m], std::move(cached));
-    } else {
-      statuses[m] = generated.status();
-    }
-  });
-  for (size_t m = 0; m < misses.size(); ++m) {
-    if (!statuses[m].ok()) {
-      return MakeBatchResultError(misses[m], results.size(), "", statuses[m]);
-    }
-  }
-  return out;
+ServingSession CachingSnippetService::StreamBatch(
+    const Query& query, const std::vector<QueryResult>& results,
+    const SnippetOptions& options, const StreamOptions& stream) const {
+  return StreamBatchImpl(query, nullptr, results, options, stream);
 }
 
 Result<std::vector<Snippet>> CachingSnippetService::GenerateBatch(
     SnippetContext& ctx, const std::vector<QueryResult>& results,
     const SnippetOptions& options, const BatchOptions& batch) const {
-  std::vector<Snippet> out(results.size());
-  std::vector<size_t> misses;
-  std::vector<SnippetCacheKey> miss_keys;
-  ProbeBatch(ctx.query(), results, options, out, misses, miss_keys);
-  if (misses.empty()) return out;
-  return GenerateMisses(ctx, results, options, batch, std::move(out), misses,
-                        miss_keys);
+  StreamOptions stream;
+  stream.num_threads = batch.num_threads;
+  ServingSession session =
+      StreamBatchImpl(ctx.query(), &ctx, results, options, stream);
+  return session.stream().Collect();
 }
 
 Result<std::vector<Snippet>> CachingSnippetService::GenerateBatch(
     const Query& query, const std::vector<QueryResult>& results,
     const SnippetOptions& options, const BatchOptions& batch) const {
-  // Probe before building a context: a fully-warm batch needs no per-query
-  // state at all.
-  std::vector<Snippet> out(results.size());
-  std::vector<size_t> misses;
-  std::vector<SnippetCacheKey> miss_keys;
-  ProbeBatch(query, results, options, out, misses, miss_keys);
-  if (misses.empty()) return out;
-  SnippetContext ctx(service_->db(), query);
-  return GenerateMisses(ctx, results, options, batch, std::move(out), misses,
-                        miss_keys);
+  StreamOptions stream;
+  stream.num_threads = batch.num_threads;
+  ServingSession session =
+      StreamBatchImpl(query, nullptr, results, options, stream);
+  return session.stream().Collect();
 }
 
 }  // namespace extract

@@ -18,10 +18,11 @@
 //   * SnippetCache — a sharded LRU (common/lru_cache.h) from signature to
 //     immutable Snippet, with per-document invalidation, Clear(), and a
 //     CacheStats snapshot for observability.
-//   * CachingSnippetService — a SnippetService decorator serving single
-//     and batch generation through the cache; batch misses still fan out
-//     on the thread pool and failures keep the MakeBatchResultError shape
-//     with the original result index.
+//   * CachingSnippetService — a SnippetService decorator serving single,
+//     batch and streaming generation through the cache. Streams emit every
+//     hit the moment they open (before any miss computes); batch misses
+//     still fan out on the thread pool and failures keep the
+//     MakeBatchResultError shape with the original result index.
 //
 // Cached snippets are stored once (shared_ptr) and handed out as deep
 // copies (Snippet::Clone), so hits are byte-identical to fresh generation
@@ -40,6 +41,7 @@
 #include "common/lru_cache.h"
 #include "snippet/snippet_options.h"
 #include "snippet/snippet_service.h"
+#include "snippet/snippet_stream.h"
 #include "snippet/snippet_tree.h"
 
 namespace extract {
@@ -187,11 +189,24 @@ class CachingSnippetService {
   Result<Snippet> Generate(const Query& query, const QueryResult& result,
                            const SnippetOptions& options) const;
 
-  /// GenerateBatch through the cache: hits are served immediately, misses
-  /// fan out in parallel per `batch`. Output ordering and failure reporting
-  /// are identical to SnippetService::GenerateBatch — on failure the Status
-  /// names the lowest failing index within `results`, not within the miss
-  /// subset.
+  /// \brief The streaming core through the cache: every hit is emitted the
+  /// moment the stream opens — before any miss computes — and only the
+  /// misses claim producer slots (snippet/snippet_stream.h).
+  ///
+  /// `results` is borrowed and must outlive the session; the session owns
+  /// its per-query context (built only when there are misses, so a fully
+  /// warm stream pays no per-query state at all). Slot i corresponds to
+  /// results[i], byte-identical to uncached generation.
+  ServingSession StreamBatch(const Query& query,
+                             const std::vector<QueryResult>& results,
+                             const SnippetOptions& options,
+                             const StreamOptions& stream) const;
+
+  /// GenerateBatch through the cache: a collector over StreamBatch — hits
+  /// are served immediately, misses fan out in parallel per `batch`.
+  /// Output ordering and failure reporting are identical to
+  /// SnippetService::GenerateBatch — on failure the Status names the lowest
+  /// failing index within `results`, not within the miss subset.
   Result<std::vector<Snippet>> GenerateBatch(
       SnippetContext& ctx, const std::vector<QueryResult>& results,
       const SnippetOptions& options, const BatchOptions& batch) const;
@@ -208,18 +223,15 @@ class CachingSnippetService {
                                    const SnippetOptions& options,
                                    const SnippetCacheKey& key) const;
 
-  /// Fills `out` slots from the cache; appends each miss's index and key.
-  void ProbeBatch(const Query& query, const std::vector<QueryResult>& results,
-                  const SnippetOptions& options, std::vector<Snippet>& out,
-                  std::vector<size_t>& misses,
-                  std::vector<SnippetCacheKey>& miss_keys) const;
-
-  /// Generates the missed slots in parallel and stores them.
-  Result<std::vector<Snippet>> GenerateMisses(
-      SnippetContext& ctx, const std::vector<QueryResult>& results,
-      const SnippetOptions& options, const BatchOptions& batch,
-      std::vector<Snippet> out, const std::vector<size_t>& misses,
-      const std::vector<SnippetCacheKey>& miss_keys) const;
+  /// The shared core both GenerateBatch overloads (and StreamBatch)
+  /// collapse into: probes every slot, emits hits at open, computes misses
+  /// through `borrowed_ctx` when given — otherwise through a context the
+  /// session builds (and owns) only if any slot missed.
+  ServingSession StreamBatchImpl(const Query& query,
+                                 SnippetContext* borrowed_ctx,
+                                 const std::vector<QueryResult>& results,
+                                 const SnippetOptions& options,
+                                 const StreamOptions& stream) const;
 
   const SnippetService* service_;
   SnippetCache* cache_;

@@ -4,8 +4,6 @@
 #include <string>
 #include <utility>
 
-#include "common/thread_pool.h"
-
 namespace extract {
 
 namespace {
@@ -92,31 +90,33 @@ Result<Snippet> SnippetService::GenerateWithFeatures(
   return RunPipeline(ctx, draft, options);
 }
 
+ServingSession SnippetService::StreamBatch(
+    SnippetContext& ctx, const std::vector<QueryResult>& results,
+    const SnippetOptions& options, const StreamOptions& stream) const {
+  StreamBuilder builder;
+  builder.total_slots = results.size();
+  builder.options = stream;
+  builder.pending.reserve(results.size());
+  for (size_t i = 0; i < results.size(); ++i) builder.pending.push_back(i);
+  builder.compute = [this, &ctx, &results, options](size_t slot) {
+    return Generate(ctx, results[slot], options);
+  };
+  return std::move(builder).Open();
+}
+
 Result<std::vector<Snippet>> SnippetService::GenerateBatch(
     SnippetContext& ctx, const std::vector<QueryResult>& results,
     const SnippetOptions& options, const BatchOptions& batch) const {
-  const size_t n = results.size();
-  std::vector<Snippet> out(n);
-
-  // Every result computes into its own slot, so ordering is deterministic
-  // regardless of thread count (ParallelFor maps num_threads == 0 to the
-  // hardware core count and runs inline when one worker suffices). On
-  // failure the lowest failing index is reported — the result a sequential
-  // loop would have stopped at — instead of silently discarding which
-  // result went wrong.
-  std::vector<Status> statuses(n);
-  ParallelFor(n, batch.num_threads, [&](size_t i) {
-    Result<Snippet> snippet = Generate(ctx, results[i], options);
-    if (snippet.ok()) {
-      out[i] = std::move(*snippet);
-    } else {
-      statuses[i] = snippet.status();
-    }
-  });
-  for (size_t i = 0; i < n; ++i) {
-    if (!statuses[i].ok()) return MakeBatchResultError(i, n, "", statuses[i]);
-  }
-  return out;
+  // Every result computes into its own stream slot, so ordering is
+  // deterministic regardless of thread count, and Collect reports the
+  // lowest failing index — the result a sequential loop would have stopped
+  // at. The session is scoped to this call: Collect drains every slot, so
+  // nothing is cancelled and output is byte-identical to the sequential
+  // loop.
+  StreamOptions stream;
+  stream.num_threads = batch.num_threads;
+  ServingSession session = StreamBatch(ctx, results, options, stream);
+  return session.stream().Collect();
 }
 
 Result<std::vector<Snippet>> SnippetService::GenerateBatch(

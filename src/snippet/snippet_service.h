@@ -6,10 +6,12 @@
 //   auto batch = service.GenerateBatch(ctx, results, options, {.num_threads = 8});
 //
 // The service runs the stage pipeline (snippet_stages.h) over a shared
-// SnippetContext. Batches generate in parallel with deterministic output
-// ordering (slot i of the output is result i of the input) and snippets
-// byte-identical to the sequential path; on failure the returned Status
-// names the index of the result that failed.
+// SnippetContext. The primary execution model is the slot-completion
+// stream (StreamBatch, snippet/snippet_stream.h): one event per result as
+// it finishes. GenerateBatch is a collector over that stream — parallel,
+// with deterministic output ordering (slot i of the output is result i of
+// the input) and snippets byte-identical to the sequential path; on
+// failure the returned Status names the index of the result that failed.
 //
 // The legacy SnippetGenerator (pipeline.h) is a thin facade over this
 // class.
@@ -25,6 +27,7 @@
 #include "snippet/snippet_context.h"
 #include "snippet/snippet_options.h"
 #include "snippet/snippet_stages.h"
+#include "snippet/snippet_stream.h"
 #include "snippet/stage_stats.h"
 
 namespace extract {
@@ -72,8 +75,22 @@ class SnippetService {
       const SnippetOptions& options,
       const std::vector<RankedFeature>& features) const;
 
+  /// \brief The streaming core: opens a slot-completion stream emitting one
+  /// snippet per result as it finishes (snippet/snippet_stream.h).
+  ///
+  /// `ctx` and `results` are borrowed and must outlive the session (the
+  /// session's destructor waits for in-flight slots, so scoping the session
+  /// inside the caller is always safe). Slot i corresponds to results[i];
+  /// each slot's bytes are identical to Generate(ctx, results[i], options).
+  ServingSession StreamBatch(SnippetContext& ctx,
+                             const std::vector<QueryResult>& results,
+                             const SnippetOptions& options,
+                             const StreamOptions& stream) const;
+
   /// \brief Generates one snippet per result, in parallel per
   /// BatchOptions, with deterministic ordering (output i <-> results[i]).
+  /// A collector over StreamBatch: opens the stream and collects every
+  /// slot, byte-identical to the historical batch loop.
   ///
   /// On failure returns the error of the lowest failing result index, with
   /// "result <i> of <n>: " prepended to its message, regardless of thread
@@ -82,7 +99,8 @@ class SnippetService {
       SnippetContext& ctx, const std::vector<QueryResult>& results,
       const SnippetOptions& options, const BatchOptions& batch) const;
 
-  /// GenerateBatch with a context built for `query` internally.
+  /// GenerateBatch with a context built for `query` internally (forwards to
+  /// the context overload).
   Result<std::vector<Snippet>> GenerateBatch(
       const Query& query, const std::vector<QueryResult>& results,
       const SnippetOptions& options, const BatchOptions& batch) const;

@@ -3,9 +3,10 @@
 // byte-identical — a cache bug or a selector change can't silently alter
 // what users see.
 //
-// Each golden is asserted twice: once for the plain SnippetService path and
-// once for a warmed CachingSnippetService, so the cached path is pinned to
-// the same bytes.
+// Each golden is asserted for the plain SnippetService path, for a warmed
+// CachingSnippetService, and for slot-order-collected SnippetStreams over
+// both (uncached and cached) — so the batch collectors and the streaming
+// core they sit on are all pinned to the same bytes.
 //
 // Regenerate after an intentional output change:
 //   EXTRACT_UPDATE_GOLDEN=1 ./build/tests/golden_snippets_test
@@ -146,6 +147,31 @@ TEST(GoldenSnippetsTest, ExampleCorporaMatchGoldenFiles) {
     }
     EXPECT_EQ(cache.Stats().hits, results->size());
     EXPECT_EQ(cache.Stats().misses, results->size());
+
+    // A slot-order-collected stream — uncached, and cached over the warm
+    // cache (every slot a pre-emitted hit) — must also serialize to the
+    // golden bytes.
+    StreamOptions slot_order;
+    slot_order.order = StreamOrder::kSlot;
+    {
+      SnippetContext ctx(&*db, query);
+      ServingSession session =
+          service.StreamBatch(ctx, *results, options, slot_order);
+      auto streamed = session.stream().Collect();
+      ASSERT_TRUE(streamed.ok()) << streamed.status();
+      EXPECT_EQ(SerializeSnippets(query, *streamed), golden.str())
+          << "uncached stream collection diverged";
+    }
+    {
+      ServingSession session =
+          caching.StreamBatch(query, *results, options, slot_order);
+      EXPECT_EQ(session.Stats().emitted, results->size())
+          << "warm stream must emit every hit at open";
+      auto streamed = session.stream().Collect();
+      ASSERT_TRUE(streamed.ok()) << streamed.status();
+      EXPECT_EQ(SerializeSnippets(query, *streamed), golden.str())
+          << "cached stream collection diverged";
+    }
   }
 }
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -122,6 +124,110 @@ TEST(ThreadPoolTest, ParsePoolThreadsOverride) {
   EXPECT_EQ(ParsePoolThreadsOverride("4x"), 0u);
   EXPECT_EQ(ParsePoolThreadsOverride(" 4"), 0u);
   EXPECT_EQ(ParsePoolThreadsOverride("auto"), 0u);
+}
+
+TEST(TaskGroupTest, RunsEverySubmittedTaskAndWaits) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    group.Submit([&count] { count.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(count.load(), 50);
+  EXPECT_EQ(group.outstanding(), 0u);
+  EXPECT_FALSE(group.cancelled());
+}
+
+TEST(TaskGroupTest, CancelSkipsUnstartedTasks) {
+  ThreadPool pool(1);  // one worker: everything behind the blocker queues
+  TaskGroup group(&pool);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  group.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  });
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) {
+    group.Submit([&count] { count.fetch_add(1); });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+  group.Cancel();
+  EXPECT_TRUE(group.cancelled());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  group.Wait();
+  // The blocker had started and ran to completion; the queued tasks were
+  // skipped but still count as finished.
+  EXPECT_EQ(count.load(), 0);
+  EXPECT_EQ(group.outstanding(), 0u);
+}
+
+TEST(TaskGroupTest, NotifyOnDrainFiresAfterLastTask) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> count{0};
+  std::atomic<bool> drained{false};
+  for (int i = 0; i < 20; ++i) {
+    group.Submit([&count] { count.fetch_add(1); });
+  }
+  group.NotifyOnDrain([&] {
+    EXPECT_EQ(count.load(), 20);
+    drained.store(true);
+  });
+  group.Wait();
+  // Wait() returns when outstanding hits zero; the drain callback runs on
+  // the finishing worker at that same transition (or already ran, when the
+  // group was idle at registration).
+  pool.Wait();
+  EXPECT_TRUE(drained.load());
+}
+
+TEST(TaskGroupTest, NotifyOnDrainFiresImmediatelyWhenIdle) {
+  ThreadPool pool(1);
+  TaskGroup group(&pool);
+  bool drained = false;
+  group.NotifyOnDrain([&drained] { drained = true; });
+  EXPECT_TRUE(drained);
+}
+
+TEST(TaskGroupTest, DestructorWaitsForStartedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 8; ++i) {
+      group.Submit([&count] { count.fetch_add(1); });
+    }
+    group.Wait();
+  }  // destructor: cancel (no-op, drained) + wait must not hang
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(InParallelRegionTest, TrueOnPoolWorkersAndInsideParallelFor) {
+  EXPECT_FALSE(InParallelRegion());
+  std::atomic<int> checked{0};
+  ParallelFor(8, 2, [&checked](size_t) {
+    if (InParallelRegion()) checked.fetch_add(1);
+  });
+  EXPECT_EQ(checked.load(), 8);
+  EXPECT_FALSE(InParallelRegion());
+  std::atomic<bool> on_worker{false};
+  ThreadPool& pool = SharedThreadPool();
+  pool.Submit([&on_worker] { on_worker.store(InParallelRegion()); });
+  pool.Wait();
+  EXPECT_TRUE(on_worker.load());
 }
 
 TEST(ThreadPoolTest, ConfiguredThreadsIsStableAndPositive) {
