@@ -588,6 +588,14 @@ void WriteSearchBenchJson(const std::string& path) {
 //     the perf gate: on one thread the first slot of a multi-slot page
 //     finishes strictly before all slots do, on any machine, or the
 //     stream's lazy production is broken.
+//
+// Plus the search-phase counterpart on a skewed hot/cold corpus: the
+// incremental top-k merge's time-to-first-*result* vs the blocking
+// search+rank wall clock (constraint_ttfr_below_blocking, strict), the
+// released page's byte-identity to the truncated blocking page
+// (results_identical_topk, strict), and proof that early termination did
+// real work-skipping (constraint_topk_early_termination: candidates
+// scored < candidates total, strict).
 
 void WriteStreamBenchJson(const std::string& path) {
   RandomXmlData data = MakeDoc(8);
@@ -763,6 +771,106 @@ void WriteStreamBenchJson(const std::string& path) {
     }
   }
 
+  // Incremental top-k search on a skewed corpus: a few deep, keyword-dense
+  // documents among many shallow ones. The threshold bound merge must
+  // settle the page from the hot documents alone — the cold documents'
+  // candidates are never scanned (candidates_scored < candidates_total) —
+  // and the first released slot (TTFR, stamped inside the coordinator)
+  // must land strictly before the sequential blocking search+rank of the
+  // whole corpus completes. Pull width is pinned to 1 (search_threads = 1)
+  // so both claims are structural invariants on any core count: an
+  // unpinned width on a many-core host could pull every document in the
+  // first descent round.
+  auto hot_doc = [](int products) {
+    std::string xml = "<site><a><b><c><d><e><f>";
+    for (int i = 0; i < products; ++i) {
+      xml +=
+          "<product><name>alpha alpha alpha</name>"
+          "<desc>beta beta beta</desc></product>";
+    }
+    xml += "</f></e></d></c></b></a></site>";
+    return xml;
+  };
+  XmlCorpus skewed;
+  bool topk_ok = skewed.AddDocument("hot_a", hot_doc(6)).ok() &&
+                 skewed.AddDocument("hot_b", hot_doc(6)).ok();
+  for (int d = 0; d < 24 && topk_ok; ++d) {
+    topk_ok = skewed
+                  .AddDocument("cold" + std::to_string(d),
+                               "<site><x>alpha</x><y>beta</y></site>")
+                  .ok();
+  }
+  XSeekEngine topk_engine;
+  const Query topk_query = Query::Parse("alpha beta");
+  const size_t kTopK = 5;
+  CorpusServingOptions topk_serving;
+  topk_serving.search_threads = 1;
+  std::vector<CorpusResult> blocking_page;
+  if (topk_ok) {
+    auto blocking = skewed.SearchAll(topk_query, topk_engine,
+                                     RankingOptions{}, topk_serving);
+    topk_ok = blocking.ok() && blocking->size() >= kTopK;
+    if (topk_ok) blocking_page = std::move(*blocking);
+  }
+  bool topk_identical = topk_ok;
+  bool topk_early_terminated = topk_ok;
+  size_t topk_candidates_scored = 0;
+  size_t topk_candidates_total = 0;
+  std::vector<double> blocking_search_samples, topk_samples, ttfr_samples;
+  double blocking_min_us = 1e18;
+  double ttfr_min_us = 1e18;
+  for (int run = 0; topk_ok && run < kRuns; ++run) {
+    Clock::time_point t0 = Clock::now();
+    auto blocking = skewed.SearchAll(topk_query, topk_engine,
+                                     RankingOptions{}, topk_serving);
+    const double blocking_us = us_since(t0);
+    benchmark::DoNotOptimize(blocking);
+    blocking_search_samples.push_back(blocking_us);
+    blocking_min_us = std::min(blocking_min_us, blocking_us);
+
+    TopKSearchStats stats;
+    t0 = Clock::now();
+    auto page = skewed.SearchTopK(topk_query, topk_engine, RankingOptions{},
+                                  topk_serving, kTopK, &stats);
+    const double topk_us = us_since(t0);
+    if (!page.ok()) {
+      topk_ok = false;
+      break;
+    }
+    topk_samples.push_back(topk_us);
+    const double ttfr_us = static_cast<double>(stats.first_result_ns) / 1e3;
+    ttfr_samples.push_back(ttfr_us);
+    ttfr_min_us = std::min(ttfr_min_us, ttfr_us);
+    topk_candidates_scored = stats.candidates_scored;
+    topk_candidates_total = stats.candidates_total;
+    topk_early_terminated =
+        topk_early_terminated && stats.early_terminated &&
+        stats.candidates_scored < stats.candidates_total;
+    if (page->size() != kTopK) topk_identical = false;
+    for (size_t i = 0; i < page->size() && i < blocking_page.size(); ++i) {
+      const CorpusResult& a = blocking_page[i];
+      const CorpusResult& b = (*page)[i];
+      if (a.document != b.document || a.result.root != b.result.root ||
+          a.score != b.score) {
+        topk_identical = false;
+      }
+    }
+  }
+  topk_identical = topk_identical && topk_ok;
+  topk_early_terminated = topk_early_terminated && topk_ok;
+  const bool ttfr_below_blocking =
+      topk_ok && ttfr_min_us < blocking_min_us;
+  if (!topk_identical) {
+    std::fprintf(stderr, "top-k page diverged from blocking search+rank!\n");
+  }
+  if (!ttfr_below_blocking) {
+    std::fprintf(stderr,
+                 "top-k first result not below blocking search latency!\n");
+  }
+  if (!topk_early_terminated) {
+    std::fprintf(stderr, "top-k search did not terminate early!\n");
+  }
+
   bench::LatencyPercentiles batch_pct =
       bench::PercentilesFromSamplesMicros(std::move(batch_samples));
   bench::LatencyPercentiles ttfs_pct =
@@ -775,6 +883,12 @@ void WriteStreamBenchJson(const std::string& path) {
       bench::PercentilesFromSamplesMicros(std::move(seq_ttfs_samples));
   bench::LatencyPercentiles warm_ttfs_pct =
       bench::PercentilesFromSamplesMicros(std::move(warm_ttfs_samples));
+  bench::LatencyPercentiles blocking_search_pct =
+      bench::PercentilesFromSamplesMicros(std::move(blocking_search_samples));
+  bench::LatencyPercentiles topk_pct =
+      bench::PercentilesFromSamplesMicros(std::move(topk_samples));
+  bench::LatencyPercentiles ttfr_pct =
+      bench::PercentilesFromSamplesMicros(std::move(ttfr_samples));
 
   bench::JsonWriter json;
   json.BeginObject();
@@ -791,6 +905,12 @@ void WriteStreamBenchJson(const std::string& path) {
       .Value(static_cast<size_t>(identical ? 1 : 0));
   json.Key("constraint_ttfs_below_batch")
       .Value(static_cast<size_t>(ttfs_below_batch ? 1 : 0));
+  json.Key("results_identical_topk")
+      .Value(static_cast<size_t>(topk_identical ? 1 : 0));
+  json.Key("constraint_ttfr_below_blocking")
+      .Value(static_cast<size_t>(ttfr_below_blocking ? 1 : 0));
+  json.Key("constraint_topk_early_termination")
+      .Value(static_cast<size_t>(topk_early_terminated ? 1 : 0));
   auto emit_pct = [&](const char* key, const bench::LatencyPercentiles& p) {
     json.Key(key).BeginObject();
     json.Key("us").Value(p.min_us);
@@ -803,6 +923,17 @@ void WriteStreamBenchJson(const std::string& path) {
   emit_pct("sequential_batch", seq_batch_pct);
   emit_pct("sequential_stream_ttfs", seq_ttfs_pct);
   emit_pct("warm_stream_ttfs", warm_ttfs_pct);
+  json.Key("topk").BeginObject();
+  json.Key("k").Value(kTopK);
+  json.Key("documents").Value(skewed.size());
+  json.Key("candidates_total").Value(topk_candidates_total);
+  json.Key("candidates_scored").Value(topk_candidates_scored);
+  emit_pct("blocking_search", blocking_search_pct);
+  emit_pct("topk_search", topk_pct);
+  emit_pct("topk_ttfr", ttfr_pct);
+  json.Key("blocking_search_min_us").Value(blocking_min_us);
+  json.Key("ttfr_min_us").Value(ttfr_min_us);
+  json.EndObject();
   json.Key("ttfs_speedup")
       .Value(ttfs_pct.p50_us > 0.0 ? batch_pct.p50_us / ttfs_pct.p50_us : 0.0);
   json.Key("per_page").BeginArray();

@@ -19,9 +19,12 @@
 //   query <keywords...>             search + snippets (active data set)
 //   queryall <keywords...>          search every loaded data set, ranked
 //                                   (sharded parallel SearchAll)
-//   stream <keywords...>            queryall, but print each snippet the
-//                                   moment its slot completes (streaming
-//                                   ServeQuery; shows time-to-first-snippet)
+//   stream <keywords...>            queryall, but incremental top-k: print
+//                                   each snippet the moment its slot
+//                                   completes, while lower ranks are still
+//                                   being searched (page-gated ServeQuery;
+//                                   shows time-to-first-snippet and
+//                                   candidates scored vs total)
 //   result <rank>                   print the full tree of a result
 //   html <path>                     write the last results page as HTML
 //   save <path> / load <path>       snapshot the active data set's index
@@ -272,10 +275,12 @@ void CmdQueryAll(ShellState* state, const std::string& text) {
   }
 }
 
-// `stream <keywords...>`: the progressive counterpart of queryall — search
-// + rank the whole corpus, then render each snippet the moment its slot
-// completes instead of blocking on the slowest one. Slots are labeled with
-// their page rank, so out-of-order arrivals stay attributable.
+// `stream <keywords...>`: the progressive counterpart of queryall — the
+// incremental top-k path: the threshold bound merge releases each page
+// slot the moment no unseen document can beat it, and its snippet renders
+// the moment it completes, while lower-ranked slots are still being
+// searched. Slots are labeled with their page rank, so out-of-order
+// arrivals stay attributable.
 void CmdStream(ShellState* state, const std::string& text) {
   if (state->corpus.size() == 0) {
     std::printf("no data sets loaded\n");
@@ -285,17 +290,23 @@ void CmdStream(ShellState* state, const std::string& text) {
   XSeekEngine engine;
   SnippetOptions options;
   options.size_bound = state->bound;
+  CorpusServingOptions serving;
+  serving.page_size = 10;  // gated top-k serving: search runs in-stream
   StreamOptions stream;  // completion order: lowest time-to-first-snippet
-  auto served = state->corpus.ServeQuery(query, engine, options, stream);
+  auto served = state->corpus.ServeQuery(query, engine, RankingOptions{},
+                                         serving, options, stream);
   if (!served.ok()) {
     std::printf("error: %s\n", served.status().ToString().c_str());
     return;
   }
-  std::printf("%zu hit(s) across %zu data set(s), streaming as slots "
-              "complete\n",
-              served->page().size(), state->corpus.size());
+  std::printf("streaming up to %zu top slot(s) across %zu data set(s) as "
+              "they complete\n",
+              serving.page_size, state->corpus.size());
   std::fflush(stdout);
   size_t arrival = 0;
+  // The page grows while the merge runs: page()[event.slot] is settled
+  // once the slot's event arrives, but the page size is unknown (and
+  // unreadable) until the stream has drained.
   served->stream().ForEach([&](SnippetEvent event) {
     ++arrival;
     const CorpusResult& hit = served->page()[event.slot];
@@ -319,6 +330,13 @@ void CmdStream(ShellState* state, const std::string& text) {
     std::printf("\nstream: %zu emitted, no snippet succeeded (%zu failed)\n",
                 stats.emitted, stats.failed);
   }
+  TopKSearchStats search = served->SearchStats();
+  std::printf("search: %zu of %zu candidate(s) scored across %zu "
+              "document(s)%s, first result after %.2f ms\n",
+              search.candidates_scored, search.candidates_total,
+              search.producers,
+              search.early_terminated ? " (early termination)" : "",
+              static_cast<double>(search.first_result_ns) / 1e6);
 }
 
 void CmdResult(ShellState* state, size_t rank) {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <utility>
 
@@ -15,15 +17,334 @@ namespace extract {
 namespace {
 
 /// The merged-page order: best score first, ties by document name, then
-/// document order. A strict weak ordering shared by the sequential sort and
-/// the sharded merge, so both produce the same page.
+/// document order. A strict weak ordering shared by the sequential sort,
+/// the sharded merge and the top-k bound-merge, so all produce the same
+/// page.
 bool CorpusHitBefore(const CorpusResult& a, const CorpusResult& b) {
   if (a.score != b.score) return a.score > b.score;
   if (a.document != b.document) return a.document < b.document;
   return a.result.root < b.result.root;
 }
 
+/// Heap comparator putting the hit that appears *first* in the page order
+/// at the front of a std::push_heap/pop_heap max-heap.
+bool CorpusHitWorse(const CorpusResult& a, const CorpusResult& b) {
+  return CorpusHitBefore(b, a);
+}
+
 }  // namespace
+
+namespace internal {
+
+/// \brief The threshold-algorithm bound-merge behind XmlCorpus::SearchTopK
+/// and page-gated ServeQuery.
+///
+/// One incremental producer per document (opened in name order) feeds a
+/// per-document max-heap of scored-but-unreleased hits. Each step either
+/// releases the best buffered hit — allowed exactly when no non-exhausted
+/// producer's bound could still place a hit before it under the page order
+/// — or pulls one chunk from the producers blocking that release (or, with
+/// nothing buffered at all, from the highest-bound producers). Because
+/// releases happen in the page order and the bound test is conservative on
+/// ties, the released sequence is precisely the k-prefix of SearchAll's
+/// merged page.
+///
+/// Thread model: every step runs under mu_, so any number of stream
+/// producers may call AdvanceForStream concurrently — they serialize, and
+/// the search runs on whichever thread has nothing better to do. Drain
+/// (the blocking SearchTopK driver) holds mu_ throughout and may fan pulls
+/// out via ParallelFor; streamed steps pull sequentially, since a nested
+/// parallel region could wait on pool workers that are themselves blocked
+/// on mu_.
+class TopKCoordinator {
+ public:
+  TopKCoordinator(Query query, const SearchEngine* engine,
+                  RankingOptions ranking, size_t k, size_t pull_width,
+                  bool parallel_pulls)
+      : query_(std::move(query)),
+        engine_(engine),
+        ranking_(ranking),
+        k_(k),
+        pull_width_(std::max<size_t>(1, pull_width)),
+        parallel_pulls_(parallel_pulls) {}
+
+  /// Receives each released hit, in final page order, with mu_ held.
+  /// Everything a released slot's consumers read must be in place when it
+  /// returns — the gate releases the slot right after.
+  std::function<void(CorpusResult&&)> on_release;
+
+  /// Bound to the gated stream when serving; empty (every call a no-op)
+  /// under blocking SearchTopK.
+  StreamGate gate;
+
+  /// Opens one producer per database, in name order. Map keys and values
+  /// are borrowed for the coordinator's lifetime. On failure the error is
+  /// resolved with blocking-loop parity (see ResolveFailureLocked).
+  Status Open(const std::map<std::string, XmlDatabase, std::less<>>& dbs) {
+    std::lock_guard<std::mutex> lock(mu_);
+    start_ = std::chrono::steady_clock::now();
+    producers_.reserve(dbs.size());
+    bool failed = false;
+    for (const auto& [name, db] : dbs) {
+      Producer p;
+      p.name = &name;
+      Result<std::unique_ptr<ResultProducer>> opened =
+          engine_->OpenIncremental(db, query_, ranking_, k_);
+      if (opened.ok()) {
+        p.producer = std::move(*opened);
+      } else {
+        p.status = opened.status();
+        failed = true;
+      }
+      producers_.push_back(std::move(p));
+    }
+    if (failed) {
+      ResolveFailureLocked();
+      return error_;
+    }
+    if (k_ == 0) FinishLocked();
+    return Status::OK();
+  }
+
+  /// Runs the search to completion (the SearchTopK driver).
+  Status Drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!finished_) StepLocked();
+    return error_;
+  }
+
+  /// One step on behalf of the gated stream; false iff already finished.
+  bool AdvanceForStream() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_) return false;
+    StepLocked();
+    return true;
+  }
+
+  TopKSearchStats StatsSnapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    TopKSearchStats s;
+    s.producers = producers_.size();
+    for (const Producer& p : producers_) {
+      if (!p.producer) continue;
+      s.candidates_total += p.producer->candidates_total();
+      s.candidates_scored += p.producer->candidates_scored();
+    }
+    s.results_released = released_;
+    s.pull_rounds = pull_rounds_;
+    s.first_result_ns = first_result_ns_;
+    s.finished = finished_;
+    s.early_terminated = early_terminated_;
+    return s;
+  }
+
+  /// Folds the search-time breakdown into `registry`: "search" (active
+  /// merge + pull time), "search.enumerate" / "search.score" (summed
+  /// producer counters) and "search.merge" (bound-merge bookkeeping).
+  void RecordStageStats(StageStatsRegistry& registry) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t enumerate_ns = 0;
+    uint64_t score_ns = 0;
+    for (const Producer& p : producers_) {
+      if (!p.producer) continue;
+      enumerate_ns += p.producer->enumerate_ns();
+      score_ns += p.producer->score_ns();
+    }
+    registry.Record("search", merge_ns_ + pull_ns_);
+    registry.Record("search.enumerate", enumerate_ns);
+    registry.Record("search.score", score_ns);
+    registry.Record("search.merge", merge_ns_);
+  }
+
+ private:
+  struct Producer {
+    const std::string* name = nullptr;
+    std::unique_ptr<ResultProducer> producer;  ///< null iff open failed
+    /// Pulled-but-unreleased hits; max-heap under CorpusHitWorse, so the
+    /// front is the hit appearing first in the page order.
+    std::vector<CorpusResult> heap;
+    Status status;  ///< sticky first error (open or pull)
+  };
+
+  void StepLocked() {
+    if (finished_) return;
+    if (released_ >= k_) {
+      FinishLocked();
+      return;
+    }
+    const auto merge_start = std::chrono::steady_clock::now();
+    // The front: the best buffered hit across all heaps. Distinct document
+    // names make CorpusHitBefore strict across producers, so the choice is
+    // schedule-independent.
+    const size_t n = producers_.size();
+    size_t best = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (producers_[i].heap.empty()) continue;
+      if (best == n || CorpusHitBefore(producers_[i].heap.front(),
+                                       producers_[best].heap.front())) {
+        best = i;
+      }
+    }
+    pull_set_.clear();
+    if (best < n) {
+      const CorpusResult& front = producers_[best].heap.front();
+      // Blockers: producers that could still place a hit before `front`.
+      // Equal bound blocks when the producer's document name would win the
+      // tie — including front's own document (a same-score lower root may
+      // still arrive, since producers do not emit in score order).
+      for (size_t i = 0; i < n; ++i) {
+        const Producer& p = producers_[i];
+        if (!p.producer || p.producer->Exhausted()) continue;
+        const double bound = p.producer->ScoreUpperBound();
+        if (bound > front.score ||
+            (bound == front.score && *p.name <= front.document)) {
+          pull_set_.push_back(i);
+        }
+      }
+      if (pull_set_.empty()) {
+        Producer& p = producers_[best];
+        std::pop_heap(p.heap.begin(), p.heap.end(), CorpusHitWorse);
+        CorpusResult hit = std::move(p.heap.back());
+        p.heap.pop_back();
+        ++released_;
+        if (first_result_ns_ == 0) first_result_ns_ = ElapsedNsSince(start_);
+        merge_ns_ += ElapsedNsSince(merge_start);
+        if (on_release) on_release(std::move(hit));
+        gate.ReleaseSlots(1);
+        if (released_ >= k_) FinishLocked();
+        return;
+      }
+      merge_ns_ += ElapsedNsSince(merge_start);
+      PullLocked();
+      return;
+    }
+    // Nothing buffered anywhere: finish if the corpus is exhausted, else
+    // descend into the highest-bound producers only — pulling every
+    // producer here would fully scan documents the bound-merge may never
+    // need (exactly the work early termination exists to skip).
+    for (size_t i = 0; i < n; ++i) {
+      const Producer& p = producers_[i];
+      if (p.producer && !p.producer->Exhausted()) pull_set_.push_back(i);
+    }
+    if (pull_set_.empty()) {
+      merge_ns_ += ElapsedNsSince(merge_start);
+      FinishLocked();
+      return;
+    }
+    if (pull_set_.size() > pull_width_) {
+      std::partial_sort(
+          pull_set_.begin(),
+          pull_set_.begin() + static_cast<ptrdiff_t>(pull_width_),
+          pull_set_.end(), [this](size_t a, size_t b) {
+            const double ba = producers_[a].producer->ScoreUpperBound();
+            const double bb = producers_[b].producer->ScoreUpperBound();
+            if (ba != bb) return ba > bb;
+            return a < b;  // producers_ is name-sorted: ties to lower names
+          });
+      pull_set_.resize(pull_width_);
+    }
+    merge_ns_ += ElapsedNsSince(merge_start);
+    PullLocked();
+  }
+
+  void PullLocked() {
+    ++pull_rounds_;
+    const auto pull_start = std::chrono::steady_clock::now();
+    auto pull_one = [this](size_t j) {
+      Producer& p = producers_[pull_set_[j]];
+      std::vector<RankedResult> buf;
+      Status st = p.producer->Pull(&buf);
+      if (!st.ok()) {
+        p.status = st;
+        return;
+      }
+      for (RankedResult& r : buf) {
+        p.heap.push_back(CorpusResult{*p.name, std::move(r.result), r.score});
+        std::push_heap(p.heap.begin(), p.heap.end(), CorpusHitWorse);
+      }
+    };
+    if (parallel_pulls_ && pull_set_.size() > 1) {
+      ParallelFor(pull_set_.size(), pull_width_, pull_one);
+    } else {
+      for (size_t j = 0; j < pull_set_.size(); ++j) pull_one(j);
+    }
+    pull_ns_ += ElapsedNsSince(pull_start);
+    for (size_t i : pull_set_) {
+      if (!producers_[i].status.ok()) {
+        ResolveFailureLocked();
+        return;
+      }
+    }
+  }
+
+  /// Blocking-loop error parity: the sequential document loop reports the
+  /// first failure in name order, and it searches each document to
+  /// completion before moving on — so every document below the lowest
+  /// known failure gets drained to exhaustion first, in case it fails too.
+  void ResolveFailureLocked() {
+    const size_t n = producers_.size();
+    size_t f = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (!producers_[i].status.ok()) {
+        f = i;
+        break;
+      }
+    }
+    for (size_t i = 0; i < f; ++i) {
+      Producer& p = producers_[i];
+      std::vector<RankedResult> buf;
+      while (p.status.ok() && p.producer && !p.producer->Exhausted()) {
+        buf.clear();
+        Status st = p.producer->Pull(&buf);
+        if (!st.ok()) p.status = st;
+      }
+      if (!p.status.ok()) {
+        f = i;
+        break;
+      }
+    }
+    error_ = producers_[f].status;
+    FinishLocked();
+  }
+
+  void FinishLocked() {
+    if (finished_) return;
+    finished_ = true;
+    for (const Producer& p : producers_) {
+      if (p.producer && !p.producer->Exhausted()) {
+        early_terminated_ = true;
+        break;
+      }
+    }
+    if (error_.ok()) {
+      gate.CompleteUpstream(released_);
+    } else {
+      gate.FailUpstream(error_);
+    }
+  }
+
+  const Query query_;
+  const SearchEngine* engine_;
+  const RankingOptions ranking_;
+  const size_t k_;
+  const size_t pull_width_;
+  const bool parallel_pulls_;
+
+  mutable std::mutex mu_;
+  std::vector<Producer> producers_;  ///< name order (the map's order)
+  std::vector<size_t> pull_set_;     ///< scratch, reused across steps
+  size_t released_ = 0;
+  size_t pull_rounds_ = 0;
+  uint64_t merge_ns_ = 0;
+  uint64_t pull_ns_ = 0;
+  uint64_t first_result_ns_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  bool finished_ = false;
+  bool early_terminated_ = false;
+  Status error_;
+};
+
+}  // namespace internal
 
 Status XmlCorpus::AddDocument(const std::string& name, std::string_view xml) {
   return AddDocument(name, xml, LoadOptions{});
@@ -223,6 +544,29 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
   return merged;
 }
 
+Result<std::vector<CorpusResult>> XmlCorpus::SearchTopK(
+    const Query& query, const SearchEngine& engine,
+    const RankingOptions& ranking, const CorpusServingOptions& serving,
+    size_t k, TopKSearchStats* stats) const {
+  const size_t effective_threads = serving.search_threads == 0
+                                       ? ThreadPool::ConfiguredThreads()
+                                       : serving.search_threads;
+  internal::TopKCoordinator coordinator(
+      query, &engine, ranking, k, /*pull_width=*/effective_threads,
+      /*parallel_pulls=*/serving.search_threads != 1);
+  std::vector<CorpusResult> page;
+  page.reserve(k);
+  coordinator.on_release = [&page](CorpusResult&& hit) {
+    page.push_back(std::move(hit));
+  };
+  Status status = coordinator.Open(databases_);
+  if (status.ok()) status = coordinator.Drain();
+  coordinator.RecordStageStats(stage_stats_);
+  if (stats != nullptr) *stats = coordinator.StatsSnapshot();
+  if (!status.ok()) return status;
+  return page;
+}
+
 /// Session-owned producer state of one streamed page. The compute closure
 /// and the finish hook read it through raw pointers; the ServingSession
 /// keeps the shared_ptr alive until both are done.
@@ -245,6 +589,20 @@ struct XmlCorpus::StreamPayload {
   /// Parallel to the page; only the pending slots' keys are used.
   std::vector<SnippetCacheKey> keys;
   SnippetCache* cache = nullptr;
+
+  /// Guards `documents` under page-gated serving, where the release hook
+  /// inserts per-document state while compute closures look entries up
+  /// concurrently. Blocking-mode streams build the map before any producer
+  /// starts and never take it.
+  std::mutex docs_mu;
+  /// Page-gated serving: per-document cache-key prefixes, built lazily at
+  /// release time (only touched under the coordinator mutex).
+  std::map<std::string, SnippetCacheKeyPrefix, std::less<>> prefixes;
+  /// The search driver of a page-gated stream; null in blocking mode.
+  /// Owned here so releases, computes and the finish hook all outlive it.
+  /// Its compute closures probe/fill the cache per slot (slots are not
+  /// known at open), unlike the blocking path's open-time probe.
+  std::unique_ptr<internal::TopKCoordinator> coordinator;
 };
 
 Result<ServingSession> XmlCorpus::OpenStream(
@@ -356,10 +714,121 @@ Result<ServingSession> XmlCorpus::StreamSnippets(
   return OpenStream(std::move(payload), options, stream);
 }
 
+TopKSearchStats CorpusQueryStream::SearchStats() const {
+  if (coordinator_ == nullptr) return TopKSearchStats{};
+  return coordinator_->StatsSnapshot();
+}
+
+Result<CorpusQueryStream> XmlCorpus::ServeTopK(
+    const Query& query, const SearchEngine& engine,
+    const RankingOptions& ranking, const CorpusServingOptions& serving,
+    const SnippetOptions& options, const StreamOptions& stream) const {
+  const size_t k = serving.page_size;
+  auto payload = std::make_shared<StreamPayload>();
+  payload->query = query;
+  // Reserved up front: the release hook appends while compute closures
+  // index settled slots, which is only race-free because the buffer never
+  // reallocates (element writes are published by the gate's watermark).
+  payload->owned_page.reserve(k);
+  payload->page = &payload->owned_page;
+  payload->keys.resize(k);
+  payload->cache = snippet_cache_.get();
+  // Streamed steps pull sequentially (pull_width 1): a nested ParallelFor
+  // could wait on pool workers that are blocked on the coordinator mutex.
+  payload->coordinator = std::make_unique<internal::TopKCoordinator>(
+      query, &engine, ranking, k, /*pull_width=*/1, /*parallel_pulls=*/false);
+
+  StreamPayload* state = payload.get();
+  internal::TopKCoordinator* coordinator = payload->coordinator.get();
+  const XmlCorpus* corpus = this;
+  const SnippetOptions opts = options;
+  coordinator->on_release = [state, corpus, opts](CorpusResult&& hit) {
+    // Runs with the coordinator mutex held, in final page order. The slot's
+    // page entry, per-document state and cache key must all be in place
+    // before this returns — the gate releases the slot right after.
+    const size_t slot = state->owned_page.size();
+    {
+      std::lock_guard<std::mutex> lock(state->docs_mu);
+      if (state->documents.find(hit.document) == state->documents.end()) {
+        // Hit names come straight out of databases_, so Find cannot miss
+        // (corpus mutation during serving is excluded by contract).
+        state->documents.emplace(
+            hit.document, std::make_unique<StreamPayload::PerDocument>(
+                              corpus->Find(hit.document), state->query));
+      }
+    }
+    if (state->cache != nullptr) {
+      auto it = state->prefixes.find(hit.document);
+      if (it == state->prefixes.end()) {
+        it = state->prefixes
+                 .emplace(hit.document,
+                          MakeSnippetCacheKeyPrefix(hit.document, state->query,
+                                                    opts,
+                                                    DefaultSnippetStageTag()))
+                 .first;
+      }
+      state->keys[slot] = MakeSnippetCacheKey(it->second, hit.result.root);
+    }
+    state->owned_page.push_back(std::move(hit));
+  };
+
+  Status status = coordinator->Open(databases_);
+  if (!status.ok()) {
+    coordinator->RecordStageStats(stage_stats_);
+    return status;
+  }
+
+  StreamBuilder builder;
+  builder.total_slots = k;
+  builder.options = stream;
+  builder.pending.reserve(k);
+  for (size_t i = 0; i < k; ++i) builder.pending.push_back(i);
+  builder.advance = [coordinator] { return coordinator->AdvanceForStream(); };
+  builder.gate = &coordinator->gate;
+  builder.compute = [state, opts](size_t slot) -> Result<Snippet> {
+    const CorpusResult& hit = (*state->page)[slot];
+    StreamPayload::PerDocument* doc = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(state->docs_mu);
+      doc = state->documents.find(hit.document)->second.get();
+    }
+    if (state->cache != nullptr) {
+      if (std::shared_ptr<const Snippet> cached =
+              state->cache->Get(state->keys[slot])) {
+        return cached->Clone();
+      }
+    }
+    Result<Snippet> snippet =
+        doc->service.Generate(doc->context, hit.result, opts);
+    if (!snippet.ok()) return snippet;
+    if (state->cache != nullptr) {
+      auto cached = std::make_shared<const Snippet>(std::move(*snippet));
+      snippet = cached->Clone();
+      state->cache->Put(state->keys[slot], std::move(cached));
+    }
+    return snippet;
+  };
+  StageStatsRegistry* registry = &stage_stats_;
+  builder.on_finish = [registry, state](const StreamStats& stats) {
+    for (const auto& [name, doc] : state->documents) {
+      registry->Merge(doc->service.StageStatsSnapshot());
+      registry->Merge(doc->context.ScanStatsSnapshot());
+    }
+    MergeStreamStats(stats, *registry);
+    state->coordinator->RecordStageStats(*registry);
+  };
+  const std::vector<CorpusResult>* page_ptr = &payload->owned_page;
+  builder.payload = std::move(payload);
+  return CorpusQueryStream(std::move(builder).Open(), page_ptr, coordinator);
+}
+
 Result<CorpusQueryStream> XmlCorpus::ServeQuery(
     const Query& query, const SearchEngine& engine,
     const RankingOptions& ranking, const CorpusServingOptions& serving,
     const SnippetOptions& options, const StreamOptions& stream) const {
+  if (serving.page_size > 0) {
+    return ServeTopK(query, engine, ranking, serving, options, stream);
+  }
   Result<std::vector<CorpusResult>> page =
       SearchAll(query, engine, ranking, serving);
   if (!page.ok()) return page.status();

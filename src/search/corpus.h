@@ -24,6 +24,8 @@
 #ifndef EXTRACT_SEARCH_CORPUS_H_
 #define EXTRACT_SEARCH_CORPUS_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -40,12 +42,41 @@
 
 namespace extract {
 
+namespace internal {
+class TopKCoordinator;
+}  // namespace internal
+
 /// One cross-corpus search hit.
 struct CorpusResult {
   /// Name of the document the hit came from.
   std::string document;
   QueryResult result;
   double score = 0.0;
+};
+
+/// \brief Cost counters of one incremental top-k search (SearchTopK, or
+/// ServeQuery with CorpusServingOptions::page_size > 0): how much of the
+/// corpus the threshold merge actually touched before the page settled.
+struct TopKSearchStats {
+  /// Driving-list postings a full (blocking) search would scan, summed over
+  /// every document's producer.
+  size_t candidates_total = 0;
+  /// Driving-list postings actually scanned so far.
+  size_t candidates_scored = 0;
+  /// Page slots released so far (== min(k, total hits) once cleanly done).
+  size_t results_released = 0;
+  /// Incremental producers opened (one per document).
+  size_t producers = 0;
+  /// Coordinator pull rounds (each pulls one chunk from >= 1 producers).
+  size_t pull_rounds = 0;
+  /// Elapsed ns from open to the first released slot (0 until then) — the
+  /// time-to-first-result the incremental path is judged on.
+  uint64_t first_result_ns = 0;
+  /// True once the search settled every slot (or failed).
+  bool finished = false;
+  /// True when the search finished with some producer never exhausted: the
+  /// threshold bound proved the rest of the corpus could not reach the page.
+  bool early_terminated = false;
 };
 
 /// \brief How SearchAll distributes query evaluation over the corpus.
@@ -75,6 +106,15 @@ struct CorpusServingOptions {
   /// document, the finest grain; smaller values batch documents per task
   /// to cut per-task overhead on huge corpora.
   size_t max_shards = 0;
+
+  /// Page size of incremental top-k serving (ServeQuery only): 0 keeps the
+  /// blocking search-then-stream path; > 0 serves the best page_size hits
+  /// through the threshold bound-merge (see SearchTopK), releasing each
+  /// page slot to the snippet stream the moment its rank is settled —
+  /// snippets of the top hits generate while lower slots are still being
+  /// searched. The served page is byte-identical to the blocking path's
+  /// first page_size entries.
+  size_t page_size = 0;
 };
 
 /// \brief One live streamed query: the merged ranked page plus a
@@ -90,20 +130,38 @@ class CorpusQueryStream {
  public:
   CorpusQueryStream(CorpusQueryStream&&) noexcept = default;
 
-  /// The merged ranked hits, best score first (slot i <-> page()[i]).
+  /// \brief The merged ranked hits, best score first (slot i <-> page()[i]).
+  ///
+  /// Under page-gated serving (CorpusServingOptions::page_size > 0) the
+  /// page grows as the search settles slots: entry i is stable and safe to
+  /// read once slot i's event has been delivered, but size() and iteration
+  /// are only meaningful after the stream drains. Blocking-mode pages are
+  /// complete from the start.
   const std::vector<CorpusResult>& page() const { return *page_; }
   SnippetStream& stream() { return session_.stream(); }
   void Cancel() { session_.Cancel(); }
   StreamStats Stats() const { return session_.Stats(); }
 
+  /// Incremental-search counters of this page (page-gated serving only;
+  /// empty stats on a blocking-mode stream). Safe to call while the stream
+  /// is live — a point-in-time snapshot; `finished` turns true once the
+  /// search has settled every slot.
+  TopKSearchStats SearchStats() const;
+
  private:
   friend class XmlCorpus;
   CorpusQueryStream(ServingSession session,
                     const std::vector<CorpusResult>* page)
-      : session_(std::move(session)), page_(page) {}
+      : CorpusQueryStream(std::move(session), page, nullptr) {}
+  CorpusQueryStream(ServingSession session,
+                    const std::vector<CorpusResult>* page,
+                    internal::TopKCoordinator* coordinator)
+      : session_(std::move(session)), page_(page), coordinator_(coordinator) {}
 
   ServingSession session_;
   const std::vector<CorpusResult>* page_;  ///< owned by session_'s payload
+  /// Owned by session_'s payload; null for blocking-mode streams.
+  internal::TopKCoordinator* coordinator_ = nullptr;
 };
 
 /// \brief A named collection of loaded databases.
@@ -150,6 +208,30 @@ class XmlCorpus {
   Result<std::vector<CorpusResult>> SearchAll(const Query& query,
                                               const SearchEngine& engine) const;
 
+  /// \brief Incremental top-k search: the first `k` entries of SearchAll's
+  /// merged page, computed with early termination.
+  ///
+  /// Each document becomes a lazy scored-result producer
+  /// (SearchEngine::OpenIncremental) with a sound score upper bound, and a
+  /// threshold bound-merge releases a page slot as soon as no producer's
+  /// bound can still place a hit before it — documents whose bound never
+  /// reaches the page are never fully enumerated. The returned page is
+  /// byte-identical to SearchAll(...) truncated to its first k entries, for
+  /// every thread count, shard grid and engine that honors the
+  /// OpenIncremental contract; only the work done differs.
+  ///
+  /// serving.search_threads budgets the parallel pull width (1 = fully
+  /// sequential); serving.max_shards and page_size are ignored here —
+  /// producers are per document and `k` is explicit. k == 0 returns an
+  /// empty page without searching. A producer failure reports exactly the
+  /// error the sequential document loop would have hit first (lowest
+  /// failing document in name order), like SearchAll. `stats` (optional)
+  /// receives the search's cost counters.
+  Result<std::vector<CorpusResult>> SearchTopK(
+      const Query& query, const SearchEngine& engine,
+      const RankingOptions& ranking, const CorpusServingOptions& serving,
+      size_t k, TopKSearchStats* stats = nullptr) const;
+
   /// \brief Generates one snippet per merged hit — the serving path for a
   /// cross-corpus result page.
   ///
@@ -181,10 +263,21 @@ class XmlCorpus {
       const Query& query, const std::vector<CorpusResult>& corpus_results,
       const SnippetOptions& options, const StreamOptions& stream) const;
 
-  /// \brief End-to-end streamed serving: search + rank the whole corpus
-  /// (blocking — ranking is global), then stream one snippet per page slot
-  /// as it completes. The returned CorpusQueryStream owns the page, so the
-  /// caller only needs to keep the corpus alive.
+  /// \brief End-to-end streamed serving. The returned CorpusQueryStream
+  /// owns the page, so the caller only needs to keep the corpus alive.
+  ///
+  /// With serving.page_size == 0: search + rank the whole corpus (blocking
+  /// — ranking is global), then stream one snippet per page slot as it
+  /// completes. With page_size > 0: the incremental top-k path — the
+  /// stream opens gated before any searching happens, the threshold merge
+  /// (SearchTopK) runs on whichever stream thread has nothing better to
+  /// do, and each slot becomes computable the moment its rank settles, so
+  /// the first snippets arrive while the tail of the page is still being
+  /// searched. The page (and its snippets) is byte-identical between the
+  /// two modes; `engine` is borrowed until the session is destroyed.
+  /// Mid-search failures surface per slot (every unreleased slot emits the
+  /// search error; Collect reports the lowest one) rather than failing
+  /// ServeQuery itself, which has already returned by then.
   Result<CorpusQueryStream> ServeQuery(const Query& query,
                                        const SearchEngine& engine,
                                        const RankingOptions& ranking,
@@ -227,6 +320,15 @@ class XmlCorpus {
   Result<ServingSession> OpenStream(std::shared_ptr<StreamPayload> payload,
                                     const SnippetOptions& options,
                                     const StreamOptions& stream) const;
+
+  /// The page-gated ServeQuery path (serving.page_size > 0): opens a gated
+  /// stream over k = page_size slots driven by a TopKCoordinator.
+  Result<CorpusQueryStream> ServeTopK(const Query& query,
+                                      const SearchEngine& engine,
+                                      const RankingOptions& ranking,
+                                      const CorpusServingOptions& serving,
+                                      const SnippetOptions& options,
+                                      const StreamOptions& stream) const;
 
   std::map<std::string, XmlDatabase, std::less<>> databases_;
   /// Shared by every document; keys carry the document name.

@@ -39,4 +39,48 @@ std::vector<RankedResult> RankResults(const XmlDatabase& db,
   return out;
 }
 
+std::vector<RankedResult> RankResults(const XmlDatabase& db,
+                                      const std::vector<QueryResult>& results,
+                                      const RankingOptions& options,
+                                      size_t top_k) {
+  if (top_k == 0 || top_k >= results.size()) {
+    return RankResults(db, results, options);
+  }
+  std::vector<RankedResult> out;
+  out.reserve(results.size());
+  for (const QueryResult& result : results) {
+    out.push_back(RankedResult{result, ScoreResult(db, result, options)});
+  }
+  // partial_sort is not stable, but (score desc, root asc) is a strict
+  // total order on engine output (distinct roots), so the k-prefix is the
+  // unique k-smallest set in sorted order — identical to the full sort.
+  std::partial_sort(out.begin(), out.begin() + static_cast<ptrdiff_t>(top_k),
+                    out.end(),
+                    [](const RankedResult& a, const RankedResult& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.result.root < b.result.root;
+                    });
+  out.resize(top_k);
+  return out;
+}
+
+double ScoreUpperBound(const RankingOptions& options, uint32_t max_depth,
+                       const std::vector<size_t>& max_matches) {
+  double bound = 0.0;
+  if (options.specificity_weight > 0.0) {
+    bound += options.specificity_weight * static_cast<double>(max_depth);
+  }
+  if (options.frequency_weight > 0.0) {
+    for (size_t count : max_matches) {
+      bound += options.frequency_weight *
+               std::log2(1.0 + static_cast<double>(count));
+    }
+  }
+  if (options.compactness_weight > 0.0) {
+    // Zero result edges: compactness_weight / log2(2) == the weight itself.
+    bound += options.compactness_weight;
+  }
+  return bound;
+}
+
 }  // namespace extract

@@ -45,6 +45,34 @@ std::vector<RankedResult> RankResults(const XmlDatabase& db,
                                       const std::vector<QueryResult>& results,
                                       const RankingOptions& options);
 
+/// \brief RankResults with a top-k fast path: only the best `top_k` results
+/// are sorted and returned (std::partial_sort instead of a full sort).
+///
+/// `top_k == 0` or >= results.size() degenerates to the full RankResults.
+/// The returned prefix is byte-identical to the full sort's first top_k
+/// entries whenever the input has no two results with the same root (always
+/// true for engine output — results are distinct subtree views), because
+/// (score desc, root asc) is then a strict total order and the k-smallest
+/// prefix under a total order is unique.
+std::vector<RankedResult> RankResults(const XmlDatabase& db,
+                                      const std::vector<QueryResult>& results,
+                                      const RankingOptions& options,
+                                      size_t top_k);
+
+/// \brief A sound upper bound on ScoreResult for any result whose SLCA
+/// depth is at most `max_depth` and whose per-keyword match counts are at
+/// most `max_matches` (parallel to the query's keywords; dropped-stopword
+/// slots contribute nothing either way).
+///
+/// Each signal is bounded by its extremum: specificity at `max_depth`
+/// (depth 0 when the weight is negative), frequency at the full match
+/// counts (zero matches when negative), compactness at zero edges (infinite
+/// edges — contribution 0 — when negative). Monotone in both arguments, so
+/// a shard whose remaining depth/frequency envelopes shrink can only lower
+/// its bound — the property the threshold merge's early termination needs.
+double ScoreUpperBound(const RankingOptions& options, uint32_t max_depth,
+                       const std::vector<size_t>& max_matches);
+
 }  // namespace extract
 
 #endif  // EXTRACT_SEARCH_RANKING_H_

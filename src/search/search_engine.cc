@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cmath>
 #include <functional>
+#include <limits>
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "search/ranking.h"
 #include "search/slca.h"
 #include "xml/parser.h"
 
@@ -81,6 +85,243 @@ NodeId MasterEntityOf(const IndexedDocument& doc,
     if (doc.is_element(cur) && classification.IsEntity(cur)) return cur;
   }
   return doc.root();
+}
+
+namespace {
+
+uint64_t NsSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+/// The default OpenIncremental adapter: the first Pull runs the blocking
+/// Search and ranks the best top_k_hint results per document — sound for
+/// corpus top-k pages because the page never takes more than k hits total,
+/// and the hits it takes from one document are always that document's
+/// best under the page order.
+class BlockingResultProducer : public ResultProducer {
+ public:
+  BlockingResultProducer(const SearchEngine* engine, const XmlDatabase* db,
+                         const Query* query, const RankingOptions* ranking,
+                         size_t top_k_hint)
+      : engine_(engine),
+        db_(db),
+        query_(query),
+        ranking_(ranking),
+        top_k_(top_k_hint) {}
+
+  Status Pull(std::vector<RankedResult>* out) override {
+    if (!status_.ok()) return status_;
+    if (done_) return Status::OK();
+    done_ = true;
+    const auto search_start = std::chrono::steady_clock::now();
+    Result<std::vector<QueryResult>> searched = engine_->Search(*db_, *query_);
+    enumerate_ns_ = NsSince(search_start);
+    if (!searched.ok()) {
+      status_ = searched.status();
+      return status_;
+    }
+    candidates_ = searched->size();
+    const auto rank_start = std::chrono::steady_clock::now();
+    std::vector<RankedResult> ranked =
+        RankResults(*db_, *searched, *ranking_, top_k_);
+    score_ns_ = NsSince(rank_start);
+    for (RankedResult& r : ranked) out->push_back(std::move(r));
+    return Status::OK();
+  }
+
+  bool Exhausted() const override { return done_; }
+
+  double ScoreUpperBound() const override {
+    return done_ ? -std::numeric_limits<double>::infinity()
+                 : std::numeric_limits<double>::infinity();
+  }
+
+  size_t candidates_total() const override { return candidates_; }
+  size_t candidates_scored() const override { return candidates_; }
+  uint64_t enumerate_ns() const override { return enumerate_ns_; }
+  uint64_t score_ns() const override { return score_ns_; }
+
+ private:
+  const SearchEngine* engine_;
+  const XmlDatabase* db_;
+  const Query* query_;
+  const RankingOptions* ranking_;
+  size_t top_k_;
+  bool done_ = false;
+  Status status_ = Status::OK();
+  size_t candidates_ = 0;
+  uint64_t enumerate_ns_ = 0;
+  uint64_t score_ns_ = 0;
+};
+
+/// XSeek's incremental producer: one SlcaEnumerator chunk per Pull, with
+/// Search's scoping / two-pass dedup / match attachment / max_results
+/// truncation replayed as a streaming state machine. Both dedup passes are
+/// single-pass with one-element lookbehind in Search, so carrying that
+/// lookbehind across chunks reproduces the batch output exactly.
+class XSeekResultProducer : public ResultProducer {
+ public:
+  XSeekResultProducer(const XmlDatabase* db, const Query* query,
+                      const RankingOptions* ranking,
+                      const SearchOptions& options,
+                      std::vector<const PostingList*> lists,
+                      std::vector<size_t> keyword_of_list)
+      : db_(db),
+        query_(query),
+        ranking_(ranking),
+        options_(options),
+        lists_(std::move(lists)),
+        keyword_of_list_(std::move(keyword_of_list)),
+        enumerator_(db->index(), lists_, db->partitions()) {
+    // Frequency envelope for the score bound: per-keyword whole-list sizes.
+    // A future result can span up to the whole document, so a tighter
+    // per-chunk envelope would be unsound; the depth cap (which the
+    // enumerator does shrink as it scans) carries the tightening.
+    max_matches_.assign(query->keywords.size(), 0);
+    for (size_t i = 0; i < lists_.size(); ++i) {
+      max_matches_[keyword_of_list_[i]] = lists_[i]->size();
+    }
+  }
+
+  Status Pull(std::vector<RankedResult>* out) override {
+    if (Exhausted()) return Status::OK();
+    const auto enum_start = std::chrono::steady_clock::now();
+    std::vector<NodeId> slcas;
+    enumerator_.NextChunk(&slcas);
+    enumerate_ns_ += NsSince(enum_start);
+
+    const auto score_start = std::chrono::steady_clock::now();
+    for (NodeId slca : slcas) {
+      const NodeId root =
+          options_.scope == ResultScope::kMasterEntity
+              ? MasterEntityOf(db_->index(), db_->classification(), slca)
+              : slca;
+      // Pass 1 of Search's dedup: adjacent same-root collapse.
+      if (have_adjacent_ && adjacent_root_ == root) continue;
+      adjacent_root_ = root;
+      have_adjacent_ = true;
+      // Pass 2: drop roots equal to or contained in the last kept root.
+      if (have_kept_ &&
+          (kept_root_ == root ||
+           db_->index().IsAncestorOrSelf(kept_root_, root))) {
+        continue;
+      }
+      kept_root_ = root;
+      have_kept_ = true;
+
+      QueryResult result;
+      result.root = root;
+      result.slca = slca;
+      result.matches.resize(query_->keywords.size());
+      const NodeId begin = root;
+      const NodeId end = db_->index().subtree_end(root);
+      for (size_t i = 0; i < lists_.size(); ++i) {
+        const std::vector<NodeId>& nodes = lists_[i]->nodes;
+        auto lo = std::lower_bound(nodes.begin(), nodes.end(), begin);
+        auto hi = std::lower_bound(nodes.begin(), nodes.end(), end);
+        result.matches[keyword_of_list_[i]].assign(lo, hi);
+      }
+      const double score = ScoreResult(*db_, result, *ranking_);
+      out->push_back(RankedResult{std::move(result), score});
+      ++emitted_;
+      if (options_.max_results > 0 && emitted_ >= options_.max_results) {
+        truncated_ = true;  // Search resizes to max_results; stop here too
+        break;
+      }
+    }
+    score_ns_ += NsSince(score_start);
+    return Status::OK();
+  }
+
+  bool Exhausted() const override {
+    return truncated_ || enumerator_.exhausted();
+  }
+
+  double ScoreUpperBound() const override {
+    if (Exhausted()) return -std::numeric_limits<double>::infinity();
+    return extract::ScoreUpperBound(*ranking_, enumerator_.DepthBound(),
+                                    max_matches_);
+  }
+
+  size_t candidates_total() const override {
+    return enumerator_.driving_size();
+  }
+  size_t candidates_scored() const override { return enumerator_.scanned(); }
+  uint64_t enumerate_ns() const override { return enumerate_ns_; }
+  uint64_t score_ns() const override { return score_ns_; }
+
+ private:
+  const XmlDatabase* db_;
+  const Query* query_;
+  const RankingOptions* ranking_;
+  SearchOptions options_;
+  std::vector<const PostingList*> lists_;
+  std::vector<size_t> keyword_of_list_;
+  SlcaEnumerator enumerator_;
+  std::vector<size_t> max_matches_;
+
+  bool have_adjacent_ = false;
+  NodeId adjacent_root_ = kInvalidNode;
+  bool have_kept_ = false;
+  NodeId kept_root_ = kInvalidNode;
+  size_t emitted_ = 0;
+  bool truncated_ = false;
+  uint64_t enumerate_ns_ = 0;
+  uint64_t score_ns_ = 0;
+};
+
+/// A producer that is exhausted from the start (no-match / all-stopword
+/// queries): the incremental image of Search returning an empty vector.
+class EmptyResultProducer : public ResultProducer {
+ public:
+  Status Pull(std::vector<RankedResult>*) override { return Status::OK(); }
+  bool Exhausted() const override { return true; }
+  double ScoreUpperBound() const override {
+    return -std::numeric_limits<double>::infinity();
+  }
+  size_t candidates_total() const override { return 0; }
+  size_t candidates_scored() const override { return 0; }
+};
+
+}  // namespace
+
+Result<std::unique_ptr<ResultProducer>> SearchEngine::OpenIncremental(
+    const XmlDatabase& db, const Query& query, const RankingOptions& ranking,
+    size_t top_k_hint) const {
+  return std::unique_ptr<ResultProducer>(
+      new BlockingResultProducer(this, &db, &query, &ranking, top_k_hint));
+}
+
+Result<std::unique_ptr<ResultProducer>> XSeekEngine::OpenIncremental(
+    const XmlDatabase& db, const Query& query, const RankingOptions& ranking,
+    size_t /*top_k_hint*/) const {
+  // Keyword analysis mirrors Search exactly, so the open-time error and
+  // empty-result shapes match the blocking path's.
+  if (query.keywords.empty()) {
+    return Status::InvalidArgument("query has no keywords");
+  }
+  std::vector<const PostingList*> lists;
+  std::vector<size_t> keyword_of_list;
+  lists.reserve(query.keywords.size());
+  for (size_t k = 0; k < query.keywords.size(); ++k) {
+    std::string analyzed = db.analyzer().AnalyzeToken(query.keywords[k]);
+    if (analyzed.empty()) continue;  // stopword
+    const PostingList* list = db.inverted().Find(analyzed);
+    if (list == nullptr || list->empty()) {
+      return std::unique_ptr<ResultProducer>(new EmptyResultProducer());
+    }
+    lists.push_back(list);
+    keyword_of_list.push_back(k);
+  }
+  if (lists.empty()) {
+    return std::unique_ptr<ResultProducer>(new EmptyResultProducer());
+  }
+  return std::unique_ptr<ResultProducer>(new XSeekResultProducer(
+      &db, &query, &ranking, options_, std::move(lists),
+      std::move(keyword_of_list)));
 }
 
 Result<std::vector<QueryResult>> XSeekEngine::Search(const XmlDatabase& db,

@@ -148,6 +148,126 @@ std::vector<NodeId> ComputeSlcaIndexedLookupEagerPartitioned(
   return RemoveAncestors(doc, candidates);
 }
 
+SlcaEnumerator::SlcaEnumerator(const IndexedDocument& doc,
+                               std::vector<const PostingList*> lists,
+                               const IndexPartitions& partitions)
+    : doc_(&doc), lists_(std::move(lists)) {
+  for (const PostingList* list : lists_) {
+    if (list == nullptr || list->empty()) {
+      lists_.clear();  // SLCA set is empty; start exhausted
+      return;
+    }
+  }
+  if (lists_.empty()) return;
+  shortest_ = ShortestList(lists_);
+  const std::vector<NodeId>& driving = lists_[shortest_]->nodes;
+
+  // The same decomposition as the partitioned batch algorithm: chunk p owns
+  // the driving postings in partition p's node range. Here the chunks are
+  // consumed sequentially — NextChunk's finality logic needs document order
+  // — so the grid sets the pull granularity, not a parallel fan-out.
+  const size_t parts = partitions.count();
+  chunk_begin_.resize(parts + 1);
+  for (size_t p = 0; p < parts; ++p) {
+    chunk_begin_[p] = static_cast<size_t>(
+        std::lower_bound(driving.begin(), driving.end(),
+                         partitions.partition(p).begin) -
+        driving.begin());
+  }
+  chunk_begin_[parts] = driving.size();
+
+  // Suffix depth maxima: a candidate is an ancestor-or-self of its driving
+  // posting, so depth(candidate) <= depth(posting) bounds everything a
+  // future chunk can contribute.
+  std::vector<uint32_t> chunk_depth(parts, 0);
+  for (size_t p = 0; p < parts; ++p) {
+    for (size_t i = chunk_begin_[p]; i < chunk_begin_[p + 1]; ++i) {
+      chunk_depth[p] = std::max(chunk_depth[p], doc.depth(driving[i]));
+    }
+  }
+  suffix_depth_.assign(parts + 1, 0);
+  for (size_t p = parts; p-- > 0;) {
+    suffix_depth_[p] = std::max(chunk_depth[p], suffix_depth_[p + 1]);
+  }
+}
+
+size_t SlcaEnumerator::driving_size() const {
+  return lists_.empty() ? 0 : lists_[shortest_]->size();
+}
+
+uint32_t SlcaEnumerator::DepthBound() const {
+  uint32_t bound =
+      suffix_depth_.empty() ? 0 : suffix_depth_[std::min(
+                                      next_chunk_, suffix_depth_.size() - 1)];
+  for (NodeId p : pending_) bound = std::max(bound, doc_->depth(p));
+  return bound;
+}
+
+bool SlcaEnumerator::NextChunk(std::vector<NodeId>* out) {
+  if (exhausted()) return false;
+  const std::vector<NodeId>& driving = lists_[shortest_]->nodes;
+  const size_t parts = chunk_begin_.size() - 1;
+
+  // Scan the next non-empty chunk (empty chunks cost nothing, exactly as in
+  // the batch algorithm). scanned_ < driving.size() here, so one exists.
+  std::vector<NodeId> batch;
+  while (next_chunk_ < parts) {
+    const size_t begin = chunk_begin_[next_chunk_];
+    const size_t end = chunk_begin_[next_chunk_ + 1];
+    ++next_chunk_;
+    if (begin >= end) continue;
+    batch.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      batch.push_back(CandidateSlcaFor(*doc_, lists_, shortest_, driving[i]));
+    }
+    scanned_ = end;
+    break;
+  }
+  if (next_chunk_ >= parts) scanned_ = driving.size();
+
+  // Fold the new candidates into the pending set (sorted, exact duplicates
+  // collapsed — RemoveAncestors would collapse them anyway).
+  std::sort(batch.begin(), batch.end());
+  std::vector<NodeId> merged;
+  merged.reserve(pending_.size() + batch.size());
+  std::merge(pending_.begin(), pending_.end(), batch.begin(), batch.end(),
+             std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  pending_ = std::move(merged);
+
+  // Finality threshold: the first unscanned driving posting (one past the
+  // document when none remain — every pending candidate then settles). A
+  // candidate X with subtree_end(X) <= v_next can never gain a deeper
+  // displacing candidate: any such candidate would be an ancestor-or-self
+  // of a driving posting inside [X, subtree_end(X)), all already scanned.
+  const NodeId v_next = scanned_ < driving.size()
+                            ? driving[scanned_]
+                            : static_cast<NodeId>(doc_->num_nodes());
+  std::vector<NodeId> final_batch;
+  std::vector<NodeId> still_pending;
+  for (NodeId x : pending_) {
+    if (doc_->subtree_end(x) <= v_next) {
+      final_batch.push_back(x);
+    } else {
+      still_pending.push_back(x);
+    }
+  }
+  pending_ = std::move(still_pending);
+
+  // Within the settled batch, the batch reduction applies as usual; across
+  // batches a shallow candidate may settle after a descendant was already
+  // emitted — the binary search below catches exactly that case (emitted_
+  // is ascending, and x is an ancestor of some emitted SLCA iff the first
+  // emitted id >= x lies inside x's subtree interval).
+  for (NodeId x : RemoveAncestors(*doc_, final_batch)) {
+    auto it = std::lower_bound(emitted_.begin(), emitted_.end(), x);
+    if (it != emitted_.end() && *it < doc_->subtree_end(x)) continue;
+    emitted_.push_back(x);
+    out->push_back(x);
+  }
+  return true;
+}
+
 std::vector<NodeId> ComputeSlcaBySubtreeCounts(
     const IndexedDocument& doc, const std::vector<const PostingList*>& lists) {
   assert(!lists.empty());

@@ -173,6 +173,13 @@ std::vector<ItemInstances> FindItemInstancesPartitioned(
 Selection SelectInstancesGreedy(const IndexedDocument& doc, NodeId result_root,
                                 const std::vector<ItemInstances>& instances,
                                 const SelectorOptions& options) {
+  return SelectInstancesGreedy(doc, result_root, instances, options, nullptr);
+}
+
+Selection SelectInstancesGreedy(const IndexedDocument& doc, NodeId result_root,
+                                const std::vector<ItemInstances>& instances,
+                                const SelectorOptions& options,
+                                GreedyTrace* trace) {
   // One tree set per thread, reused across selections: Reset is O(1) via
   // the epoch stamp, so a batch generating thousands of snippets allocates
   // the membership array once per worker instead of once per result.
@@ -181,10 +188,43 @@ Selection SelectInstancesGreedy(const IndexedDocument& doc, NodeId result_root,
   Selection selection;
   selection.covered.assign(instances.size(), false);
 
+  const bool record = trace != nullptr && !options.stop_on_first_overflow;
+  const bool warm =
+      record && trace->valid && trace->items.size() == instances.size();
+  if (record && !warm) {
+    trace->valid = false;
+    trace->items.assign(instances.size(), GreedyTrace::Item{});
+  }
+
   std::vector<NodeId> path;
   std::vector<NodeId> best_path;
-  for (size_t i = 0; i < instances.size(); ++i) {
+  size_t i = 0;
+  if (warm) {
+    // Replayable prefix: while the accept/reject decisions match the
+    // recorded run, the tree evolves identically, so each recorded
+    // cheapest path is exactly what fresh ConnectCost scans would find.
+    // The entry where the decision first flips is itself still valid (its
+    // tree prefix matched) — apply the new decision with the recorded
+    // path, then scan from the next item on, since later entries recorded
+    // a tree this run no longer builds.
+    for (; i < instances.size(); ++i) {
+      GreedyTrace::Item& item = trace->items[i];
+      const bool accept = item.best_cost != SIZE_MAX &&
+                          tree.edges() + item.best_cost <= options.size_bound;
+      if (accept) {
+        tree.Commit(item.best_path);
+        selection.covered[i] = true;
+      }
+      if (accept != item.accepted) {
+        item.accepted = accept;
+        ++i;
+        break;
+      }
+    }
+  }
+  for (; i < instances.size(); ++i) {
     size_t best_cost = SIZE_MAX;
+    best_path.clear();
     for (NodeId inst : instances[i].nodes) {
       size_t cost = tree.ConnectCost(inst, &path);
       if (cost < best_cost) {  // ties: first in document order wins
@@ -193,14 +233,21 @@ Selection SelectInstancesGreedy(const IndexedDocument& doc, NodeId result_root,
         if (cost == 0) break;  // cannot do better
       }
     }
-    if (best_cost == SIZE_MAX) continue;  // item has no instance
-    if (tree.edges() + best_cost <= options.size_bound) {
-      tree.Commit(best_path);
-      selection.covered[i] = true;
-    } else if (options.stop_on_first_overflow) {
-      break;
+    bool accepted = false;
+    if (best_cost != SIZE_MAX) {  // items without instances are skipped
+      if (tree.edges() + best_cost <= options.size_bound) {
+        tree.Commit(best_path);
+        selection.covered[i] = true;
+        accepted = true;
+      } else if (options.stop_on_first_overflow) {
+        break;
+      }
+    }
+    if (record) {
+      trace->items[i] = GreedyTrace::Item{best_cost, best_path, accepted};
     }
   }
+  if (record) trace->valid = true;
   selection.nodes = tree.SortedMembers();
   return selection;
 }

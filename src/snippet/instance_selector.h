@@ -105,6 +105,47 @@ Selection SelectInstancesGreedy(const IndexedDocument& doc, NodeId result_root,
                                 const std::vector<ItemInstances>& instances,
                                 const SelectorOptions& options);
 
+/// \brief Memoized decision trace of one greedy run — the selector
+/// warm-start state.
+///
+/// Greedy's per-item choice (the cheapest instance and its connect path)
+/// depends only on the tree built so far, which in turn depends only on
+/// the accept/reject decisions of earlier items — never on the budget
+/// directly. A re-selection that differs only in
+/// SelectorOptions::size_bound (the shell regenerating a page at a new
+/// size) can therefore replay the recorded paths with zero ConnectCost
+/// scans up to the first item whose accept decision flips under the new
+/// budget, and only scans from the item after it.
+struct GreedyTrace {
+  struct Item {
+    /// Marginal cost of the cheapest instance (SIZE_MAX: no instance).
+    size_t best_cost = SIZE_MAX;
+    /// Connect path of that instance (the nodes ConnectCost found missing
+    /// from the tree at decision time).
+    std::vector<NodeId> best_path;
+    /// The accept decision of the recorded run, under its budget.
+    bool accepted = false;
+  };
+  std::vector<Item> items;
+  /// True once a run has been recorded.
+  bool valid = false;
+};
+
+/// \brief SelectInstancesGreedy with warm-start memoization: replays
+/// `trace` while its decisions still hold under `options`, falls back to
+/// fresh scans from the first divergence, and records the run back into
+/// the trace. Byte-identical output to the cold overload for every input.
+///
+/// `trace` must always describe the same (doc, result_root, instances)
+/// triple — key it like the instance scans (see
+/// SnippetContext::SelectorMemoFor) — and must not be used concurrently.
+/// options.stop_on_first_overflow forces a cold, unrecorded run (its early
+/// break truncates the trace); a null trace degrades to the cold overload.
+Selection SelectInstancesGreedy(const IndexedDocument& doc, NodeId result_root,
+                                const std::vector<ItemInstances>& instances,
+                                const SelectorOptions& options,
+                                GreedyTrace* trace);
+
 /// \brief Exact maximum coverage by branch-and-bound (small inputs only —
 /// the problem is NP-hard; practical for ~12 items with a handful of
 /// instances each). Maximizes covered count; ties prefer fewer edges, then

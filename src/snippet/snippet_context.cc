@@ -199,6 +199,19 @@ const std::vector<ItemInstances>& SnippetContext::InstancesFor(
   return it->second;
 }
 
+SnippetContext::SelectorMemo& SnippetContext::SelectorMemoFor(
+    NodeId result_root, const IList& ilist) {
+  const std::pair<NodeId, uint64_t> cache_key(result_root,
+                                              FingerprintIList(ilist));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = selector_memos_.find(cache_key);
+  if (it == selector_memos_.end()) {
+    it = selector_memos_.emplace(cache_key, std::make_unique<SelectorMemo>())
+             .first;
+  }
+  return *it->second;
+}
+
 SnippetContext::CacheStats SnippetContext::statistics_cache() const {
   std::lock_guard<std::mutex> lock(mu_);
   return statistics_stats_;

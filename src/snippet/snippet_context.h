@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -84,6 +85,19 @@ class SnippetContext {
   const std::vector<ItemInstances>& InstancesFor(NodeId result_root,
                                                  const IList& ilist);
 
+  /// \brief Selector warm-start state, keyed like InstancesFor: the greedy
+  /// decision trace recorded by the last selection of this (root, IList)
+  /// pair, replayed when only the size bound changed (the shell
+  /// regenerating a page at a new bound pays zero ConnectCost scans until
+  /// the first decision flip). The reference stays valid for the context's
+  /// lifetime. Callers hold `mu` across the SelectInstancesGreedy call
+  /// that uses `trace` — the trace itself is not thread-safe.
+  struct SelectorMemo {
+    std::mutex mu;
+    GreedyTrace trace;
+  };
+  SelectorMemo& SelectorMemoFor(NodeId result_root, const IList& ilist);
+
   /// Cache effectiveness counters (for tests and the benchmarks).
   struct CacheStats {
     size_t hits = 0;
@@ -132,6 +146,9 @@ class SnippetContext {
   std::map<NodeId, ResultKeyInfo> result_keys_;
   std::map<std::pair<NodeId, uint64_t>, std::vector<ItemInstances>>
       instances_;
+  /// unique_ptr: SelectorMemo owns a mutex, so nodes must never move.
+  std::map<std::pair<NodeId, uint64_t>, std::unique_ptr<SelectorMemo>>
+      selector_memos_;
   CacheStats statistics_stats_;
   CacheStats instances_stats_;
   /// Observability only: internally synchronized, never affects results.

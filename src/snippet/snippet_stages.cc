@@ -1,5 +1,7 @@
 #include "snippet/snippet_stages.h"
 
+#include <mutex>
+
 namespace extract {
 
 namespace {
@@ -74,12 +76,20 @@ Status InstanceSelectionStage::Run(SnippetContext& ctx,
   SelectorOptions selector_options;
   selector_options.size_bound = options.size_bound;
   selector_options.stop_on_first_overflow = options.stop_on_first_overflow;
-  draft.selection =
-      options.use_exact_selector
-          ? SelectInstancesExact(db.index(), draft.result->root,
-                                 *draft.instances, selector_options)
-          : SelectInstancesGreedy(db.index(), draft.result->root,
-                                  *draft.instances, selector_options);
+  if (options.use_exact_selector) {
+    draft.selection = SelectInstancesExact(db.index(), draft.result->root,
+                                           *draft.instances, selector_options);
+  } else {
+    // Warm-start through the context: re-selections of the same (root,
+    // IList) at a new size bound replay the recorded decision trace
+    // instead of re-scanning instances (instance_selector.h, GreedyTrace).
+    SnippetContext::SelectorMemo& memo =
+        ctx.SelectorMemoFor(draft.result->root, draft.snippet.ilist);
+    std::lock_guard<std::mutex> lock(memo.mu);
+    draft.selection =
+        SelectInstancesGreedy(db.index(), draft.result->root, *draft.instances,
+                              selector_options, &memo.trace);
+  }
   draft.snippet.nodes = draft.selection.nodes;
   draft.snippet.covered = draft.selection.covered;
   return Status::OK();

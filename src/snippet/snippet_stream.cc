@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <mutex>
@@ -31,6 +32,25 @@ struct SnippetStreamState {
 
   std::atomic<size_t> cursor{0};
   std::atomic<bool> cancelled{false};
+
+  /// Upstream gate (incremental top-k serving; see StreamGate). Ungated
+  /// streams keep the defaults, which make every pending slot claimable —
+  /// the historical behaviour, bit for bit.
+  ///
+  /// `released` is the claimable prefix length of `pending` (SIZE_MAX =
+  /// ungated); the coordinator stores with release order after writing the
+  /// slot's page entry, and claimers load with acquire, so a claimed slot
+  /// always sees its input. `pending_limit` is the effective pending count
+  /// (shrunk by CompleteUpstream). On upstream failure the unreleased
+  /// slots are still claimed normally but emit `upstream_status` instead
+  /// of computing — claim-once discipline guarantees exactly one event per
+  /// slot even when cancellation races the failure.
+  std::atomic<size_t> released{SIZE_MAX};
+  std::atomic<size_t> pending_limit{SIZE_MAX};
+  std::atomic<bool> upstream_failed{false};
+  std::atomic<bool> upstream_done{false};  ///< no more advance() calls
+  Status upstream_status;  ///< written once before upstream_failed releases
+  std::function<bool()> advance;
 
   std::mutex mu;
   std::condition_variable ready_cv;
@@ -71,15 +91,51 @@ struct SnippetStreamState {
     ready_cv.notify_all();
   }
 
+  /// Claimable pending-index limit as of now: gated streams stop at the
+  /// released watermark, except that cancellation and upstream failure
+  /// extend claims to every remaining slot (each resolves as a cancelled /
+  /// upstream-error event without computing).
+  size_t ClaimLimit() const {
+    size_t limit = pending_limit.load(std::memory_order_acquire);
+    if (!cancelled.load(std::memory_order_acquire) &&
+        !upstream_failed.load(std::memory_order_acquire)) {
+      limit = std::min(limit, released.load(std::memory_order_acquire));
+    }
+    return limit;
+  }
+
+  bool HasClaimableSlot() const {
+    return cursor.load(std::memory_order_relaxed) < ClaimLimit();
+  }
+
+  /// Invokes the upstream hook once. False when the stream has no upstream
+  /// or the upstream already finished.
+  bool AdvanceUpstream() {
+    if (!advance) return false;
+    if (upstream_done.load(std::memory_order_acquire)) return false;
+    return advance();
+  }
+
   /// Claims and finishes one pending slot: computed, or resolved as
-  /// cancelled / deadline-expired without touching `compute`. Returns false
-  /// when no claims remain.
+  /// cancelled / deadline-expired / upstream-failed without touching
+  /// `compute`. Returns false when no claims remain.
   bool RunOneSlot() {
-    const size_t k = cursor.fetch_add(1, std::memory_order_relaxed);
-    if (k >= pending.size()) return false;
+    size_t k = cursor.load(std::memory_order_relaxed);
+    for (;;) {
+      if (k >= ClaimLimit()) return false;
+      if (cursor.compare_exchange_weak(k, k + 1,
+                                       std::memory_order_acq_rel)) {
+        break;
+      }
+    }
     const size_t slot = pending[k];
     if (cancelled.load(std::memory_order_acquire)) {
       Emit(slot, Status::Cancelled("snippet stream cancelled"));
+      return true;
+    }
+    if (upstream_failed.load(std::memory_order_acquire) &&
+        k >= released.load(std::memory_order_acquire)) {
+      Emit(slot, upstream_status);
       return true;
     }
     if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
@@ -127,12 +183,15 @@ std::optional<SnippetEvent> SnippetStream::Next() {
     }
     // Nothing ready: produce a slot ourselves rather than blocking — the
     // work-conserving step that keeps collectors deadlock-free on a
-    // saturated pool. Only when every slot is claimed (all in flight on
-    // other threads, or pre-resolved) do we actually wait.
-    if (!s.RunOneSlot()) {
+    // saturated pool. On a gated stream with no claimable slot, drive the
+    // upstream search a step instead (the consumer doubles as the search
+    // worker). Only when every claimable slot is in flight elsewhere and
+    // the upstream is finished do we actually wait.
+    if (!s.RunOneSlot() && !s.AdvanceUpstream()) {
       std::unique_lock<std::mutex> lock(s.mu);
       s.ready_cv.wait(lock, [&s] {
-        return !s.ready.empty() || s.delivered == s.total;
+        return !s.ready.empty() || s.delivered == s.total ||
+               s.HasClaimableSlot();
       });
     }
   }
@@ -229,6 +288,15 @@ ServingSession StreamBuilder::Open() && {
   state->compute = std::move(compute);
   state->pending = std::move(pending);
   state->stats.total_slots = total_slots;
+  state->pending_limit.store(state->pending.size(),
+                             std::memory_order_relaxed);
+  if (advance) {
+    // Gated: nothing claimable until the upstream releases it. Bind the
+    // gate before any producer can run.
+    state->advance = std::move(advance);
+    state->released.store(0, std::memory_order_relaxed);
+    if (gate != nullptr) gate->state_ = state;
+  }
 
   // Pre-resolved slots (cache hits) are live before any producer exists —
   // a fully warm stream never touches the pool at all.
@@ -253,13 +321,62 @@ ServingSession StreamBuilder::Open() && {
     session.group_ = std::make_unique<TaskGroup>(&SharedThreadPool());
     for (size_t w = 0; w + 1 < width; ++w) {
       session.group_->Submit([state] {
-        while (!state->cancelled.load(std::memory_order_acquire) &&
-               state->RunOneSlot()) {
+        // Work-conserving helper: compute a claimable slot, else drive the
+        // upstream (gated streams), else retire.
+        for (;;) {
+          if (state->cancelled.load(std::memory_order_acquire)) break;
+          if (state->RunOneSlot()) continue;
+          if (state->AdvanceUpstream()) continue;
+          break;
         }
       });
     }
   }
   return session;
+}
+
+void StreamGate::ReleaseSlots(size_t n) {
+  if (state_ == nullptr || n == 0) return;
+  state_->released.fetch_add(n, std::memory_order_release);
+  // Wake a consumer waiting for claimable work. The empty critical section
+  // orders the notify against the predicate check.
+  { std::lock_guard<std::mutex> lock(state_->mu); }
+  state_->ready_cv.notify_all();
+}
+
+void StreamGate::CompleteUpstream(size_t produced) {
+  if (state_ == nullptr) return;
+  internal::SnippetStreamState& s = *state_;
+  s.upstream_done.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const size_t limit = s.pending_limit.load(std::memory_order_relaxed);
+    if (produced < limit) {
+      // The planned-but-never-produced slots simply do not exist: shrink
+      // the stream so consumers finish after the produced ones. (The
+      // slot-order reorder buffer keeps its original size; indices below
+      // the new total stay valid.)
+      s.total -= limit - produced;
+      s.stats.total_slots = s.total;
+      s.pending_limit.store(produced, std::memory_order_release);
+    }
+  }
+  s.ready_cv.notify_all();
+}
+
+void StreamGate::FailUpstream(Status status) {
+  if (state_ == nullptr) return;
+  internal::SnippetStreamState& s = *state_;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.upstream_status = std::move(status);
+  }
+  s.upstream_failed.store(true, std::memory_order_release);
+  s.upstream_done.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+  }
+  s.ready_cv.notify_all();
 }
 
 void MergeStreamStats(const StreamStats& stats, StageStatsRegistry& registry) {

@@ -113,6 +113,42 @@ struct StreamStats {
   uint64_t first_snippet_ns = 0;
 };
 
+/// \brief Producer-side control of a gated stream — the handle an upstream
+/// producer (the incremental top-k search coordinator, search/corpus.h)
+/// uses to feed slots into a live stream.
+///
+/// A gated stream starts with zero claimable slots; the upstream releases
+/// them one by one as it settles what each slot contains (the page entry
+/// must be fully written before ReleaseSlots — the release/acquire pair on
+/// the watermark publishes it to producers). CompleteUpstream ends the
+/// stream early when fewer slots than planned exist; FailUpstream resolves
+/// every unreleased slot with the upstream's error, so consumers always
+/// see exactly total_slots events. All methods are thread-safe; on an
+/// ungated stream the handle is empty and every call is a no-op.
+class StreamGate {
+ public:
+  StreamGate() = default;
+
+  /// Marks the next `n` pending slots claimable. Their inputs must be
+  /// fully written before the call.
+  void ReleaseSlots(size_t n);
+
+  /// Declares the upstream finished with only `produced` slots released:
+  /// the stream's total shrinks so consumers terminate after them.
+  void CompleteUpstream(size_t produced);
+
+  /// Declares the upstream failed after releasing some slots: every
+  /// unreleased slot emits an event carrying `status` (the stream still
+  /// delivers total_slots events).
+  void FailUpstream(Status status);
+
+  explicit operator bool() const { return state_ != nullptr; }
+
+ private:
+  friend struct StreamBuilder;
+  std::shared_ptr<internal::SnippetStreamState> state_;
+};
+
 /// \brief Consumer handle of one slot-completion stream.
 ///
 /// Exactly one consumer thread may call Next / ForEach / Collect; Cancel
@@ -217,6 +253,20 @@ struct StreamBuilder {
   /// Stats merge hook, run once when the session is destroyed (after all
   /// producers finished). May reference `payload`'s pointee.
   std::function<void(const StreamStats&)> on_finish;
+
+  /// \brief Upstream gate (incremental top-k serving). When `advance` is
+  /// set the stream opens gated: pending slots are claimable only below
+  /// the watermark `gate` controls, and any producer (or the consumer)
+  /// that finds no claimable slot invokes `advance` to drive the upstream
+  /// one step instead of blocking — so the search runs on whichever
+  /// thread has nothing better to do, and a saturated pool still makes
+  /// progress. `advance` returns false only once the upstream is finished
+  /// (it must eventually call CompleteUpstream or FailUpstream on the
+  /// gate); it may block briefly (e.g. on the upstream's mutex) but must
+  /// not wait on stream consumption. `gate` (required with `advance`) is
+  /// bound to the stream's state by Open, before any producer starts.
+  std::function<bool()> advance;
+  StreamGate* gate = nullptr;
 
   /// Emits `ready`, then starts up to num_threads - 1 pool producers for
   /// `pending` (none when the caller is already inside a parallel region —

@@ -1,0 +1,660 @@
+// Incremental top-k search must be indistinguishable from blocking search
+// truncated to k: identical pages (documents, roots, bitwise-equal scores)
+// for every k/thread/partition configuration and across repeated runs,
+// identical error reporting when producers fail mid-enumeration, and sound
+// monotone shard bounds — while actually terminating early on skewed
+// corpora. Also covers the RankResults top-k fast path, the selector
+// warm-start trace, and page-gated ServeQuery streaming. Run under
+// ThreadSanitizer in CI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datagen/movies_dataset.h"
+#include "datagen/random_xml.h"
+#include "datagen/retailer_dataset.h"
+#include "datagen/stores_dataset.h"
+#include "search/corpus.h"
+#include "search/ranking.h"
+#include "snippet/instance_selector.h"
+#include "snippet/snippet_tree.h"
+
+namespace extract {
+namespace {
+
+// Demo data sets plus synthetic documents, several loaded with a fine
+// partition grid so the incremental enumerator actually runs chunked.
+XmlCorpus MakeWideCorpus() {
+  XmlCorpus corpus;
+  LoadOptions partitioned;
+  partitioned.partitioning.target_nodes_per_partition = 64;
+  EXPECT_TRUE(
+      corpus.AddDocument("retailer", GenerateRetailerXml(), partitioned).ok());
+  EXPECT_TRUE(corpus.AddDocument("stores", GenerateStoresXml(), partitioned)
+                  .ok());
+  EXPECT_TRUE(corpus.AddDocument("movies", GenerateMoviesXml()).ok());
+  for (int d = 0; d < 5; ++d) {
+    RandomXmlOptions options;
+    options.levels = 2;
+    options.entities_per_parent = 6;
+    options.seed = 1000 + d;
+    EXPECT_TRUE(corpus
+                    .AddDocument("random" + std::to_string(d),
+                                 GenerateRandomXml(options).xml)
+                    .ok());
+  }
+  return corpus;
+}
+
+void ExpectSamePage(const std::vector<CorpusResult>& expected,
+                    const std::vector<CorpusResult>& actual,
+                    const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].document, actual[i].document)
+        << label << " hit " << i;
+    EXPECT_EQ(expected[i].result.root, actual[i].result.root)
+        << label << " hit " << i;
+    // Bitwise double equality: both paths run the identical per-document
+    // scoring computation, so even the last ulp must match.
+    EXPECT_EQ(expected[i].score, actual[i].score) << label << " hit " << i;
+  }
+}
+
+std::vector<CorpusResult> Prefix(const std::vector<CorpusResult>& page,
+                                 size_t k) {
+  std::vector<CorpusResult> out(page.begin(),
+                                page.begin() + std::min(k, page.size()));
+  return out;
+}
+
+TEST(TopKSearchTest, MatchesBlockingPrefixAcrossConfigurations) {
+  XmlCorpus corpus = MakeWideCorpus();
+  XSeekEngine engine;
+  const char* queries[] = {"texas", "texas store", "drama", "v1_0 v1_1"};
+
+  CorpusServingOptions sequential;
+  sequential.search_threads = 1;
+
+  for (const char* text : queries) {
+    Query query = Query::Parse(text);
+    auto full = corpus.SearchAll(query, engine, RankingOptions{}, sequential);
+    ASSERT_TRUE(full.ok()) << full.status();
+    for (size_t k : {size_t{1}, size_t{3}, size_t{5}, size_t{10},
+                     size_t{1000}}) {
+      for (size_t threads : {size_t{0}, size_t{1}, size_t{2}, size_t{4},
+                             size_t{8}}) {
+        CorpusServingOptions serving;
+        serving.search_threads = threads;
+        for (int run = 0; run < 2; ++run) {  // repeated runs: no schedule dep
+          TopKSearchStats stats;
+          auto page = corpus.SearchTopK(query, engine, RankingOptions{},
+                                        serving, k, &stats);
+          ASSERT_TRUE(page.ok()) << page.status();
+          ExpectSamePage(Prefix(*full, k), *page,
+                         std::string(text) + " k=" + std::to_string(k) +
+                             " threads=" + std::to_string(threads) + " run=" +
+                             std::to_string(run));
+          EXPECT_TRUE(stats.finished);
+          EXPECT_EQ(stats.results_released, std::min(k, full->size()));
+          EXPECT_LE(stats.candidates_scored, stats.candidates_total);
+        }
+      }
+    }
+  }
+}
+
+TEST(TopKSearchTest, MatchesBlockingWithEngineMaxResults) {
+  XmlCorpus corpus = MakeWideCorpus();
+  SearchOptions options;
+  options.max_results = 3;
+  XSeekEngine engine(options);
+  Query query = Query::Parse("texas store");
+  CorpusServingOptions sequential;
+  sequential.search_threads = 1;
+  auto full = corpus.SearchAll(query, engine, RankingOptions{}, sequential);
+  ASSERT_TRUE(full.ok()) << full.status();
+  for (size_t k : {size_t{2}, size_t{5}, size_t{100}}) {
+    auto page = corpus.SearchTopK(query, engine, RankingOptions{},
+                                  CorpusServingOptions{}, k);
+    ASSERT_TRUE(page.ok()) << page.status();
+    ExpectSamePage(Prefix(*full, k), *page, "max_results k=" +
+                                                std::to_string(k));
+  }
+}
+
+TEST(TopKSearchTest, ZeroKAndEmptyCorpus) {
+  XmlCorpus corpus = MakeWideCorpus();
+  XSeekEngine engine;
+  auto page = corpus.SearchTopK(Query::Parse("texas"), engine,
+                                RankingOptions{}, CorpusServingOptions{}, 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(page->empty());
+
+  XmlCorpus empty;
+  auto empty_page = empty.SearchTopK(Query::Parse("texas"), engine,
+                                     RankingOptions{}, CorpusServingOptions{},
+                                     5);
+  ASSERT_TRUE(empty_page.ok());
+  EXPECT_TRUE(empty_page->empty());
+}
+
+// ------------------------------------------------------------ skew / bounds
+
+// A corpus where a few deep "hot" documents dominate the ranking and many
+// shallow "cold" documents each contain the keywords exactly once: every
+// cold document's score upper bound (~ depth + 1 + 2) sits far below the
+// hot hits' scores (~ 9+), so the threshold merge must settle the page
+// without ever pulling a cold producer.
+std::string HotDocumentXml(int products) {
+  std::string xml = "<site><a><b><c><d><e><f>";
+  for (int i = 0; i < products; ++i) {
+    xml +=
+        "<product><name>alpha alpha alpha</name>"
+        "<desc>beta beta beta</desc></product>";
+  }
+  xml += "</f></e></d></c></b></a></site>";
+  return xml;
+}
+
+std::string ColdDocumentXml() {
+  return "<site><x>alpha</x><y>beta</y></site>";
+}
+
+TEST(TopKSearchTest, EarlyTerminationOnSkewedCorpus) {
+  XmlCorpus corpus;
+  ASSERT_TRUE(corpus.AddDocument("hot_a", HotDocumentXml(4)).ok());
+  ASSERT_TRUE(corpus.AddDocument("hot_b", HotDocumentXml(4)).ok());
+  for (int d = 0; d < 12; ++d) {
+    ASSERT_TRUE(
+        corpus.AddDocument("cold" + std::to_string(d), ColdDocumentXml())
+            .ok());
+  }
+  XSeekEngine engine;
+  Query query = Query::Parse("alpha beta");
+  // Pin the pull width: the no-front descent pulls up to `search_threads`
+  // highest-bound producers, and an unpinned width on a many-core machine
+  // could cover the whole corpus in the very first round.
+  CorpusServingOptions serving;
+  serving.search_threads = 2;
+  CorpusServingOptions sequential;
+  sequential.search_threads = 1;
+
+  auto full = corpus.SearchAll(query, engine, RankingOptions{}, sequential);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_GE(full->size(), 8u);
+
+  const size_t k = 5;
+  TopKSearchStats stats;
+  auto page = corpus.SearchTopK(query, engine, RankingOptions{}, serving, k,
+                                &stats);
+  ASSERT_TRUE(page.ok()) << page.status();
+  ExpectSamePage(Prefix(*full, k), *page, "skewed corpus");
+
+  EXPECT_TRUE(stats.finished);
+  EXPECT_TRUE(stats.early_terminated);
+  EXPECT_EQ(stats.results_released, k);
+  EXPECT_EQ(stats.producers, corpus.size());
+  // The oracle: early termination did real work-skipping — the cold
+  // documents' candidates were never scanned.
+  EXPECT_LT(stats.candidates_scored, stats.candidates_total);
+  EXPECT_GT(stats.first_result_ns, 0u);
+
+  // The search-phase breakdown landed in the corpus stage stats.
+  bool saw_enumerate = false;
+  bool saw_merge = false;
+  for (const StageStat& stat : corpus.StageStatsSnapshot()) {
+    if (stat.name == "search.enumerate") saw_enumerate = true;
+    if (stat.name == "search.merge") saw_merge = true;
+  }
+  EXPECT_TRUE(saw_enumerate);
+  EXPECT_TRUE(saw_merge);
+}
+
+TEST(TopKSearchTest, ProducerBoundIsMonotoneAndSound) {
+  LoadOptions load;
+  load.partitioning.target_nodes_per_partition = 64;
+  auto db = XmlDatabase::Load(GenerateStoresXml(), load);
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_GT(db->partitions().count(), 1u);
+
+  XSeekEngine engine;
+  RankingOptions ranking;
+  Query query = Query::Parse("texas store");
+  auto opened = engine.OpenIncremental(*db, query, ranking, 0);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  ResultProducer& producer = **opened;
+
+  EXPECT_EQ(producer.candidates_scored(), 0u);
+  std::vector<RankedResult> all;
+  double prev_bound = std::numeric_limits<double>::infinity();
+  size_t pulls = 0;
+  while (!producer.Exhausted()) {
+    const double bound = producer.ScoreUpperBound();
+    EXPECT_LE(bound, prev_bound) << "bound increased at pull " << pulls;
+    std::vector<RankedResult> chunk;
+    ASSERT_TRUE(producer.Pull(&chunk).ok());
+    for (const RankedResult& r : chunk) {
+      // Soundness: nothing a pull emits may beat the bound advertised
+      // immediately before it.
+      EXPECT_LE(r.score, bound) << "root " << r.result.root;
+      all.push_back(r);
+    }
+    prev_bound = bound;
+    ++pulls;
+  }
+  EXPECT_GT(pulls, 1u) << "partitioned document should need several pulls";
+  EXPECT_EQ(producer.ScoreUpperBound(),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(producer.candidates_scored(), producer.candidates_total());
+
+  // The union of all pulls is exactly the blocking search, scored.
+  auto searched = engine.Search(*db, query);
+  ASSERT_TRUE(searched.ok());
+  std::vector<RankedResult> expected = RankResults(*db, *searched, ranking);
+  ASSERT_EQ(expected.size(), all.size());
+  auto by_root = [](const RankedResult& a, const RankedResult& b) {
+    return a.result.root < b.result.root;
+  };
+  std::sort(expected.begin(), expected.end(), by_root);
+  std::sort(all.begin(), all.end(), by_root);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].result.root, all[i].result.root);
+    EXPECT_EQ(expected[i].result.slca, all[i].result.slca);
+    EXPECT_EQ(expected[i].result.matches, all[i].result.matches);
+    EXPECT_EQ(expected[i].score, all[i].score);
+  }
+}
+
+// --------------------------------------------------------------- failures
+
+// Fails the blocking Search for chosen documents; its default-adapter
+// incremental producer (+infinity bound until the first pull) surfaces the
+// same error mid-merge, so the coordinator's parity drain is exercised.
+class FailingEngine : public SearchEngine {
+ public:
+  FailingEngine(const XmlCorpus& corpus, std::vector<std::string> fail_docs) {
+    for (const std::string& name : fail_docs) {
+      fail_dbs_.push_back(corpus.Find(name));
+    }
+  }
+
+  Result<std::vector<QueryResult>> Search(const XmlDatabase& db,
+                                          const Query& query) const override {
+    for (const XmlDatabase* fail : fail_dbs_) {
+      if (fail == &db) {
+        return Status::Internal("engine exploded on this shard");
+      }
+    }
+    return inner_.Search(db, query);
+  }
+
+ private:
+  XSeekEngine inner_;
+  std::vector<const XmlDatabase*> fail_dbs_;
+};
+
+// Delegates a few pulls to the real incremental producer, then fails with
+// the same error its blocking Search reports — a mid-enumeration failure
+// after genuine results were already buffered.
+class MidStreamFailProducer : public ResultProducer {
+ public:
+  MidStreamFailProducer(std::unique_ptr<ResultProducer> inner,
+                        size_t pulls_before_fail, Status failure)
+      : inner_(std::move(inner)),
+        pulls_before_fail_(pulls_before_fail),
+        failure_(std::move(failure)) {}
+
+  Status Pull(std::vector<RankedResult>* out) override {
+    if (pulls_ < pulls_before_fail_) {
+      ++pulls_;
+      return inner_->Pull(out);
+    }
+    return failure_;
+  }
+  bool Exhausted() const override { return false; }
+  double ScoreUpperBound() const override {
+    return std::numeric_limits<double>::infinity();
+  }
+  size_t candidates_total() const override {
+    return inner_->candidates_total();
+  }
+  size_t candidates_scored() const override {
+    return inner_->candidates_scored();
+  }
+
+ private:
+  std::unique_ptr<ResultProducer> inner_;
+  size_t pulls_ = 0;
+  size_t pulls_before_fail_;
+  Status failure_;
+};
+
+// Fails chosen documents mid-enumeration (incremental) and up front
+// (blocking) with the same status — the shapes the parity contract equates.
+class MidStreamFailEngine : public SearchEngine {
+ public:
+  MidStreamFailEngine(const XmlCorpus& corpus,
+                      std::vector<std::string> fail_docs, bool fail_at_open)
+      : fail_at_open_(fail_at_open) {
+    for (const std::string& name : fail_docs) {
+      fail_dbs_.push_back(corpus.Find(name));
+    }
+  }
+
+  Result<std::vector<QueryResult>> Search(const XmlDatabase& db,
+                                          const Query& query) const override {
+    if (Fails(db)) return Failure();
+    return inner_.Search(db, query);
+  }
+
+  Result<std::unique_ptr<ResultProducer>> OpenIncremental(
+      const XmlDatabase& db, const Query& query, const RankingOptions& ranking,
+      size_t top_k_hint) const override {
+    auto opened = inner_.OpenIncremental(db, query, ranking, top_k_hint);
+    if (!opened.ok()) return opened;
+    if (!Fails(db)) return opened;
+    if (fail_at_open_) return Failure();
+    return Result<std::unique_ptr<ResultProducer>>(
+        std::make_unique<MidStreamFailProducer>(std::move(*opened), 1,
+                                                Failure()));
+  }
+
+ private:
+  bool Fails(const XmlDatabase& db) const {
+    for (const XmlDatabase* fail : fail_dbs_) {
+      if (fail == &db) return true;
+    }
+    return false;
+  }
+  static Status Failure() {
+    return Status::Internal("engine exploded mid-enumeration");
+  }
+
+  XSeekEngine inner_;
+  std::vector<const XmlDatabase*> fail_dbs_;
+  bool fail_at_open_;
+};
+
+void ExpectSameError(const Status& expected, const Status& actual,
+                     const std::string& label) {
+  ASSERT_FALSE(actual.ok()) << label;
+  EXPECT_EQ(expected.code(), actual.code()) << label;
+  EXPECT_EQ(expected.message(), actual.message()) << label;
+}
+
+TEST(TopKSearchTest, FailureReportsSequentialError) {
+  XmlCorpus corpus = MakeWideCorpus();
+  Query query = Query::Parse("texas");
+  CorpusServingOptions sequential;
+  sequential.search_threads = 1;
+
+  const std::vector<std::vector<std::string>> failure_sets = {
+      {"random2"},
+      {"movies"},
+      {"stores", "random0", "retailer"},
+  };
+  for (const auto& fail_docs : failure_sets) {
+    // Three failure shapes: the default blocking adapter, a producer that
+    // fails after buffering real results, and OpenIncremental failing
+    // outright — all must report what the sequential loop reports.
+    FailingEngine adapter_engine(corpus, fail_docs);
+    MidStreamFailEngine mid_engine(corpus, fail_docs, /*fail_at_open=*/false);
+    MidStreamFailEngine open_engine(corpus, fail_docs, /*fail_at_open=*/true);
+    const SearchEngine* engines[] = {&adapter_engine, &mid_engine,
+                                     &open_engine};
+    const char* labels[] = {"adapter", "mid-stream", "open"};
+    for (size_t e = 0; e < 3; ++e) {
+      auto expected = corpus.SearchAll(query, *engines[e], RankingOptions{},
+                                       sequential);
+      ASSERT_FALSE(expected.ok()) << labels[e];
+      for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+        CorpusServingOptions serving;
+        serving.search_threads = threads;
+        auto page = corpus.SearchTopK(query, *engines[e], RankingOptions{},
+                                      serving, 5);
+        ExpectSameError(expected.status(), page.status(),
+                        std::string(labels[e]) + " threads=" +
+                            std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(TopKSearchTest, EmptyQueryErrorMatchesSequential) {
+  XmlCorpus corpus = MakeWideCorpus();
+  XSeekEngine engine;
+  CorpusServingOptions sequential;
+  sequential.search_threads = 1;
+  auto expected =
+      corpus.SearchAll(Query{}, engine, RankingOptions{}, sequential);
+  ASSERT_FALSE(expected.ok());
+  auto page = corpus.SearchTopK(Query{}, engine, RankingOptions{},
+                                CorpusServingOptions{}, 5);
+  ExpectSameError(expected.status(), page.status(), "empty query");
+}
+
+// ------------------------------------------------------ rank-top-k / warm
+
+TEST(TopKSearchTest, RankResultsTopKMatchesFullSort) {
+  auto db = XmlDatabase::Load(HotDocumentXml(8));
+  ASSERT_TRUE(db.ok());
+  XSeekEngine engine;
+  auto searched = engine.Search(*db, Query::Parse("alpha beta"));
+  ASSERT_TRUE(searched.ok());
+  ASSERT_GT(searched->size(), 3u);
+  RankingOptions ranking;
+  std::vector<RankedResult> full = RankResults(*db, *searched, ranking);
+  for (size_t k = 0; k <= searched->size() + 2; ++k) {
+    std::vector<RankedResult> fast = RankResults(*db, *searched, ranking, k);
+    const size_t expect_n =
+        (k == 0 || k >= full.size()) ? full.size() : k;
+    ASSERT_EQ(fast.size(), expect_n) << "k=" << k;
+    for (size_t i = 0; i < expect_n; ++i) {
+      EXPECT_EQ(full[i].result.root, fast[i].result.root) << "k=" << k;
+      EXPECT_EQ(full[i].score, fast[i].score) << "k=" << k;
+    }
+  }
+}
+
+TEST(TopKSearchTest, WarmSelectorMatchesColdAcrossBounds) {
+  auto db = XmlDatabase::Load(GenerateStoresXml());
+  ASSERT_TRUE(db.ok());
+  const IndexedDocument& doc = db->index();
+  const NodeId root = 0;
+
+  // Synthetic items, one instance each, spread over the document — enough
+  // accept/reject flips across bounds to exercise every replay path.
+  std::vector<ItemInstances> instances;
+  for (NodeId id = 1;
+       id < static_cast<NodeId>(doc.num_nodes()) && instances.size() < 12;
+       id += 17) {
+    ItemInstances item;
+    item.nodes.push_back(id);
+    instances.push_back(std::move(item));
+  }
+  ASSERT_GE(instances.size(), 6u);
+
+  GreedyTrace trace;
+  // Ascending, descending, then jumping bounds: the warm run must equal
+  // the cold run at every step, whatever the previous trace recorded.
+  const size_t bounds[] = {0, 2, 4, 6, 8, 10, 20, 10, 8, 4, 2, 0, 20, 0, 6};
+  for (size_t bound : bounds) {
+    SelectorOptions options;
+    options.size_bound = bound;
+    Selection cold = SelectInstancesGreedy(doc, root, instances, options);
+    Selection warm =
+        SelectInstancesGreedy(doc, root, instances, options, &trace);
+    EXPECT_EQ(cold.nodes, warm.nodes) << "bound=" << bound;
+    EXPECT_EQ(cold.covered, warm.covered) << "bound=" << bound;
+    EXPECT_TRUE(trace.valid);
+  }
+
+  // stop_on_first_overflow runs cold (and must not corrupt the trace).
+  SelectorOptions overflow;
+  overflow.size_bound = 4;
+  overflow.stop_on_first_overflow = true;
+  Selection cold = SelectInstancesGreedy(doc, root, instances, overflow);
+  Selection warm = SelectInstancesGreedy(doc, root, instances, overflow,
+                                         &trace);
+  EXPECT_EQ(cold.nodes, warm.nodes);
+  EXPECT_EQ(cold.covered, warm.covered);
+  SelectorOptions after;
+  after.size_bound = 6;
+  EXPECT_EQ(SelectInstancesGreedy(doc, root, instances, after).covered,
+            SelectInstancesGreedy(doc, root, instances, after, &trace).covered);
+}
+
+// ------------------------------------------------------- page-gated serving
+
+void ExpectSameSnippets(const std::vector<Snippet>& expected,
+                        const std::vector<Snippet>& actual,
+                        const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].result_root, actual[i].result_root)
+        << label << " slot " << i;
+    EXPECT_EQ(expected[i].nodes, actual[i].nodes) << label << " slot " << i;
+    EXPECT_EQ(expected[i].covered, actual[i].covered)
+        << label << " slot " << i;
+    EXPECT_EQ(RenderSnippet(expected[i]), RenderSnippet(actual[i]))
+        << label << " slot " << i;
+  }
+}
+
+TEST(TopKSearchTest, PageGatedServeQueryMatchesBlocking) {
+  XmlCorpus corpus = MakeWideCorpus();
+  XSeekEngine engine;
+  Query query = Query::Parse("texas store");
+  SnippetOptions options;
+
+  CorpusServingOptions blocking;
+  blocking.search_threads = 1;
+  auto blocking_stream =
+      corpus.ServeQuery(query, engine, RankingOptions{}, blocking, options,
+                        StreamOptions{});
+  ASSERT_TRUE(blocking_stream.ok()) << blocking_stream.status();
+  const size_t k = std::min<size_t>(4, blocking_stream->page().size());
+  ASSERT_GT(k, 0u);
+  auto blocking_snippets = blocking_stream->stream().Collect();
+  ASSERT_TRUE(blocking_snippets.ok()) << blocking_snippets.status();
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    CorpusServingOptions serving;
+    serving.search_threads = 1;
+    serving.page_size = k;
+    StreamOptions stream;
+    stream.num_threads = threads;
+    stream.order = StreamOrder::kSlot;
+    auto gated = corpus.ServeQuery(query, engine, RankingOptions{}, serving,
+                                   options, stream);
+    ASSERT_TRUE(gated.ok()) << gated.status();
+    auto snippets = gated->stream().Collect();
+    ASSERT_TRUE(snippets.ok()) << snippets.status();
+    // Page identity after drain (the page grows while streaming).
+    ExpectSamePage(Prefix(blocking_stream->page(), k), gated->page(),
+                   "gated page threads=" + std::to_string(threads));
+    std::vector<Snippet> expected;
+    for (size_t i = 0; i < k; ++i) {
+      expected.push_back((*blocking_snippets)[i].Clone());
+    }
+    ExpectSameSnippets(expected, *snippets,
+                       "gated snippets threads=" + std::to_string(threads));
+    TopKSearchStats stats = gated->SearchStats();
+    EXPECT_TRUE(stats.finished);
+    EXPECT_EQ(stats.results_released, k);
+  }
+}
+
+TEST(TopKSearchTest, PageGatedServeQueryWithCacheIsIdentical) {
+  XmlCorpus corpus = MakeWideCorpus();
+  corpus.EnableSnippetCache();
+  XSeekEngine engine;
+  Query query = Query::Parse("texas store");
+  SnippetOptions options;
+  CorpusServingOptions serving;
+  serving.search_threads = 1;
+  serving.page_size = 4;
+  StreamOptions stream;
+  stream.order = StreamOrder::kSlot;
+
+  auto first = corpus.ServeQuery(query, engine, RankingOptions{}, serving,
+                                 options, stream);
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto first_snippets = first->stream().Collect();
+  ASSERT_TRUE(first_snippets.ok()) << first_snippets.status();
+
+  // Second serve: every slot is a cache hit, output byte-identical.
+  auto second = corpus.ServeQuery(query, engine, RankingOptions{}, serving,
+                                  options, stream);
+  ASSERT_TRUE(second.ok()) << second.status();
+  auto second_snippets = second->stream().Collect();
+  ASSERT_TRUE(second_snippets.ok()) << second_snippets.status();
+  ExpectSameSnippets(*first_snippets, *second_snippets, "cached serve");
+  ASSERT_NE(corpus.snippet_cache(), nullptr);
+  EXPECT_GT(corpus.snippet_cache()->Stats().hits, 0u);
+}
+
+TEST(TopKSearchTest, PageGatedServeQueryCancellation) {
+  XmlCorpus corpus = MakeWideCorpus();
+  XSeekEngine engine;
+  Query query = Query::Parse("texas store");
+  CorpusServingOptions serving;
+  serving.search_threads = 1;
+  serving.page_size = 4;
+  auto gated = corpus.ServeQuery(query, engine, RankingOptions{}, serving,
+                                 SnippetOptions{}, StreamOptions{});
+  ASSERT_TRUE(gated.ok()) << gated.status();
+  gated->Cancel();
+  size_t events = 0;
+  while (auto event = gated->stream().Next()) ++events;
+  // Every slot resolves (computed, cancelled, or trimmed by upstream
+  // completion) — no hang, no double emission.
+  EXPECT_LE(events, serving.page_size);
+  EXPECT_EQ(events, gated->Stats().emitted);
+}
+
+TEST(TopKSearchTest, PageGatedServeQueryEmptyQueryError) {
+  XmlCorpus corpus = MakeWideCorpus();
+  XSeekEngine engine;
+  CorpusServingOptions blocking;
+  blocking.search_threads = 1;
+  auto expected = corpus.ServeQuery(Query{}, engine, RankingOptions{},
+                                    blocking, SnippetOptions{},
+                                    StreamOptions{});
+  ASSERT_FALSE(expected.ok());
+  CorpusServingOptions serving;
+  serving.page_size = 4;
+  auto gated = corpus.ServeQuery(Query{}, engine, RankingOptions{}, serving,
+                                 SnippetOptions{}, StreamOptions{});
+  ExpectSameError(expected.status(), gated.status(), "empty query serve");
+}
+
+TEST(TopKSearchTest, PageGatedServeQueryMidSearchFailure) {
+  XmlCorpus corpus = MakeWideCorpus();
+  MidStreamFailEngine engine(corpus, {"movies"}, /*fail_at_open=*/false);
+  Query query = Query::Parse("texas");
+  CorpusServingOptions serving;
+  serving.search_threads = 1;
+  serving.page_size = 50;  // larger than the total hit count, so the
+                           // failing producer must be reached
+  auto gated = corpus.ServeQuery(query, engine, RankingOptions{}, serving,
+                                 SnippetOptions{}, StreamOptions{});
+  ASSERT_TRUE(gated.ok()) << gated.status();
+  auto collected = gated->stream().Collect();
+  ASSERT_FALSE(collected.ok());
+  EXPECT_EQ(collected.status().code(), StatusCode::kInternal);
+  EXPECT_NE(collected.status().message().find("engine exploded"),
+            std::string::npos)
+      << collected.status().message();
+}
+
+}  // namespace
+}  // namespace extract
