@@ -26,9 +26,14 @@ Strictness is per kind. Correctness/identity keys are STRICT by default —
 a parallel path diverging from its sequential reference is a bug, not
 noise — and fail the gate regardless of --strict (CI relies on this;
 --no-strict-correctness downgrades them to warnings for local
-experiments). Latency/throughput keys stay warn-only unless --strict is
-given: wall-clock comparisons across runner classes are noisy, and the
-checked-in baselines track the CI runner class, not developer laptops.
+experiments). Latency/throughput keys are warn-only by default: wall-clock
+comparisons across runner classes are noisy. They flip to STRICT per file
+when both the baseline and the current run carry the SAME non-empty
+top-level "runner_class" tag (benches stamp it from the
+EXTRACT_BENCH_RUNNER_CLASS environment variable) — same class of machine,
+same tolerance, no excuse. --strict forces perf strict everywhere;
+--no-strict-perf keeps it warn-only even on a tag match (local
+experiments on a machine that happens to share the CI tag).
 """
 
 import argparse
@@ -59,6 +64,20 @@ def leaf_kind(path):
     if key.endswith("_per_s") or key == "speedup" or key.endswith("_speedup"):
         return "throughput"
     return "info"
+
+
+def runner_class(doc):
+    """The run's machine-class tag: a non-empty top-level "runner_class"
+    string, or "" (absent, empty, or not a string — older baselines)."""
+    tag = doc.get("runner_class", "") if isinstance(doc, dict) else ""
+    return tag if isinstance(tag, str) else ""
+
+
+def runner_classes_match(baseline, current):
+    """True when both runs are tagged with the same non-empty class —
+    the condition under which wall-clock comparison stops being noise."""
+    tag = runner_class(baseline)
+    return bool(tag) and tag == runner_class(current)
 
 
 def compare_file(name, baseline, current, tolerance, skip_speedup):
@@ -96,7 +115,7 @@ def compare_file(name, baseline, current, tolerance, skip_speedup):
     return warnings, notes, errors
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline-dir",
                         default=os.path.join(os.path.dirname(__file__),
@@ -113,7 +132,10 @@ def main():
                         help="downgrade results_identical* violations to "
                              "warnings (local experiments only; CI keeps "
                              "correctness strict)")
-    args = parser.parse_args()
+    parser.add_argument("--no-strict-perf", action="store_true",
+                        help="keep latency/throughput warn-only even when "
+                             "baseline and current share a runner_class tag")
+    args = parser.parse_args(argv)
 
     baselines = sorted(glob.glob(os.path.join(args.baseline_dir,
                                               "BENCH_*.json")))
@@ -122,6 +144,7 @@ def main():
         return 0
 
     all_warnings, all_notes, all_errors, compared = [], [], [], 0
+    all_perf_failures = []  # perf warnings promoted by a runner_class match
     for baseline_path in baselines:
         name = os.path.basename(baseline_path)
         current_path = os.path.join(args.current_dir, name)
@@ -144,6 +167,15 @@ def main():
             name, baseline, current, args.tolerance,
             skip_speedup=threads < 2)
         compared += 1
+        if (warnings and not args.no_strict_perf
+                and runner_classes_match(baseline, current)):
+            # Same machine class on both sides: wall clock is comparable,
+            # so a perf regression is a failure, not a note.
+            tag = runner_class(baseline)
+            all_perf_failures += [
+                f"{w} [strict: runner_class '{tag}' matches baseline]"
+                for w in warnings]
+            warnings = []
         all_warnings += warnings
         all_notes += notes
         all_errors += errors
@@ -152,13 +184,18 @@ def main():
         print(f"note: {note}")
     for warning in all_warnings:
         print(f"WARNING: {warning}")
+    for failure in all_perf_failures:
+        print(f"ERROR: {failure}")
     for error in all_errors:
         print(f"ERROR: {error}")
     print(f"perf gate: {compared} file(s) compared, "
-          f"{len(all_warnings)} warning(s), {len(all_errors)} error(s), "
+          f"{len(all_warnings)} warning(s), "
+          f"{len(all_perf_failures) + len(all_errors)} error(s), "
           f"tolerance {args.tolerance:.0%}")
     if all_errors and not args.no_strict_correctness:
         return 1  # correctness is a boolean, not noisy wall clock
+    if all_perf_failures:
+        return 1  # matched runner classes: wall clock is comparable
     if all_warnings and args.strict:
         return 1
     return 0

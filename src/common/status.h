@@ -26,6 +26,9 @@ enum class StatusCode {
   kUnimplemented = 7,
   kCancelled = 8,
   kDeadlineExceeded = 9,
+  /// Transient overload: the caller should retry later (admission control's
+  /// load-shedding signal, mapped to HTTP 503).
+  kUnavailable = 10,
 };
 
 /// Human-readable name of a StatusCode (e.g. "ParseError").
@@ -73,6 +76,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the operation succeeded.

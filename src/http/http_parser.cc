@@ -1,0 +1,363 @@
+#include "http/http_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace extract {
+
+namespace {
+
+bool IsTchar(unsigned char c) {
+  if (std::isalnum(c)) return true;
+  switch (c) {
+    case '!':
+    case '#':
+    case '$':
+    case '%':
+    case '&':
+    case '\'':
+    case '*':
+    case '+':
+    case '-':
+    case '.':
+    case '^':
+    case '_':
+    case '`':
+    case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string_view TrimOws(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<std::string> PercentDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) {
+      return Status::InvalidArgument("truncated percent escape");
+    }
+    int hi = HexDigit(s[i + 1]);
+    int lo = HexDigit(s[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("invalid percent escape");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+Result<std::string> DecodeQueryComponent(std::string_view s) {
+  std::string plus_decoded(s);
+  std::replace(plus_decoded.begin(), plus_decoded.end(), '+', ' ');
+  return PercentDecode(plus_decoded);
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> ParseQueryString(
+    std::string_view query) {
+  std::vector<std::pair<std::string, std::string>> out;
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    std::string_view component =
+        query.substr(pos, amp == std::string_view::npos ? amp : amp - pos);
+    if (!component.empty()) {
+      size_t eq = component.find('=');
+      std::string_view raw_name =
+          eq == std::string_view::npos ? component : component.substr(0, eq);
+      std::string_view raw_value =
+          eq == std::string_view::npos ? std::string_view()
+                                       : component.substr(eq + 1);
+      std::string name;
+      EXTRACT_ASSIGN_OR_RETURN(name, DecodeQueryComponent(raw_name));
+      std::string value;
+      EXTRACT_ASSIGN_OR_RETURN(value, DecodeQueryComponent(raw_value));
+      out.emplace_back(std::move(name), std::move(value));
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+  return out;
+}
+
+const std::string* HttpRequest::FindHeader(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+const std::string* HttpRequest::FindParam(std::string_view name) const {
+  for (const auto& [key, value] : query_params) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+HttpRequestParser::HttpRequestParser(const HttpParseLimits& limits)
+    : limits_(limits) {}
+
+HttpRequestParser::State HttpRequestParser::Fail(int http_status,
+                                                 std::string message) {
+  state_ = State::kError;
+  http_status_ = http_status;
+  error_ = Status::InvalidArgument(std::move(message));
+  buffer_.clear();
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::Consume(std::string_view bytes) {
+  if (state_ != State::kIncomplete) return state_;
+  buffer_.append(bytes);
+  return Advance();
+}
+
+HttpRequestParser::State HttpRequestParser::Advance() {
+  while (state_ == State::kIncomplete) {
+    if (phase_ == Phase::kBody) {
+      if (buffer_.size() < body_expected_) return state_;
+      request_.body = buffer_.substr(0, body_expected_);
+      excess_ = buffer_.substr(body_expected_);
+      buffer_.clear();
+      state_ = State::kDone;
+      return state_;
+    }
+    size_t nl = buffer_.find('\n');
+    if (nl == std::string::npos) {
+      // No complete line yet: enforce the phase's size limit on the
+      // accumulating buffer so unbounded garbage cannot grow memory.
+      if (phase_ == Phase::kRequestLine &&
+          buffer_.size() > limits_.max_request_line) {
+        return Fail(414, "request line too long");
+      }
+      if (phase_ == Phase::kHeaders &&
+          header_bytes_ + buffer_.size() > limits_.max_header_bytes) {
+        return Fail(431, "header section too large");
+      }
+      return state_;
+    }
+    std::string_view line(buffer_.data(), nl);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    // A CR anywhere else in the line is a smuggling vector; reject.
+    if (line.find('\r') != std::string_view::npos) {
+      return Fail(400, "stray CR in request");
+    }
+    State next;
+    if (phase_ == Phase::kRequestLine) {
+      if (line.size() > limits_.max_request_line) {
+        return Fail(414, "request line too long");
+      }
+      if (line.empty()) {
+        // Tolerate blank line(s) before the request line (RFC 9112 §2.2).
+        buffer_.erase(0, nl + 1);
+        continue;
+      }
+      next = ParseRequestLine(line);
+    } else {
+      header_bytes_ += nl + 1;
+      if (header_bytes_ > limits_.max_header_bytes) {
+        return Fail(431, "header section too large");
+      }
+      next = ParseHeaderLine(line);
+    }
+    if (next == State::kError) return next;
+    buffer_.erase(0, nl + 1);
+    if (next == State::kDone) {
+      // FinishHeaders with no body: remaining bytes are pipelined excess.
+      excess_ = std::move(buffer_);
+      buffer_.clear();
+      state_ = State::kDone;
+      return state_;
+    }
+  }
+  return state_;
+}
+
+HttpRequestParser::State HttpRequestParser::ParseRequestLine(
+    std::string_view line) {
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return Fail(400, "malformed request line");
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  if (method.empty() ||
+      !std::all_of(method.begin(), method.end(),
+                   [](char c) { return IsTchar(static_cast<unsigned char>(c)); })) {
+    return Fail(400, "invalid method token");
+  }
+  if (target.empty() || (target[0] != '/' && target != "*")) {
+    return Fail(400, "invalid request target");
+  }
+  for (unsigned char c : target) {
+    if (c <= 0x20 || c >= 0x7F) {
+      return Fail(400, "invalid byte in request target");
+    }
+  }
+  if (version.size() != 8 || version.substr(0, 7) != "HTTP/1." ||
+      (version[7] != '0' && version[7] != '1')) {
+    if (version.substr(0, 5) == "HTTP/") {
+      return Fail(505, "unsupported HTTP version");
+    }
+    return Fail(400, "malformed HTTP version");
+  }
+  request_.method = std::string(method);
+  request_.target = std::string(target);
+  request_.version_minor = version[7] - '0';
+  phase_ = Phase::kHeaders;
+  return State::kIncomplete;
+}
+
+HttpRequestParser::State HttpRequestParser::ParseHeaderLine(
+    std::string_view line) {
+  if (line.empty()) return FinishHeaders();
+  if (request_.headers.size() >= limits_.max_headers) {
+    return Fail(431, "too many header fields");
+  }
+  if (line[0] == ' ' || line[0] == '\t') {
+    // Obsolete line folding: deprecated and a classic smuggling vector.
+    return Fail(400, "obsolete header folding");
+  }
+  size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return Fail(400, "malformed header field");
+  }
+  std::string_view name = line.substr(0, colon);
+  if (!std::all_of(name.begin(), name.end(), [](char c) {
+        return IsTchar(static_cast<unsigned char>(c));
+      })) {
+    return Fail(400, "invalid header field name");
+  }
+  std::string_view value = TrimOws(line.substr(colon + 1));
+  for (unsigned char c : value) {
+    if (c < 0x20 && c != '\t') {
+      return Fail(400, "control byte in header value");
+    }
+  }
+  std::string lower_name(name);
+  std::transform(lower_name.begin(), lower_name.end(), lower_name.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  request_.headers.emplace_back(std::move(lower_name), std::string(value));
+  return State::kIncomplete;
+}
+
+HttpRequestParser::State HttpRequestParser::FinishHeaders() {
+  // Split and decode the target now that the full head is known.
+  std::string_view target = request_.target;
+  size_t qmark = target.find('?');
+  std::string_view raw_path =
+      qmark == std::string_view::npos ? target : target.substr(0, qmark);
+  request_.query = qmark == std::string_view::npos
+                       ? std::string()
+                       : std::string(target.substr(qmark + 1));
+  if (target == "*") {
+    request_.path = "*";
+  } else {
+    auto decoded = PercentDecode(raw_path);
+    if (!decoded.ok()) {
+      return Fail(400, "bad percent-encoding in path: " +
+                           decoded.status().message());
+    }
+    request_.path = std::move(*decoded);
+  }
+  auto params = ParseQueryString(request_.query);
+  if (!params.ok()) {
+    return Fail(400, "bad percent-encoding in query string: " +
+                         params.status().message());
+  }
+  request_.query_params = std::move(*params);
+
+  if (request_.FindHeader("transfer-encoding") != nullptr) {
+    return Fail(501, "transfer-encoding request bodies unsupported");
+  }
+  const std::string* content_length = request_.FindHeader("content-length");
+  if (content_length != nullptr) {
+    // Duplicate Content-Length headers with differing values: smuggling.
+    for (const auto& [key, value] : request_.headers) {
+      if (key == "content-length" && value != *content_length) {
+        return Fail(400, "conflicting content-length headers");
+      }
+    }
+    if (content_length->empty() ||
+        !std::all_of(content_length->begin(), content_length->end(),
+                     [](unsigned char c) { return std::isdigit(c); }) ||
+        content_length->size() > 18) {
+      return Fail(400, "malformed content-length");
+    }
+    body_expected_ = static_cast<size_t>(std::stoull(*content_length));
+    if (body_expected_ > limits_.max_body) {
+      return Fail(413, "request body too large");
+    }
+  }
+  if (body_expected_ > 0) {
+    phase_ = Phase::kBody;
+    return State::kIncomplete;
+  }
+  return State::kDone;
+}
+
+std::string_view HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 204:
+      return "No Content";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Content Too Large";
+    case 414:
+      return "URI Too Long";
+    case 429:
+      return "Too Many Requests";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    case 505:
+      return "HTTP Version Not Supported";
+    default:
+      return "Error";
+  }
+}
+
+}  // namespace extract

@@ -1,0 +1,126 @@
+// Incremental HTTP/1.x request parser — the hostile-input boundary of the
+// serving frontier. Everything after this module operates on validated,
+// size-bounded, percent-decoded values; everything before it is untrusted
+// bytes off a socket.
+//
+// Contract (pinned by tests/http_parser_fuzz_test.cc): feeding ANY byte
+// sequence, in ANY chunking, never crashes, never allocates beyond the
+// configured limits plus one read buffer, and ends in exactly one of three
+// states — needs-more-bytes, a fully parsed request, or a terminal error
+// that maps to a well-formed 4xx/5xx response (http_status() in
+// [400, 505]). Errors are sticky; limits (request-line bytes, header bytes,
+// header count, body bytes) turn oversized input into 414/431/413 instead
+// of unbounded buffering.
+//
+// Scope: request line + headers + optional Content-Length body. Chunked
+// request bodies and upgrades are rejected (501) — the query API is
+// GET-shaped; the response side may still stream chunked output.
+
+#ifndef EXTRACT_HTTP_HTTP_PARSER_H_
+#define EXTRACT_HTTP_HTTP_PARSER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace extract {
+
+/// Decodes %XX escapes ('+' is NOT special; see DecodeQueryComponent).
+/// Fails on truncated or non-hex escapes.
+Result<std::string> PercentDecode(std::string_view s);
+
+/// Decodes one application/x-www-form-urlencoded component: '+' becomes a
+/// space, then percent-decoding. The decoder used for query param values.
+Result<std::string> DecodeQueryComponent(std::string_view s);
+
+/// Splits a raw query string ("a=1&b=x%20y") into decoded (name, value)
+/// pairs, preserving order and duplicates. A component without '=' becomes
+/// (name, ""). Fails on bad percent-encoding in either half.
+Result<std::vector<std::pair<std::string, std::string>>> ParseQueryString(
+    std::string_view query);
+
+/// One parsed request. Header names are lower-cased; values are trimmed of
+/// leading/trailing whitespace. `path` is percent-decoded; `query_params`
+/// are the decoded pairs of the raw query string (also kept in `query`).
+struct HttpRequest {
+  std::string method;
+  std::string target;  ///< raw request target as received
+  std::string path;    ///< decoded path component
+  std::string query;   ///< raw query string (no '?')
+  int version_minor = 1;  ///< HTTP/1.<minor>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::vector<std::pair<std::string, std::string>> query_params;
+  std::string body;
+
+  /// First header named `name` (lower-case), or nullptr.
+  const std::string* FindHeader(std::string_view name) const;
+  /// First query parameter named `name`, or nullptr.
+  const std::string* FindParam(std::string_view name) const;
+};
+
+/// Input-size limits, each mapping to a specific status code on violation.
+struct HttpParseLimits {
+  size_t max_request_line = 8192;  ///< 414 URI Too Long
+  size_t max_header_bytes = 65536; ///< 431 Request Header Fields Too Large
+  size_t max_headers = 128;        ///< 431
+  size_t max_body = 1 << 20;       ///< 413 Content Too Large
+};
+
+/// \brief Byte-at-a-time-safe incremental request parser.
+///
+/// Feed arbitrary chunks via Consume until it returns kDone or kError;
+/// chunk boundaries never affect the outcome (the fuzz suite splits inputs
+/// at every offset). After kDone, request() is valid and excess_bytes()
+/// holds any bytes past the request end (pipelined data — unused by this
+/// server, but never silently swallowed).
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(const HttpParseLimits& limits);
+  HttpRequestParser() : HttpRequestParser(HttpParseLimits{}) {}
+
+  enum class State { kIncomplete, kDone, kError };
+
+  /// Consumes one chunk. Idempotent after kDone / kError (terminal states).
+  State Consume(std::string_view bytes);
+
+  State state() const { return state_; }
+  /// Valid after kDone.
+  const HttpRequest& request() const { return request_; }
+  /// Valid after kError: why, and the HTTP status to answer with.
+  const Status& error() const { return error_; }
+  int http_status() const { return http_status_; }
+  /// Bytes past the end of the parsed request (after kDone).
+  const std::string& excess_bytes() const { return excess_; }
+
+ private:
+  enum class Phase { kRequestLine, kHeaders, kBody };
+
+  State Fail(int http_status, std::string message);
+  /// Attempts to cut and parse complete lines out of buffer_.
+  State Advance();
+  State ParseRequestLine(std::string_view line);
+  State ParseHeaderLine(std::string_view line);
+  State FinishHeaders();
+
+  HttpParseLimits limits_;
+  State state_ = State::kIncomplete;
+  Phase phase_ = Phase::kRequestLine;
+  std::string buffer_;   ///< unconsumed bytes of the current phase
+  size_t header_bytes_ = 0;
+  size_t body_expected_ = 0;
+  HttpRequest request_;
+  Status error_;
+  int http_status_ = 0;
+  std::string excess_;
+};
+
+/// Reason phrase for the status codes this server emits ("Not Found", ...).
+std::string_view HttpReasonPhrase(int status);
+
+}  // namespace extract
+
+#endif  // EXTRACT_HTTP_HTTP_PARSER_H_

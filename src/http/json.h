@@ -1,0 +1,95 @@
+// Minimal JSON support for the HTTP serving frontier: a writer producing
+// compact RFC 8259 output and a recursive-descent parser producing a
+// JsonValue tree.
+//
+// Why hand-rolled: the repo builds offline with no third-party JSON
+// dependency, and the serving path needs exactly two guarantees a generic
+// library would be overkill for —
+//   * escaping is complete (control chars, quotes, backslashes), so any
+//     snippet rendering survives the wire byte-exactly;
+//   * doubles round-trip: Write emits the shortest representation that
+//     parses back to the identical IEEE value (std::to_chars), which is
+//     what lets the equivalence tests compare scores with operator== after
+//     an HTTP hop.
+// The parser exists for the consumers inside this repo (byte-equivalence
+// tests, bench_http's results_identical_http check); it is strict about
+// JSON syntax but imposes no schema.
+
+#ifndef EXTRACT_HTTP_JSON_H_
+#define EXTRACT_HTTP_JSON_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace extract {
+
+/// Appends the JSON string literal for `s` (quotes included) to `out`.
+void AppendJsonString(std::string_view s, std::string* out);
+
+/// Appends the shortest JSON number that parses back to exactly `v`
+/// ("null" for non-finite values, which JSON cannot represent).
+void AppendJsonNumber(double v, std::string* out);
+
+/// \brief Compact JSON writer with nesting bookkeeping: the HTTP layer's
+/// response builder. Usage mirrors bench_util's JsonWriter, but escaping is
+/// complete and doubles round-trip (see file comment).
+class JsonBuilder {
+ public:
+  JsonBuilder& BeginObject();
+  JsonBuilder& EndObject();
+  JsonBuilder& BeginArray();
+  JsonBuilder& EndArray();
+  JsonBuilder& Key(std::string_view name);
+  JsonBuilder& String(std::string_view v);
+  JsonBuilder& Number(double v);
+  JsonBuilder& Number(size_t v);
+  JsonBuilder& Int(int64_t v);
+  JsonBuilder& Bool(bool v);
+  JsonBuilder& Null();
+
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+ private:
+  void Separate();
+
+  std::string out_;
+  bool need_comma_ = false;
+  bool just_keyed_ = false;
+};
+
+/// \brief A parsed JSON document node.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array_items;
+  /// Insertion-ordered; duplicate keys are kept (Find returns the first).
+  std::vector<std::pair<std::string, JsonValue>> object_items;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// First member named `key`, or nullptr (also nullptr on non-objects).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// \brief Parses one JSON document (object, array, or bare literal).
+  /// Trailing non-whitespace after the document is an error; nesting beyond
+  /// an internal depth limit is an error (the parser recurses).
+  static Result<JsonValue> Parse(std::string_view text);
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_HTTP_JSON_H_

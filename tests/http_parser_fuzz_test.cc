@@ -1,0 +1,342 @@
+// Fuzz/property tests of the hostile-input boundary: the HTTP request
+// parser (and the JSON parser behind the equivalence tooling) must never
+// crash, hang or leave an ill-formed state on ANY byte sequence, in ANY
+// chunking. Every terminal outcome is either a fully parsed request or an
+// error mapping to a well-formed 4xx/5xx.
+
+#include "http/http_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "http/json.h"
+
+namespace extract {
+namespace {
+
+/// The parser's contract on terminal states, checked after every run.
+void ExpectWellFormedOutcome(const HttpRequestParser& parser) {
+  switch (parser.state()) {
+    case HttpRequestParser::State::kIncomplete:
+      break;  // wants more bytes: fine
+    case HttpRequestParser::State::kDone: {
+      const HttpRequest& request = parser.request();
+      EXPECT_FALSE(request.method.empty());
+      EXPECT_FALSE(request.target.empty());
+      break;
+    }
+    case HttpRequestParser::State::kError:
+      EXPECT_GE(parser.http_status(), 400);
+      EXPECT_LE(parser.http_status(), 505);
+      EXPECT_FALSE(parser.error().ok());
+      EXPECT_FALSE(parser.error().message().empty());
+      EXPECT_FALSE(HttpReasonPhrase(parser.http_status()).empty());
+      break;
+  }
+}
+
+/// Feeds `input` in chunks cut by `rng` and checks the terminal contract.
+void RunParser(const std::string& input, Rng& rng) {
+  HttpRequestParser parser;
+  size_t pos = 0;
+  while (pos < input.size() &&
+         parser.state() == HttpRequestParser::State::kIncomplete) {
+    size_t len = 1 + rng.Uniform(97);
+    len = std::min(len, input.size() - pos);
+    parser.Consume(std::string_view(input).substr(pos, len));
+    pos += len;
+  }
+  ExpectWellFormedOutcome(parser);
+}
+
+std::vector<std::string> SeedRequests() {
+  return {
+      "GET / HTTP/1.1\r\nHost: a\r\n\r\n",
+      "GET /query?q=texas%20apparel&page_size=3&mode=sse HTTP/1.1\r\n"
+      "Host: localhost:8080\r\nAccept: text/event-stream\r\n"
+      "User-Agent: fuzz\r\n\r\n",
+      "HEAD /healthz HTTP/1.0\r\nConnection: close\r\n\r\n",
+      "POST /query HTTP/1.1\r\nHost: a\r\nContent-Length: 5\r\n\r\nhello",
+      "GET /stats HTTP/1.1\r\nX-A: 1\r\nX-B: \t two \t\r\n\r\n",
+      "GET /a?x=%41%42+%43&y=&z HTTP/1.1\r\nHost: h\r\n\r\n",
+  };
+}
+
+class HttpParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HttpParserFuzz, MutatedRequestsNeverCrash) {
+  Rng rng(GetParam());
+  std::vector<std::string> seeds = SeedRequests();
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string request = seeds[rng.Uniform(seeds.size())];
+    size_t mutations = 1 + rng.Uniform(4);
+    for (size_t m = 0; m < mutations && !request.empty(); ++m) {
+      size_t pos = rng.Uniform(request.size());
+      switch (rng.Uniform(6)) {
+        case 0:  // byte flip, full range including NUL and high bytes
+          request[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:  // deletion
+          request.erase(pos, 1 + rng.Uniform(4));
+          break;
+        case 2:  // duplication
+          request.insert(pos, request.substr(pos, 1 + rng.Uniform(16)));
+          break;
+        case 3:  // truncation
+          request.resize(pos);
+          break;
+        case 4:  // inject HTTP metacharacters
+          request.insert(pos, std::string(1 + rng.Uniform(3),
+                                          "\r\n: %?&=+"[rng.Uniform(9)]));
+          break;
+        case 5:  // splice a percent escape, possibly malformed
+          request.insert(pos, rng.Uniform(2) == 0 ? "%zz" : "%2");
+          break;
+      }
+    }
+    RunParser(request, rng);
+  }
+}
+
+TEST_P(HttpParserFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam() ^ 0x9e3779b97f4a7c15ull);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage(rng.Uniform(600), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.Uniform(256));
+    RunParser(garbage, rng);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HttpParserFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 0xdeadbeefu));
+
+// ------------------------------------------------- deterministic properties
+
+TEST(HttpParserProperty, ChunkingNeverChangesTheOutcome) {
+  // Every split offset of a valid request must parse identically.
+  const std::string request =
+      "GET /query?q=a%20b&n=1 HTTP/1.1\r\nHost: x\r\nX-Y: z\r\n\r\n";
+  for (size_t split = 0; split <= request.size(); ++split) {
+    HttpRequestParser parser;
+    parser.Consume(std::string_view(request).substr(0, split));
+    parser.Consume(std::string_view(request).substr(split));
+    ASSERT_EQ(parser.state(), HttpRequestParser::State::kDone)
+        << "split at " << split;
+    EXPECT_EQ(parser.request().method, "GET");
+    EXPECT_EQ(parser.request().path, "/query");
+    ASSERT_EQ(parser.request().query_params.size(), 2u);
+    EXPECT_EQ(parser.request().query_params[0].second, "a b");
+  }
+  // Byte-at-a-time, the worst chunking.
+  HttpRequestParser parser;
+  for (char c : request) parser.Consume(std::string_view(&c, 1));
+  EXPECT_EQ(parser.state(), HttpRequestParser::State::kDone);
+}
+
+TEST(HttpParserProperty, OversizedInputsMapToTheirStatusCodes) {
+  {
+    // Request line beyond the limit: 414, even without a newline.
+    HttpRequestParser parser;
+    parser.Consume("GET /" + std::string(20000, 'a'));
+    EXPECT_EQ(parser.state(), HttpRequestParser::State::kError);
+    EXPECT_EQ(parser.http_status(), 414);
+  }
+  {
+    // Unbounded header section: 431 while still incomplete.
+    HttpRequestParser parser;
+    parser.Consume("GET / HTTP/1.1\r\n");
+    std::string headers;
+    for (int i = 0; i < 3000; ++i) {
+      headers += "X-H" + std::to_string(i) + ": v\r\n";
+    }
+    parser.Consume(headers);
+    EXPECT_EQ(parser.state(), HttpRequestParser::State::kError);
+    EXPECT_EQ(parser.http_status(), 431);
+  }
+  {
+    // Too many header fields: 431.
+    HttpRequestParser limits_parser(HttpParseLimits{.max_headers = 4});
+    std::string request = "GET / HTTP/1.1\r\n";
+    for (int i = 0; i < 6; ++i) request += "A" + std::to_string(i) + ": v\r\n";
+    limits_parser.Consume(request + "\r\n");
+    EXPECT_EQ(limits_parser.state(), HttpRequestParser::State::kError);
+    EXPECT_EQ(limits_parser.http_status(), 431);
+  }
+  {
+    // Declared body beyond the limit: 413 before any body byte arrives.
+    HttpRequestParser parser;
+    parser.Consume(
+        "POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n");
+    EXPECT_EQ(parser.state(), HttpRequestParser::State::kError);
+    EXPECT_EQ(parser.http_status(), 413);
+  }
+}
+
+TEST(HttpParserProperty, MalformedRequestLinesAre4xx) {
+  const char* cases[] = {
+      "GET\r\n",                                 // one part
+      "GET /\r\n",                               // two parts
+      "GET / HTTP/1.1 extra\r\n",                // four parts
+      "G@T / HTTP/1.1\r\n",                      // bad method token
+      "GET nopath HTTP/1.1\r\n",                 // target not absolute
+      "GET /a\tb HTTP/1.1\r\n",                  // control in target
+      "GET / http/1.1\r\n",                      // lowercase version
+      "GET / HTTP/1.9\r\n",                      // unknown minor
+      "GET / FTP/1.1\r\n",                       // not HTTP at all
+      "GET / HTTP/11\r\n",                       // malformed version
+      "GET /%zz HTTP/1.1\r\n\r\n",               // bad path escape
+      "GET /?q=%2 HTTP/1.1\r\n\r\n",             // truncated query escape
+  };
+  for (const char* raw : cases) {
+    HttpRequestParser parser;
+    parser.Consume(raw);
+    parser.Consume("\r\n");  // ensure head termination where one is pending
+    EXPECT_EQ(parser.state(), HttpRequestParser::State::kError) << raw;
+    EXPECT_GE(parser.http_status(), 400) << raw;
+    EXPECT_LE(parser.http_status(), 505) << raw;
+  }
+  {
+    // HTTP/2.0 preface styles get the version-specific 505.
+    HttpRequestParser parser;
+    parser.Consume("GET / HTTP/2.0\r\n");
+    EXPECT_EQ(parser.http_status(), 505);
+  }
+}
+
+TEST(HttpParserProperty, SmugglingVectorsAreRejected) {
+  {
+    // Obsolete header folding.
+    HttpRequestParser parser;
+    parser.Consume("GET / HTTP/1.1\r\nA: 1\r\n  folded\r\n\r\n");
+    EXPECT_EQ(parser.state(), HttpRequestParser::State::kError);
+    EXPECT_EQ(parser.http_status(), 400);
+  }
+  {
+    // Stray CR inside a line.
+    HttpRequestParser parser;
+    parser.Consume("GET /\ra HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(parser.state(), HttpRequestParser::State::kError);
+  }
+  {
+    // Conflicting Content-Length values.
+    HttpRequestParser parser;
+    parser.Consume(
+        "POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n");
+    EXPECT_EQ(parser.state(), HttpRequestParser::State::kError);
+    EXPECT_EQ(parser.http_status(), 400);
+  }
+  {
+    // Transfer-Encoding bodies are out of scope: explicit 501.
+    HttpRequestParser parser;
+    parser.Consume(
+        "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+    EXPECT_EQ(parser.state(), HttpRequestParser::State::kError);
+    EXPECT_EQ(parser.http_status(), 501);
+  }
+}
+
+TEST(HttpParserProperty, PercentDecodingIsExact) {
+  EXPECT_EQ(*PercentDecode("abc"), "abc");
+  EXPECT_EQ(*PercentDecode("a%20b"), "a b");
+  EXPECT_EQ(*PercentDecode("%41%42%43"), "ABC");
+  EXPECT_EQ(*PercentDecode("%00"), std::string(1, '\0'));
+  EXPECT_EQ(*PercentDecode("100%25"), "100%");
+  EXPECT_FALSE(PercentDecode("%").ok());
+  EXPECT_FALSE(PercentDecode("%2").ok());
+  EXPECT_FALSE(PercentDecode("%zz").ok());
+  EXPECT_FALSE(PercentDecode("a%2xb").ok());
+  // '+' is literal in paths, a space in query components.
+  EXPECT_EQ(*PercentDecode("a+b"), "a+b");
+  EXPECT_EQ(*DecodeQueryComponent("a+b"), "a b");
+
+  auto params = ParseQueryString("a=1&b=x%20y&c&d=&=v&a=2");
+  ASSERT_TRUE(params.ok());
+  ASSERT_EQ(params->size(), 6u);  // duplicates and odd shapes preserved
+  EXPECT_EQ((*params)[0], (std::pair<std::string, std::string>("a", "1")));
+  EXPECT_EQ((*params)[1].second, "x y");
+  EXPECT_EQ((*params)[2], (std::pair<std::string, std::string>("c", "")));
+  EXPECT_EQ((*params)[4], (std::pair<std::string, std::string>("", "v")));
+  EXPECT_EQ((*params)[5].second, "2");
+}
+
+// ------------------------------------------------------------- JSON fuzz
+
+class JsonFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonFuzz, MutatedDocumentsNeverCrash) {
+  Rng rng(GetParam());
+  const std::vector<std::string> seeds = {
+      R"({"a": 1, "b": [true, false, null], "c": {"d": "e\n\"f\""}})",
+      R"([0, -1.5, 1e10, 2.25e-3, "\u0041\uD83D\uDE00"])",
+      R"({"slot":0,"document":"retailer","score":12.25,"key":null})",
+      R"("just a string")",
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string doc = seeds[rng.Uniform(seeds.size())];
+    size_t mutations = 1 + rng.Uniform(4);
+    for (size_t m = 0; m < mutations && !doc.empty(); ++m) {
+      size_t pos = rng.Uniform(doc.size());
+      switch (rng.Uniform(4)) {
+        case 0:
+          doc[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:
+          doc.erase(pos, 1 + rng.Uniform(4));
+          break;
+        case 2:
+          doc.insert(pos, std::string(1 + rng.Uniform(3),
+                                      "{}[]\",:\\"[rng.Uniform(8)]));
+          break;
+        case 3:
+          doc.resize(pos);
+          break;
+      }
+    }
+    auto parsed = JsonValue::Parse(doc);  // ok or error, never a crash
+    (void)parsed;
+  }
+}
+
+TEST_P(JsonFuzz, DeepNestingIsBoundedNotFatal) {
+  Rng rng(GetParam());
+  for (size_t depth : {8u, 63u, 64u, 500u, 5000u}) {
+    std::string doc(depth, '[');
+    doc += std::string(depth, ']');
+    auto parsed = JsonValue::Parse(doc);
+    if (depth <= 64) {
+      EXPECT_TRUE(parsed.ok()) << depth << ": " << parsed.status();
+    } else {
+      EXPECT_FALSE(parsed.ok()) << depth;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzz, ::testing::Values(11u, 12u, 13u));
+
+TEST(JsonProperty, WriterOutputAlwaysReparses) {
+  // Adversarial strings (controls, quotes, UTF-8, invalid bytes are the
+  // caller's problem but must not crash) and doubles round-trip.
+  const std::string nasty =
+      std::string("a\0b", 3) + "\n\t\"\\<>&\x7f caf\xc3\xa9";
+  JsonBuilder json;
+  json.BeginObject()
+      .Key(nasty)
+      .String(nasty)
+      .Key("n")
+      .Number(0.1 + 0.2)
+      .Key("i")
+      .Int(-42)
+      .EndObject();
+  auto parsed = JsonValue::Parse(json.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->object_items[0].first, nasty);
+  EXPECT_EQ(parsed->object_items[0].second.string_value, nasty);
+  EXPECT_EQ(parsed->Find("n")->number_value, 0.1 + 0.2);  // exact
+  EXPECT_EQ(parsed->Find("i")->number_value, -42.0);
+}
+
+}  // namespace
+}  // namespace extract

@@ -1,0 +1,217 @@
+// Shared plumbing of the HTTP suites: a minimal blocking test client
+// (connect, send raw bytes, read to EOF), a close-delimited response
+// parser, an SSE frame splitter and a percent-encoding URL builder.
+//
+// Deliberately independent of src/http's parser: the tests exercise the
+// server through a second, simpler implementation of the protocol, so a
+// shared parsing bug cannot hide a wire-format regression.
+
+#ifndef EXTRACT_TESTS_HTTP_TEST_UTIL_H_
+#define EXTRACT_TESTS_HTTP_TEST_UTIL_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace extract {
+namespace testing {
+
+/// Connects to 127.0.0.1:port; returns -1 on failure.
+inline int ConnectLoopback(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+inline bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads until EOF (the server closes after every response).
+inline std::string RecvToEof(int fd) {
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      out.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  return out;
+}
+
+struct HttpResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;  ///< lower-cased names
+  std::string body;                            ///< chunked decoded if needed
+  bool valid = false;
+};
+
+/// Parses a full close-delimited HTTP/1.1 response, decoding chunked
+/// transfer encoding when present.
+inline HttpResponse ParseResponse(const std::string& raw) {
+  HttpResponse response;
+  size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return response;
+  std::string head = raw.substr(0, head_end);
+  std::string body = raw.substr(head_end + 4);
+
+  size_t line_end = head.find("\r\n");
+  std::string status_line =
+      head.substr(0, line_end == std::string::npos ? head.size() : line_end);
+  if (status_line.size() < 12 || status_line.compare(0, 5, "HTTP/") != 0) {
+    return response;
+  }
+  response.status = std::atoi(status_line.c_str() + 9);
+
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(
+        static_cast<unsigned char>(c)));
+    size_t vstart = colon + 1;
+    while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+    response.headers[name] = line.substr(vstart);
+  }
+
+  auto te = response.headers.find("transfer-encoding");
+  if (te != response.headers.end() && te->second == "chunked") {
+    // Decode chunked framing.
+    size_t at = 0;
+    for (;;) {
+      size_t eol = body.find("\r\n", at);
+      if (eol == std::string::npos) return response;  // truncated
+      size_t size = std::strtoull(body.c_str() + at, nullptr, 16);
+      at = eol + 2;
+      if (size == 0) break;
+      if (at + size > body.size()) return response;  // truncated
+      response.body.append(body, at, size);
+      at += size + 2;  // skip chunk CRLF
+    }
+  } else {
+    response.body = std::move(body);
+  }
+  response.valid = true;
+  return response;
+}
+
+/// One round trip: send `request` raw, read to EOF, parse.
+inline HttpResponse Fetch(uint16_t port, const std::string& request) {
+  HttpResponse response;
+  int fd = ConnectLoopback(port);
+  if (fd < 0) return response;
+  if (SendAll(fd, request)) response = ParseResponse(RecvToEof(fd));
+  ::close(fd);
+  return response;
+}
+
+/// Convenience GET with Connection: close.
+inline HttpResponse Get(uint16_t port, const std::string& target,
+                        const std::string& extra_headers = "") {
+  return Fetch(port, "GET " + target + " HTTP/1.1\r\nHost: t\r\n" +
+                         extra_headers + "\r\n");
+}
+
+/// Percent-encodes a query parameter value.
+inline std::string UrlEncode(std::string_view s) {
+  static const char* hex = "0123456789ABCDEF";
+  std::string out;
+  for (unsigned char c : s) {
+    if (std::isalnum(c) || c == '-' || c == '_' || c == '.' || c == '~') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(hex[c >> 4]);
+      out.push_back(hex[c & 0xF]);
+    }
+  }
+  return out;
+}
+
+/// One parsed SSE frame: "event: name\nid: i\ndata: payload\n\n".
+struct SseEvent {
+  std::string event;
+  std::string id;
+  std::string data;
+};
+
+/// Splits a decoded SSE body into frames (blank-line separated).
+inline std::vector<SseEvent> ParseSseBody(const std::string& body) {
+  std::vector<SseEvent> events;
+  SseEvent current;
+  bool any_field = false;
+  size_t pos = 0;
+  while (pos <= body.size()) {
+    size_t eol = body.find('\n', pos);
+    std::string line = eol == std::string::npos
+                           ? body.substr(pos)
+                           : body.substr(pos, eol - pos);
+    pos = eol == std::string::npos ? body.size() + 1 : eol + 1;
+    if (line.empty()) {
+      if (any_field) events.push_back(std::move(current));
+      current = SseEvent();
+      any_field = false;
+      continue;
+    }
+    auto value_of = [&line](size_t prefix) {
+      return line.substr(line.size() > prefix && line[prefix] == ' '
+                             ? prefix + 1
+                             : prefix);
+    };
+    if (line.rfind("event:", 0) == 0) {
+      current.event = value_of(6);
+      any_field = true;
+    } else if (line.rfind("id:", 0) == 0) {
+      current.id = value_of(3);
+      any_field = true;
+    } else if (line.rfind("data:", 0) == 0) {
+      current.data = value_of(5);
+      any_field = true;
+    }
+  }
+  return events;
+}
+
+}  // namespace testing
+}  // namespace extract
+
+#endif  // EXTRACT_TESTS_HTTP_TEST_UTIL_H_
