@@ -79,11 +79,20 @@ int main(int argc, char** argv) {
   int signal_number = 0;
   sigwait(&mask, &signal_number);
   std::printf("signal %d, shutting down\n", signal_number);
+  // Freeze the corpus first (mutations now fail FailedPrecondition), then
+  // stop the server; in-flight requests drain against their pinned epochs.
+  corpus.BeginShutdown();
   server.Stop();
 
   HttpServerStats stats = server.Stats();
   std::printf("served %zu requests (%zu 2xx, %zu 4xx, %zu 5xx)\n",
               stats.requests_parsed, stats.responses_2xx, stats.responses_4xx,
               stats.responses_5xx);
+  EpochStats epochs = corpus.EpochStatsSnapshot();
+  std::printf("corpus epoch %llu: %zu reader(s) pinned, %zu retired view(s) "
+              "live, %llu reclaimed\n",
+              static_cast<unsigned long long>(epochs.epoch),
+              epochs.pinned_readers, epochs.retired_live,
+              static_cast<unsigned long long>(epochs.reclaimed));
   return 0;
 }

@@ -28,6 +28,15 @@
 //   result <rank>                   print the full tree of a result
 //   html <path>                     write the last results page as HTML
 //   save <path> / load <path>       snapshot the active data set's index
+//   load <name> <file>              parse an XML file into the live corpus
+//                                   under <name>, printing the epoch
+//                                   transition (safe mid-session: pinned
+//                                   query sessions keep their snapshot)
+//   unload <name>                   remove a data set, printing the epoch
+//                                   transition; a live query session
+//                                   pinned to the retired epoch keeps
+//                                   working (e.g. `bound` still
+//                                   regenerates against it)
 //   cache [clear]                   snippet-cache stats / drop all entries
 //   stats [reset]                   per-stage serving-time breakdown
 //   help / quit
@@ -67,6 +76,11 @@ using namespace extract;
 struct QuerySession {
   std::string document;  ///< data set the session is bound to
   std::string text;      ///< raw query text, to detect query changes
+  /// The epoch the session serves against. Holding the pin keeps `db`
+  /// alive even after `unload` retires the data set — the session's
+  /// memoized scans stay valid against exactly the content it queried.
+  CorpusPin pin;
+  const XmlDatabase* db = nullptr;  ///< resolved from `pin`
   std::unique_ptr<SnippetService> service;
   std::unique_ptr<SnippetContext> context;
 };
@@ -79,6 +93,9 @@ struct ShellState {
   /// Raw text of the query that produced last_results — `bound` only
   /// regenerates when the live session still matches it.
   std::string last_query_text;
+  /// Data set that produced last_results. Matched against the session
+  /// (not `active`): the session may outlive an `unload` via its pin.
+  std::string last_results_document;
   std::vector<QueryResult> last_results;
   std::vector<Snippet> last_snippets;
   QuerySession session;
@@ -100,11 +117,14 @@ struct ShellState {
     if (session.service != nullptr) {
       retired_stats.Merge(session.service->StageStatsSnapshot());
     }
-    const XmlDatabase* db = ActiveDb();
+    // Pin the current epoch for the session's lifetime: later `unload`s
+    // retire the view but cannot free it under the session.
+    session.pin = corpus.PinView();
+    session.db = session.pin->documents.find(active)->second.db.get();
     session.document = active;
     session.text = text;
-    session.service = std::make_unique<SnippetService>(db);
-    session.context = std::make_unique<SnippetContext>(db, query);
+    session.service = std::make_unique<SnippetService>(session.db);
+    session.context = std::make_unique<SnippetContext>(session.db, query);
     return session;
   }
 };
@@ -146,21 +166,23 @@ void PrintSnippets(const ShellState& state) {
 }
 
 void CmdQuery(ShellState* state, const std::string& text) {
-  const XmlDatabase* db = state->ActiveDb();
-  if (db == nullptr) {
+  if (state->ActiveDb() == nullptr) {
     std::printf("no data set open; use: open stores\n");
     return;
   }
   Query query = Query::Parse(text);
+  // Search through the session's pinned snapshot, so search, snippets and
+  // later `bound` regenerations all observe the same content even if the
+  // data set is unloaded or replaced between commands.
+  QuerySession& session = state->SessionFor(text, query);
   XSeekEngine engine;
-  auto results = engine.Search(*db, query);
+  auto results = engine.Search(*session.db, query);
   if (!results.ok()) {
     std::printf("error: %s\n", results.status().ToString().c_str());
     return;
   }
   SnippetOptions options;
   options.size_bound = state->bound;
-  QuerySession& session = state->SessionFor(text, query);
   auto snippets = GenerateDiverseSnippets(*session.service, *session.context,
                                           *results, options,
                                           DiversifyOptions{});
@@ -170,6 +192,7 @@ void CmdQuery(ShellState* state, const std::string& text) {
   }
   state->last_query = std::move(query);
   state->last_query_text = text;
+  state->last_results_document = session.document;
   state->last_results = std::move(*results);
   state->last_snippets = std::move(*snippets);
   PrintSnippets(*state);
@@ -183,9 +206,12 @@ void CmdBound(ShellState* state, const std::string& rest) {
   std::printf("snippet size bound = %zu\n", state->bound);
   // Regenerate only when the live session is the one that produced
   // last_results — a failed or differently-targeted query in between must
-  // not mix another query's context with these results.
+  // not mix another query's context with these results. The session is
+  // matched against the results' data set, NOT `active`: a session pinned
+  // to a since-unloaded epoch still regenerates (the pin keeps its
+  // snapshot alive — the live-mutation demo).
   if (state->session.service == nullptr || state->last_results.empty() ||
-      state->session.document != state->active ||
+      state->session.document != state->last_results_document ||
       state->session.text != state->last_query_text) {
     return;
   }
@@ -402,6 +428,57 @@ void CmdLoad(ShellState* state, const std::string& path) {
   std::printf("loaded snapshot as '%s'\n", name.c_str());
 }
 
+// `load <name> <file>`: parse an XML file into the live corpus. Safe while
+// query sessions are open — the add publishes a new epoch; pinned sessions
+// keep theirs.
+void CmdLoadFile(ShellState* state, const std::string& name,
+                 const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::printf("cannot read %s\n", path.c_str());
+    return;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EpochStats before = state->corpus.EpochStatsSnapshot();
+  Status status = state->corpus.AddDocument(name, buffer.str());
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  EpochStats after = state->corpus.EpochStatsSnapshot();
+  state->active = name;
+  std::printf("loaded '%s' (%zu nodes) — epoch %llu -> %llu, "
+              "%zu reader(s) pinned\n",
+              name.c_str(), state->ActiveDb()->index().num_nodes(),
+              static_cast<unsigned long long>(before.epoch),
+              static_cast<unsigned long long>(after.epoch),
+              after.pinned_readers);
+}
+
+// `unload <name>`: remove a data set from the live corpus. A query session
+// pinned to the retired epoch keeps serving against it.
+void CmdUnload(ShellState* state, const std::string& name) {
+  EpochStats before = state->corpus.EpochStatsSnapshot();
+  Status status = state->corpus.RemoveDocument(name);
+  if (!status.ok()) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    return;
+  }
+  EpochStats after = state->corpus.EpochStatsSnapshot();
+  std::printf("unloaded '%s' — epoch %llu -> %llu, %zu retired view(s) "
+              "live, %llu reclaimed\n",
+              name.c_str(), static_cast<unsigned long long>(before.epoch),
+              static_cast<unsigned long long>(after.epoch),
+              after.retired_live,
+              static_cast<unsigned long long>(after.reclaimed));
+  if (state->session.service != nullptr && state->session.document == name) {
+    std::printf("note: the live query session still pins the retired epoch "
+                "— 'bound' keeps regenerating against it\n");
+  }
+  if (state->active == name) state->active.clear();
+}
+
 void CmdCache(ShellState* state, const std::string& arg) {
   SnippetCache* cache = state->corpus.snippet_cache();
   if (cache == nullptr) {
@@ -426,8 +503,8 @@ void PrintHelp() {
       "commands: open <retailer|stores|movies> | datasets | use <name> | "
       "schema |\n  bound <n> | query <kw...> | queryall <kw...> | "
       "stream <kw...> |\n  result <rank> | html <path> | "
-      "save <path> | load <path> |\n  cache [clear] | stats [reset] | "
-      "help | quit\n");
+      "save <path> | load <path> |\n  load <name> <file> | unload <name> | "
+      "cache [clear] | stats [reset] |\n  help | quit\n");
 }
 
 }  // namespace
@@ -480,7 +557,17 @@ int main() {
     } else if (command == "save") {
       CmdSave(state, rest);
     } else if (command == "load") {
-      CmdLoad(&state, rest);
+      // Two arguments = live XML load under a name; one = legacy snapshot.
+      std::istringstream load_args(rest);
+      std::string name, path;
+      load_args >> name >> path;
+      if (!path.empty()) {
+        CmdLoadFile(&state, name, path);
+      } else {
+        CmdLoad(&state, rest);
+      }
+    } else if (command == "unload") {
+      CmdUnload(&state, rest);
     } else if (command == "cache") {
       CmdCache(&state, rest);
     } else if (command == "stats") {

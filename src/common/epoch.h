@@ -1,0 +1,235 @@
+// Epoch-based snapshot reclamation (RCU-style) for live mutable state.
+//
+// An EpochDomain<T> holds one current immutable snapshot of T. Readers
+// Acquire() a Pin — a reference-counted handle that keeps exactly the
+// snapshot it was taken against alive for as long as the reader needs it
+// (one query, one admission ticket, one shell session). Writers build the
+// next snapshot off the read path and Publish() it: the swap is a pointer
+// exchange under a small mutex, so readers are never blocked by a writer
+// building a view, and a retired snapshot is reclaimed automatically the
+// moment its last Pin drops (the shared_ptr control block is the grace
+// period — no epoch ticks, no deferred callbacks).
+//
+// This is the dictionary pattern of reference-counted concurrent stores
+// (netdata's dictionary.c is the production shape): readers pay one
+// mutex-protected pointer copy plus two relaxed counter bumps per pin,
+// writers pay a full copy of T — which is why T should hold shared_ptrs to
+// its heavy members (XmlCorpus's CorpusView maps names to
+// shared_ptr<const XmlDatabase>, so "copy the view" is shallow).
+//
+// Thread model:
+//   * Acquire / Publish / Stats are safe from any thread, concurrently.
+//   * Publish serializes against other publishers via writer_mutex():
+//     read-copy-update sequences (Acquire, mutate copy, Publish) must hold
+//     it across the whole sequence or lose updates to a racing writer.
+//   * A Pin is a value: copy it to extend the pin, move it to transfer it,
+//     drop it to release. Individual Pin instances are not thread-safe
+//     (don't mutate one Pin from two threads); distinct Pins — including
+//     copies of the same Pin — are independent.
+//   * The domain must outlive every Pin taken from it is NOT required:
+//     Pins keep the snapshot (and the shared counters) alive on their own,
+//     so a Pin may legally outlive the domain. Owners that embed a domain
+//     (XmlCorpus) still document their own lifetime rules.
+//   * Like StageStatsRegistry, the domain is movable so owners stay
+//     movable; moving is not thread-safe against concurrent use — owners
+//     only move while quiescent. A moved-from domain is only destructible.
+
+#ifndef EXTRACT_COMMON_EPOCH_H_
+#define EXTRACT_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace extract {
+
+/// Point-in-time counters of one EpochDomain — the observability surface
+/// behind /stats "corpus" and the shell's epoch-transition messages.
+struct EpochStats {
+  /// Epoch number of the currently served snapshot (0 = the initial,
+  /// default-constructed one; each Publish increments it).
+  uint64_t epoch = 0;
+  /// Snapshots published since construction (== epoch, kept separate so a
+  /// future rebase/compact epoch jump cannot skew the rate counter).
+  uint64_t published = 0;
+  /// Live Pins right now, across current and retired snapshots.
+  size_t pinned_readers = 0;
+  /// Retired snapshots still held alive by at least one Pin.
+  size_t retired_live = 0;
+  /// Retired snapshots whose last Pin drained — fully reclaimed.
+  uint64_t reclaimed = 0;
+};
+
+/// \brief One mutable slot of immutable snapshots with pin-based
+/// reclamation. See the file comment for the model.
+template <typename T>
+class EpochDomain {
+  /// Shared by the domain and every node, so counters survive both the
+  /// domain (Pins may outlive it) and any node (stats outlive retirement).
+  struct Counters {
+    std::atomic<size_t> pinned{0};
+    std::atomic<size_t> retired_live{0};
+    std::atomic<uint64_t> reclaimed{0};
+  };
+
+  struct Node {
+    Node(T v, uint64_t e, std::shared_ptr<Counters> c)
+        : value(std::move(v)), epoch(e), counters(std::move(c)) {}
+    ~Node() {
+      // Reclamation point: the last shared_ptr (the domain's, or the last
+      // Pin's) just dropped. The release/acquire pair on the refcount
+      // orders Publish's retire marking before this read.
+      if (retired.load(std::memory_order_relaxed)) {
+        counters->retired_live.fetch_sub(1, std::memory_order_relaxed);
+        counters->reclaimed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    const T value;
+    const uint64_t epoch;
+    std::shared_ptr<Counters> counters;
+    std::atomic<bool> retired{false};
+  };
+
+ public:
+  /// \brief A reader's hold on one snapshot. Copyable (extends the pin),
+  /// movable (transfers it); destruction releases it. An empty Pin
+  /// (default-constructed or moved-from) holds nothing.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(const Pin& other) : node_(other.node_) {
+      if (node_ != nullptr) {
+        node_->counters->pinned.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    Pin(Pin&& other) noexcept : node_(std::move(other.node_)) {}
+    Pin& operator=(const Pin& other) {
+      if (this != &other) {
+        Pin copy(other);
+        *this = std::move(copy);
+      }
+      return *this;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        node_ = std::move(other.node_);
+      }
+      return *this;
+    }
+    ~Pin() { Release(); }
+
+    /// The pinned snapshot. Must not be called on an empty Pin.
+    const T& operator*() const { return node_->value; }
+    const T* operator->() const { return &node_->value; }
+    const T* get() const { return node_ == nullptr ? nullptr : &node_->value; }
+
+    /// Epoch number of the pinned snapshot (0 for an empty Pin).
+    uint64_t epoch() const { return node_ == nullptr ? 0 : node_->epoch; }
+
+    explicit operator bool() const { return node_ != nullptr; }
+
+   private:
+    friend class EpochDomain;
+    explicit Pin(std::shared_ptr<const Node> node) : node_(std::move(node)) {
+      if (node_ != nullptr) {
+        node_->counters->pinned.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    void Release() {
+      if (node_ != nullptr) {
+        node_->counters->pinned.fetch_sub(1, std::memory_order_relaxed);
+        node_.reset();
+      }
+    }
+
+    std::shared_ptr<const Node> node_;
+  };
+
+  /// The domain opens at epoch 0 with a default-constructed snapshot.
+  EpochDomain()
+      : counters_(std::make_shared<Counters>()),
+        current_(std::make_shared<Node>(T{}, 0, counters_)) {}
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// Quiescent-only moves (see file comment): fresh mutexes, stolen state.
+  EpochDomain(EpochDomain&& other) noexcept
+      : counters_(std::move(other.counters_)),
+        current_(std::move(other.current_)),
+        published_(other.published_) {}
+  EpochDomain& operator=(EpochDomain&& other) noexcept {
+    if (this != &other) {
+      counters_ = std::move(other.counters_);
+      current_ = std::move(other.current_);
+      published_ = other.published_;
+    }
+    return *this;
+  }
+
+  /// Pins the current snapshot. Wait-free apart from one brief mutex.
+  Pin Acquire() const {
+    std::shared_ptr<const Node> node;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      node = current_;
+    }
+    return Pin(std::move(node));
+  }
+
+  /// \brief Publishes `value` as the next snapshot and retires the current
+  /// one; returns the new epoch number. Existing Pins keep reading the
+  /// snapshot they hold; new Acquires see `value`. The retired snapshot is
+  /// freed when its last Pin drops (possibly inside this very call, when
+  /// nobody pinned it).
+  uint64_t Publish(T value) {
+    std::shared_ptr<Node> old;
+    uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      epoch = current_->epoch + 1;
+      auto node = std::make_shared<Node>(std::move(value), epoch, counters_);
+      old = std::move(current_);
+      current_ = std::move(node);
+      ++published_;
+      old->retired.store(true, std::memory_order_relaxed);
+      counters_->retired_live.fetch_add(1, std::memory_order_relaxed);
+    }
+    // `old`'s reference drops here, outside the lock: an unpinned retiree
+    // reclaims immediately without holding up readers.
+    return epoch;
+  }
+
+  /// \brief Serializes writers. A read-copy-update sequence (Acquire,
+  /// mutate the copy, Publish) must hold this across the whole sequence;
+  /// Acquire never takes it, so readers are unaffected.
+  std::mutex& writer_mutex() { return writer_mu_; }
+
+  EpochStats Stats() const {
+    EpochStats s;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      s.epoch = current_->epoch;
+      s.published = published_;
+    }
+    s.pinned_readers = counters_->pinned.load(std::memory_order_relaxed);
+    s.retired_live = counters_->retired_live.load(std::memory_order_relaxed);
+    s.reclaimed = counters_->reclaimed.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::shared_ptr<Counters> counters_;
+  mutable std::mutex mu_;      ///< guards current_ / published_
+  std::mutex writer_mu_;       ///< writer serialization (writer_mutex())
+  std::shared_ptr<Node> current_;
+  uint64_t published_ = 0;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_COMMON_EPOCH_H_

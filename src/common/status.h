@@ -29,6 +29,9 @@ enum class StatusCode {
   /// Transient overload: the caller should retry later (admission control's
   /// load-shedding signal, mapped to HTTP 503).
   kUnavailable = 10,
+  /// The entity a creation targeted already exists (duplicate corpus
+  /// document add, mapped to HTTP 409).
+  kAlreadyExists = 11,
 };
 
 /// Human-readable name of a StatusCode (e.g. "ParseError").
@@ -79,6 +82,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
 
   /// True iff the operation succeeded.

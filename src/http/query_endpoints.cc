@@ -19,6 +19,8 @@ int HttpStatusFor(const Status& status) {
       return 400;
     case StatusCode::kNotFound:
       return 404;
+    case StatusCode::kAlreadyExists:
+      return 409;
     case StatusCode::kDeadlineExceeded:
     case StatusCode::kUnavailable:
       return 503;
@@ -155,6 +157,12 @@ QueryService::QueryService(const XmlCorpus* corpus, const SearchEngine* engine,
 
 void QueryService::Register(HttpServer* server) {
   server_ = server;
+  // Pin the corpus epoch at admission: the ticket acquires the pin with
+  // its slot and drops it at release, so one admitted request observes one
+  // corpus snapshot end to end — mutations mid-request never touch it.
+  server->admission().SetPinHook([corpus = corpus_]() -> std::shared_ptr<void> {
+    return std::make_shared<CorpusPin>(corpus->PinView());
+  });
   server->Handle("/query", [this](const HttpRequest& request,
                                   ResponseWriter& writer) {
     HandleQuery(request, writer);
@@ -273,8 +281,16 @@ void QueryService::HandleQuery(const HttpRequest& request,
   CorpusServingOptions serving = options_.serving;
   serving.page_size = gated ? page_size : 0;
 
-  auto served = corpus_->ServeQuery(query, *engine_, options_.ranking, serving,
-                                    options_.snippet, stream_options);
+  // Serve against the epoch the ticket pinned at admission. The ticket
+  // outlives the drain below, so the pinned view cannot be reclaimed while
+  // this request streams.
+  const auto* pinned = static_cast<const CorpusPin*>(ticket->pin().get());
+  auto served =
+      pinned != nullptr
+          ? corpus_->ServeQuery(query, *engine_, options_.ranking, serving,
+                                options_.snippet, stream_options, *pinned)
+          : corpus_->ServeQuery(query, *engine_, options_.ranking, serving,
+                                options_.snippet, stream_options);
   if (!served.ok()) {
     writer.SendError(HttpStatusFor(served.status()), served.status());
     return;
@@ -407,6 +423,18 @@ void QueryService::HandleStats(const HttpRequest& request,
   } else {
     json.Null();
   }
+
+  // The live-mutation surface: which epoch is serving, how many readers
+  // are pinned (current or retired views), and how retirement is draining.
+  json.Key("corpus").BeginObject();
+  EpochStats epochs = corpus_->EpochStatsSnapshot();
+  json.Key("epoch").Number(static_cast<size_t>(epochs.epoch));
+  json.Key("published").Number(static_cast<size_t>(epochs.published));
+  json.Key("pinned_readers").Number(epochs.pinned_readers);
+  json.Key("retired_views_live").Number(epochs.retired_live);
+  json.Key("retired_views_reclaimed")
+      .Number(static_cast<size_t>(epochs.reclaimed));
+  json.EndObject();
 
   json.Key("documents").Number(corpus_->size());
   json.EndObject();

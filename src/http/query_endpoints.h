@@ -15,7 +15,8 @@
 //       gated        1 (default) = incremental top-k serving
 //                    (CorpusServingOptions::page_size = page_size);
 //                    0 = blocking search of the whole corpus
-//   GET /stats   — server + admission + serving-stage + cache counters.
+//   GET /stats   — server + admission + serving-stage + cache counters,
+//     plus the corpus epoch block (epoch, pinned readers, retired views).
 //   GET /healthz — liveness ("ok") with the corpus document count.
 //
 // Both renderings share one slot serializer (RenderSlotJson), so a JSON
@@ -32,6 +33,12 @@
 // emits deadline events instead of computing. A client that disconnects
 // mid-SSE cancels the underlying stream (freeing pool slots) and releases
 // its admission ticket.
+//
+// Live mutation: Register installs an admission pin hook that pins the
+// corpus epoch inside each Ticket (acquired with the slot, dropped at
+// release), and /query serves against that pinned view — so a request
+// admitted at epoch E searches, ranks and snippets epoch E even while
+// AddDatabase/RemoveDocument publish newer epochs underneath it.
 
 #ifndef EXTRACT_HTTP_QUERY_ENDPOINTS_H_
 #define EXTRACT_HTTP_QUERY_ENDPOINTS_H_

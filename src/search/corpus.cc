@@ -77,19 +77,21 @@ class TopKCoordinator {
   /// under blocking SearchTopK.
   StreamGate gate;
 
-  /// Opens one producer per database, in name order. Map keys and values
-  /// are borrowed for the coordinator's lifetime. On failure the error is
-  /// resolved with blocking-loop parity (see ResolveFailureLocked).
-  Status Open(const std::map<std::string, XmlDatabase, std::less<>>& dbs) {
+  /// Opens one producer per document of the pinned view, in name order.
+  /// The view (names and databases) must stay alive for the coordinator's
+  /// lifetime — callers keep the pin in the session payload or on the
+  /// stack. On failure the error is resolved with blocking-loop parity
+  /// (see ResolveFailureLocked).
+  Status Open(const CorpusView& view) {
     std::lock_guard<std::mutex> lock(mu_);
     start_ = std::chrono::steady_clock::now();
-    producers_.reserve(dbs.size());
+    producers_.reserve(view.documents.size());
     bool failed = false;
-    for (const auto& [name, db] : dbs) {
+    for (const auto& [name, doc] : view.documents) {
       Producer p;
       p.name = &name;
       Result<std::unique_ptr<ResultProducer>> opened =
-          engine_->OpenIncremental(db, query_, ranking_, k_);
+          engine_->OpenIncremental(*doc.db, query_, ranking_, k_);
       if (opened.ok()) {
         p.producer = std::move(*opened);
       } else {
@@ -352,32 +354,72 @@ Status XmlCorpus::AddDocument(const std::string& name, std::string_view xml) {
 
 Status XmlCorpus::AddDocument(const std::string& name, std::string_view xml,
                               const LoadOptions& options) {
+  // Parse and index outside the writer lock: loading is the expensive part
+  // of a mutation, and nothing serving-visible happens until AddDatabase
+  // publishes. A malformed document fails here with nothing published.
   auto db = XmlDatabase::Load(xml, options);
   EXTRACT_RETURN_IF_ERROR(db.status());
   return AddDatabase(name, std::move(*db));
 }
 
 Status XmlCorpus::AddDatabase(const std::string& name, XmlDatabase db) {
-  if (databases_.find(name) != databases_.end()) {
-    return Status::InvalidArgument("document '" + name +
-                                   "' already registered");
+  // Read-copy-update under the writer mutex: copy the current view
+  // (shallow — documents are shared_ptrs), add the new registration,
+  // publish. Readers pinned to older epochs are untouched.
+  std::lock_guard<std::mutex> writer(views_.writer_mutex());
+  if (shutdown_) {
+    return Status::FailedPrecondition("corpus is shutting down; add of '" +
+                                      name + "' rejected");
   }
-  databases_.emplace(name, std::move(db));
-  // Adding after a removal re-uses the name for different content; any
-  // snippets cached under it (e.g. from a raced Invalidate) are now stale.
-  if (snippet_cache_) snippet_cache_->Invalidate(name);
+  CorpusPin current = views_.Acquire();
+  if (current->documents.find(name) != current->documents.end()) {
+    return Status::AlreadyExists("document '" + name +
+                                 "' already registered");
+  }
+  CorpusView next = *current;
+  CorpusDocument doc;
+  doc.db = std::make_shared<const XmlDatabase>(std::move(db));
+  doc.instance = next_instance_++;
+  doc.cache_id = name + "@" + std::to_string(doc.instance);
+  next.documents.emplace(name, std::move(doc));
+  views_.Publish(std::move(next));
+  // No cache invalidation needed: a fresh instance id means no cached
+  // entry — from any epoch, under any interleaving — can name this
+  // registration.
   return Status::OK();
 }
 
 Status XmlCorpus::RemoveDocument(std::string_view name) {
-  auto it = databases_.find(name);
-  if (it == databases_.end()) {
-    return Status::NotFound("document '" + std::string(name) +
-                            "' not registered");
+  std::string cache_id;
+  {
+    std::lock_guard<std::mutex> writer(views_.writer_mutex());
+    if (shutdown_) {
+      return Status::FailedPrecondition("corpus is shutting down; remove of '" +
+                                        std::string(name) + "' rejected");
+    }
+    CorpusPin current = views_.Acquire();
+    auto it = current->documents.find(name);
+    if (it == current->documents.end()) {
+      return Status::NotFound("document '" + std::string(name) +
+                              "' not registered");
+    }
+    cache_id = it->second.cache_id;
+    CorpusView next = *current;
+    next.documents.erase(next.documents.find(name));
+    views_.Publish(std::move(next));
   }
-  databases_.erase(it);
-  if (snippet_cache_) snippet_cache_->Invalidate(name);
+  // Invalidate AFTER the publish: every new pin already misses the
+  // document, so no new-epoch query can re-cache under this instance.
+  // Queries pinned to older epochs may still Put entries of the retired
+  // instance afterwards — harmless residue (the instance id never comes
+  // back, so nothing can read them as current) aged out by the LRU.
+  if (snippet_cache_) snippet_cache_->Invalidate(cache_id);
   return Status::OK();
+}
+
+void XmlCorpus::BeginShutdown() {
+  std::lock_guard<std::mutex> writer(views_.writer_mutex());
+  shutdown_ = true;
 }
 
 void XmlCorpus::EnableSnippetCache(const SnippetCache::Options& options) {
@@ -385,14 +427,23 @@ void XmlCorpus::EnableSnippetCache(const SnippetCache::Options& options) {
 }
 
 const XmlDatabase* XmlCorpus::Find(std::string_view name) const {
-  auto it = databases_.find(name);
-  return it == databases_.end() ? nullptr : &it->second;
+  CorpusPin pin = PinView();
+  auto it = pin->documents.find(name);
+  return it == pin->documents.end() ? nullptr : it->second.db.get();
+}
+
+std::shared_ptr<const XmlDatabase> XmlCorpus::FindShared(
+    std::string_view name) const {
+  CorpusPin pin = PinView();
+  auto it = pin->documents.find(name);
+  return it == pin->documents.end() ? nullptr : it->second.db;
 }
 
 std::vector<std::string> XmlCorpus::DocumentNames() const {
+  CorpusPin pin = PinView();
   std::vector<std::string> names;
-  names.reserve(databases_.size());
-  for (const auto& [name, db] : databases_) names.push_back(name);
+  names.reserve(pin->documents.size());
+  for (const auto& [name, doc] : pin->documents) names.push_back(name);
   return names;
 }
 
@@ -410,13 +461,23 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
 Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
     const Query& query, const SearchEngine& engine,
     const RankingOptions& ranking, const CorpusServingOptions& serving) const {
+  return SearchAll(query, engine, ranking, serving, PinView());
+}
+
+Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
+    const Query& query, const SearchEngine& engine,
+    const RankingOptions& ranking, const CorpusServingOptions& serving,
+    const CorpusPin& pin) const {
   const auto start = std::chrono::steady_clock::now();
 
   // Snapshot the documents in name order — the order the sequential loop
-  // visits, the shard partition axis, and the merge tie-break.
+  // visits, the shard partition axis, and the merge tie-break. The pinned
+  // view is immutable, so these pointers are stable for the whole call.
   std::vector<std::pair<const std::string*, const XmlDatabase*>> docs;
-  docs.reserve(databases_.size());
-  for (const auto& [name, db] : databases_) docs.emplace_back(&name, &db);
+  docs.reserve(pin->documents.size());
+  for (const auto& [name, doc] : pin->documents) {
+    docs.emplace_back(&name, doc.db.get());
+  }
   const size_t n = docs.size();
 
   size_t shards = serving.max_shards == 0 ? n : std::min(n, serving.max_shards);
@@ -548,6 +609,13 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchTopK(
     const Query& query, const SearchEngine& engine,
     const RankingOptions& ranking, const CorpusServingOptions& serving,
     size_t k, TopKSearchStats* stats) const {
+  return SearchTopK(query, engine, ranking, serving, k, stats, PinView());
+}
+
+Result<std::vector<CorpusResult>> XmlCorpus::SearchTopK(
+    const Query& query, const SearchEngine& engine,
+    const RankingOptions& ranking, const CorpusServingOptions& serving,
+    size_t k, TopKSearchStats* stats, const CorpusPin& pin) const {
   const size_t effective_threads = serving.search_threads == 0
                                        ? ThreadPool::ConfiguredThreads()
                                        : serving.search_threads;
@@ -559,7 +627,7 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchTopK(
   coordinator.on_release = [&page](CorpusResult&& hit) {
     page.push_back(std::move(hit));
   };
-  Status status = coordinator.Open(databases_);
+  Status status = coordinator.Open(*pin);
   if (status.ok()) status = coordinator.Drain();
   coordinator.RecordStageStats(stage_stats_);
   if (stats != nullptr) *stats = coordinator.StatsSnapshot();
@@ -581,6 +649,10 @@ struct XmlCorpus::StreamPayload {
         : service(db), context(db, query) {}
   };
 
+  /// The view this page serves against. Held for the session's lifetime,
+  /// so every database the page references stays alive even if the corpus
+  /// publishes new epochs (including removals) mid-stream.
+  CorpusPin pin;
   Query query;
   /// ServeQuery owns its page here; StreamSnippets borrows the caller's.
   std::vector<CorpusResult> owned_page;
@@ -611,18 +683,21 @@ Result<ServingSession> XmlCorpus::OpenStream(
   const std::vector<CorpusResult>& page = *payload->page;
   const size_t n = page.size();
 
-  // Resolve every document up front so an unknown name fails before any
-  // generation work starts — identically with and without a cache.
-  std::map<std::string, const XmlDatabase*, std::less<>> resolved;
+  // Resolve every document against the pinned view up front so an unknown
+  // name fails before any generation work starts — identically with and
+  // without a cache. Resolving against the pin (never the current view)
+  // keeps a page searched under epoch E serving under epoch E even if the
+  // documents were since removed.
+  std::map<std::string, const CorpusDocument*, std::less<>> resolved;
   for (size_t i = 0; i < n; ++i) {
     const std::string& name = page[i].document;
     if (resolved.find(name) != resolved.end()) continue;
-    const XmlDatabase* db = Find(name);
-    if (db == nullptr) {
+    auto it = payload->pin->documents.find(name);
+    if (it == payload->pin->documents.end()) {
       return MakeBatchResultError(
           i, n, "", Status::NotFound("unknown document '" + name + "'"));
     }
-    resolved.emplace(name, db);
+    resolved.emplace(name, &it->second);
   }
 
   StreamBuilder builder;
@@ -637,6 +712,8 @@ Result<ServingSession> XmlCorpus::OpenStream(
     // index of the full page (hits can never fail), matching uncached
     // serving exactly. Signature prefixes are invariant per document
     // within one page; build each once and append only the root per hit.
+    // Keys carry the pinned registration's cache_id, so entries can never
+    // alias a different instance registered under the same name.
     std::map<std::string, SnippetCacheKeyPrefix, std::less<>> prefixes;
     for (size_t i = 0; i < n; ++i) {
       const std::string& name = page[i].document;
@@ -644,7 +721,8 @@ Result<ServingSession> XmlCorpus::OpenStream(
       if (it == prefixes.end()) {
         it = prefixes
                  .emplace(name, MakeSnippetCacheKeyPrefix(
-                                    name, payload->query, options,
+                                    resolved.find(name)->second->cache_id,
+                                    payload->query, options,
                                     DefaultSnippetStageTag()))
                  .first;
       }
@@ -668,7 +746,7 @@ Result<ServingSession> XmlCorpus::OpenStream(
     if (payload->documents.find(name) != payload->documents.end()) continue;
     payload->documents.emplace(
         name, std::make_unique<StreamPayload::PerDocument>(
-                  resolved.find(name)->second, payload->query));
+                  resolved.find(name)->second->db.get(), payload->query));
   }
 
   StreamPayload* state = payload.get();
@@ -708,7 +786,15 @@ Result<ServingSession> XmlCorpus::OpenStream(
 Result<ServingSession> XmlCorpus::StreamSnippets(
     const Query& query, const std::vector<CorpusResult>& corpus_results,
     const SnippetOptions& options, const StreamOptions& stream) const {
+  return StreamSnippets(query, corpus_results, options, stream, PinView());
+}
+
+Result<ServingSession> XmlCorpus::StreamSnippets(
+    const Query& query, const std::vector<CorpusResult>& corpus_results,
+    const SnippetOptions& options, const StreamOptions& stream,
+    const CorpusPin& pin) const {
   auto payload = std::make_shared<StreamPayload>();
+  payload->pin = pin;
   payload->query = query;
   payload->page = &corpus_results;
   return OpenStream(std::move(payload), options, stream);
@@ -722,9 +808,11 @@ TopKSearchStats CorpusQueryStream::SearchStats() const {
 Result<CorpusQueryStream> XmlCorpus::ServeTopK(
     const Query& query, const SearchEngine& engine,
     const RankingOptions& ranking, const CorpusServingOptions& serving,
-    const SnippetOptions& options, const StreamOptions& stream) const {
+    const SnippetOptions& options, const StreamOptions& stream,
+    const CorpusPin& pin) const {
   const size_t k = serving.page_size;
   auto payload = std::make_shared<StreamPayload>();
+  payload->pin = pin;
   payload->query = query;
   // Reserved up front: the release hook appends while compute closures
   // index settled slots, which is only race-free because the buffer never
@@ -740,21 +828,24 @@ Result<CorpusQueryStream> XmlCorpus::ServeTopK(
 
   StreamPayload* state = payload.get();
   internal::TopKCoordinator* coordinator = payload->coordinator.get();
-  const XmlCorpus* corpus = this;
   const SnippetOptions opts = options;
-  coordinator->on_release = [state, corpus, opts](CorpusResult&& hit) {
+  coordinator->on_release = [state, opts](CorpusResult&& hit) {
     // Runs with the coordinator mutex held, in final page order. The slot's
     // page entry, per-document state and cache key must all be in place
     // before this returns — the gate releases the slot right after.
+    // Every resolution goes through the payload's pinned view: hit names
+    // come straight out of that view's producers, so the lookups cannot
+    // miss, and a concurrent removal publishing a new epoch changes
+    // nothing here.
     const size_t slot = state->owned_page.size();
+    const CorpusDocument& pinned_doc =
+        state->pin->documents.find(hit.document)->second;
     {
       std::lock_guard<std::mutex> lock(state->docs_mu);
       if (state->documents.find(hit.document) == state->documents.end()) {
-        // Hit names come straight out of databases_, so Find cannot miss
-        // (corpus mutation during serving is excluded by contract).
         state->documents.emplace(
             hit.document, std::make_unique<StreamPayload::PerDocument>(
-                              corpus->Find(hit.document), state->query));
+                              pinned_doc.db.get(), state->query));
       }
     }
     if (state->cache != nullptr) {
@@ -762,8 +853,8 @@ Result<CorpusQueryStream> XmlCorpus::ServeTopK(
       if (it == state->prefixes.end()) {
         it = state->prefixes
                  .emplace(hit.document,
-                          MakeSnippetCacheKeyPrefix(hit.document, state->query,
-                                                    opts,
+                          MakeSnippetCacheKeyPrefix(pinned_doc.cache_id,
+                                                    state->query, opts,
                                                     DefaultSnippetStageTag()))
                  .first;
       }
@@ -772,7 +863,7 @@ Result<CorpusQueryStream> XmlCorpus::ServeTopK(
     state->owned_page.push_back(std::move(hit));
   };
 
-  Status status = coordinator->Open(databases_);
+  Status status = coordinator->Open(*payload->pin);
   if (!status.ok()) {
     coordinator->RecordStageStats(stage_stats_);
     return status;
@@ -826,13 +917,23 @@ Result<CorpusQueryStream> XmlCorpus::ServeQuery(
     const Query& query, const SearchEngine& engine,
     const RankingOptions& ranking, const CorpusServingOptions& serving,
     const SnippetOptions& options, const StreamOptions& stream) const {
+  return ServeQuery(query, engine, ranking, serving, options, stream,
+                    PinView());
+}
+
+Result<CorpusQueryStream> XmlCorpus::ServeQuery(
+    const Query& query, const SearchEngine& engine,
+    const RankingOptions& ranking, const CorpusServingOptions& serving,
+    const SnippetOptions& options, const StreamOptions& stream,
+    const CorpusPin& pin) const {
   if (serving.page_size > 0) {
-    return ServeTopK(query, engine, ranking, serving, options, stream);
+    return ServeTopK(query, engine, ranking, serving, options, stream, pin);
   }
   Result<std::vector<CorpusResult>> page =
-      SearchAll(query, engine, ranking, serving);
+      SearchAll(query, engine, ranking, serving, pin);
   if (!page.ok()) return page.status();
   auto payload = std::make_shared<StreamPayload>();
+  payload->pin = pin;
   payload->query = query;
   payload->owned_page = std::move(*page);
   payload->page = &payload->owned_page;
@@ -859,6 +960,13 @@ Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
 Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
     const Query& query, const std::vector<CorpusResult>& corpus_results,
     const SnippetOptions& options, const BatchOptions& batch) const {
+  return GenerateSnippets(query, corpus_results, options, batch, PinView());
+}
+
+Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
+    const Query& query, const std::vector<CorpusResult>& corpus_results,
+    const SnippetOptions& options, const BatchOptions& batch,
+    const CorpusPin& pin) const {
   // A collector over the slot-completion stream: open, drain every slot,
   // report the lowest failing index with its document name — byte-identical
   // to the historical parallel batch loop (pinned by the golden snapshots
@@ -866,7 +974,7 @@ Result<std::vector<Snippet>> XmlCorpus::GenerateSnippets(
   StreamOptions stream;
   stream.num_threads = batch.num_threads;
   Result<ServingSession> session =
-      StreamSnippets(query, corpus_results, options, stream);
+      StreamSnippets(query, corpus_results, options, stream, pin);
   if (!session.ok()) return session.status();
   return session->stream().Collect([&corpus_results](size_t i) {
     return " (document '" + corpus_results[i].document + "')";

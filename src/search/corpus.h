@@ -6,6 +6,31 @@
 // optional cross-query snippet cache so repeated/hot queries skip
 // generation entirely (snippet/snippet_cache.h).
 //
+// The corpus is LIVE MUTABLE: document add/remove is safe concurrently
+// with serving. Internally the document table is an epoch-published
+// immutable snapshot (CorpusView behind an EpochDomain, common/epoch.h):
+//
+//   * Readers pin a view (PinView, or implicitly per call) and serve the
+//     whole query — search, rank, snippet stream — against exactly that
+//     snapshot. A pinned view is immutable and stays alive until the pin
+//     drops, so an in-flight query can never observe a torn table, a
+//     half-removed document, or a freed database.
+//   * Writers (AddDocument / AddDatabase / RemoveDocument) build the next
+//     view off the serving path — parsing and indexing happen before the
+//     writer lock does anything — then publish it atomically. Publishing
+//     is a shallow map copy plus a pointer swap; concurrent writers
+//     serialize, readers never wait.
+//   * A retired view is reclaimed when its last pin drains. Epoch /
+//     reader / retired-view counters are exposed via EpochStatsSnapshot
+//     (the HTTP /stats "corpus" object).
+//   * Snippet-cache invalidation rides the epoch transition instead of
+//     racing it: every document registration gets a monotonic instance id,
+//     cache keys are scoped to the instance ("name@instance"), and removal
+//     invalidates the retired instance's entries after the new view is
+//     published. An in-flight query pinned to the old epoch may still
+//     repopulate entries of the OLD instance — harmless residue that no
+//     new epoch's keys can ever alias, aged out by the LRU.
+//
 // Query evaluation is sharded (CorpusServingOptions): documents are
 // partitioned into shards, each shard searches and ranks its documents as
 // one thread-pool task, and the per-shard ranked runs are k-way
@@ -19,7 +44,8 @@
 // searches + ranks, then emits one snippet per page slot as it completes
 // (cache hits the moment the stream opens); GenerateSnippets is the batch
 // collector over the same stream (StreamSnippets), byte-identical to the
-// historical parallel batch loop.
+// historical parallel batch loop. Every serving entry point has a
+// pin-taking overload; the pin-less ones pin the current view themselves.
 
 #ifndef EXTRACT_SEARCH_CORPUS_H_
 #define EXTRACT_SEARCH_CORPUS_H_
@@ -32,6 +58,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/epoch.h"
 #include "search/ranking.h"
 #include "search/search_engine.h"
 #include "snippet/snippet_cache.h"
@@ -53,6 +80,32 @@ struct CorpusResult {
   QueryResult result;
   double score = 0.0;
 };
+
+/// One immutable document entry of a CorpusView.
+struct CorpusDocument {
+  /// Shared with every view (current or retired) that contains this
+  /// registration, so copying a view never copies an index.
+  std::shared_ptr<const XmlDatabase> db;
+  /// Monotonic registration id, never reused — re-adding a name after
+  /// removal yields a different instance, so state scoped to an instance
+  /// (snippet-cache keys) can never alias across epochs.
+  uint64_t instance = 0;
+  /// The snippet-cache document id of this registration:
+  /// "<name>@<instance>".
+  std::string cache_id;
+};
+
+/// \brief The immutable snapshot one query serves against: the document
+/// table (names -> loaded databases, with their inverted indexes and
+/// partitions) at one epoch. Published atomically by corpus mutators;
+/// pinned by readers via CorpusPin.
+struct CorpusView {
+  std::map<std::string, CorpusDocument, std::less<>> documents;
+};
+
+/// A reader's hold on one CorpusView (see EpochDomain::Pin): keeps exactly
+/// that snapshot alive until dropped. Copy to extend, move to transfer.
+using CorpusPin = EpochDomain<CorpusView>::Pin;
 
 /// \brief Cost counters of one incremental top-k search (SearchTopK, or
 /// ServeQuery with CorpusServingOptions::page_size > 0): how much of the
@@ -122,10 +175,14 @@ struct CorpusServingOptions {
 /// what XmlCorpus::ServeQuery returns.
 ///
 /// The page is owned by the session (stable across moves), so slot i of
-/// the stream always describes page()[i]. The corpus must outlive the
-/// session; destruction cancels unstarted slots, waits for in-flight ones,
-/// and folds the per-document stage stats plus the stream's own counters
-/// ("stream.*" pseudo-stages) into the corpus StageStatsRegistry.
+/// the stream always describes page()[i]. The session holds a pin on the
+/// view it serves, so corpus mutations while the stream is live never
+/// affect it — the stream drains against the epoch it opened on. The
+/// corpus object itself must still outlive the session (it owns the cache
+/// and the stats registry); destruction cancels unstarted slots, waits for
+/// in-flight ones, and folds the per-document stage stats plus the
+/// stream's own counters ("stream.*" pseudo-stages) into the corpus
+/// StageStatsRegistry.
 class CorpusQueryStream {
  public:
   CorpusQueryStream(CorpusQueryStream&&) noexcept = default;
@@ -164,30 +221,65 @@ class CorpusQueryStream {
   internal::TopKCoordinator* coordinator_ = nullptr;
 };
 
-/// \brief A named collection of loaded databases.
+/// \brief A named collection of loaded databases with epoch-published
+/// snapshots (see the file comment for the mutation model).
 class XmlCorpus {
  public:
-  /// Parses and adds a document. Fails on malformed XML or duplicate name.
+  // ------------------------------------------------------------- mutation
+  //
+  // Every mutator builds the next CorpusView off the serving path and
+  // publishes it atomically; in-flight queries keep the view they pinned.
+  // Mutators serialize against each other and are safe concurrently with
+  // any number of readers. Precise failure modes:
+  //   * duplicate add            -> kAlreadyExists
+  //   * remove of an absent name -> kNotFound
+  //   * malformed XML            -> kParseError (nothing published)
+  //   * any mutation after BeginShutdown -> kFailedPrecondition
+
+  /// Parses and adds a document, publishing a new epoch on success.
   Status AddDocument(const std::string& name, std::string_view xml);
   Status AddDocument(const std::string& name, std::string_view xml,
                      const LoadOptions& options);
 
-  /// Adds an already-loaded database. Fails on duplicate name.
+  /// Adds an already-loaded database, publishing a new epoch on success.
   Status AddDatabase(const std::string& name, XmlDatabase db);
 
-  /// Removes the document registered under `name` (invalidating its cached
-  /// snippets). Fails with NotFound for unknown names. Not safe to call
-  /// concurrently with serving — callers own that ordering, as with every
-  /// other corpus mutation.
+  /// Removes the document registered under `name`, publishing a new epoch
+  /// and invalidating the removed instance's cached snippets (after the
+  /// publish — see the file comment). Queries pinned to older epochs keep
+  /// serving the document until they drain.
   Status RemoveDocument(std::string_view name);
 
-  /// The database registered under `name`, or nullptr.
+  /// \brief Marks the corpus shutting down: every subsequent mutator fails
+  /// with kFailedPrecondition. Serving continues against the last
+  /// published view (drain traffic, then destroy). Idempotent.
+  void BeginShutdown();
+
+  // -------------------------------------------------------------- reading
+
+  /// Pins the current view. Hold the pin for the lifetime of one logical
+  /// read (a query, an admission ticket) and pass it to the pin-taking
+  /// serving overloads so every step of the read sees the same snapshot.
+  CorpusPin PinView() const { return views_.Acquire(); }
+
+  /// Epoch / pinned-reader / retired-view counters (see EpochStats).
+  EpochStats EpochStatsSnapshot() const { return views_.Stats(); }
+
+  /// The database registered under `name` in the CURRENT view, or nullptr.
+  /// The raw pointer is kept alive only by the current view — a removal
+  /// publishing a new epoch can free it once every pin drains. Callers
+  /// that outlive one statement should hold a pin (PinView) or a shared
+  /// reference (FindShared) instead.
   const XmlDatabase* Find(std::string_view name) const;
 
-  /// Registered names, sorted.
+  /// Like Find, but the returned reference keeps the database alive on its
+  /// own, independent of epochs.
+  std::shared_ptr<const XmlDatabase> FindShared(std::string_view name) const;
+
+  /// Registered names in the current view, sorted.
   std::vector<std::string> DocumentNames() const;
 
-  size_t size() const { return databases_.size(); }
+  size_t size() const { return PinView()->documents.size(); }
 
   /// \brief Searches every document and merges the hits best-score-first
   /// (ties: document name, then document order).
@@ -198,6 +290,14 @@ class XmlCorpus {
   /// to the sequential document loop for every shard/thread combination,
   /// and an engine failure reports exactly the error the sequential loop
   /// would have hit first (lowest document in name order).
+  ///
+  /// The pin-taking overload searches exactly `pin`'s snapshot; the others
+  /// pin the current view for the duration of the call.
+  Result<std::vector<CorpusResult>> SearchAll(const Query& query,
+                                              const SearchEngine& engine,
+                                              const RankingOptions& ranking,
+                                              const CorpusServingOptions& serving,
+                                              const CorpusPin& pin) const;
   Result<std::vector<CorpusResult>> SearchAll(
       const Query& query, const SearchEngine& engine,
       const RankingOptions& ranking,
@@ -231,6 +331,10 @@ class XmlCorpus {
       const Query& query, const SearchEngine& engine,
       const RankingOptions& ranking, const CorpusServingOptions& serving,
       size_t k, TopKSearchStats* stats = nullptr) const;
+  Result<std::vector<CorpusResult>> SearchTopK(
+      const Query& query, const SearchEngine& engine,
+      const RankingOptions& ranking, const CorpusServingOptions& serving,
+      size_t k, TopKSearchStats* stats, const CorpusPin& pin) const;
 
   /// \brief Generates one snippet per merged hit — the serving path for a
   /// cross-corpus result page.
@@ -244,9 +348,16 @@ class XmlCorpus {
   /// When a snippet cache is enabled, each hit's signature is consulted
   /// first and only the misses dispatch to the thread pool; output stays
   /// byte-identical to uncached serving.
+  ///
+  /// Pass the pin the hits were searched under when mutations may be in
+  /// flight — hits name documents of THAT snapshot.
   Result<std::vector<Snippet>> GenerateSnippets(
       const Query& query, const std::vector<CorpusResult>& corpus_results,
       const SnippetOptions& options, const BatchOptions& batch) const;
+  Result<std::vector<Snippet>> GenerateSnippets(
+      const Query& query, const std::vector<CorpusResult>& corpus_results,
+      const SnippetOptions& options, const BatchOptions& batch,
+      const CorpusPin& pin) const;
   Result<std::vector<Snippet>> GenerateSnippets(
       const Query& query, const std::vector<CorpusResult>& corpus_results,
       const SnippetOptions& options) const;
@@ -258,13 +369,20 @@ class XmlCorpus {
   /// the stream opens, before any miss computes. `corpus_results` and the
   /// corpus are borrowed and must outlive the session. Fails up front —
   /// with the exact GenerateSnippets error — when a hit references an
-  /// unknown document.
+  /// unknown document. The session holds the (given or self-acquired) pin
+  /// until it is destroyed.
   Result<ServingSession> StreamSnippets(
       const Query& query, const std::vector<CorpusResult>& corpus_results,
       const SnippetOptions& options, const StreamOptions& stream) const;
+  Result<ServingSession> StreamSnippets(
+      const Query& query, const std::vector<CorpusResult>& corpus_results,
+      const SnippetOptions& options, const StreamOptions& stream,
+      const CorpusPin& pin) const;
 
   /// \brief End-to-end streamed serving. The returned CorpusQueryStream
-  /// owns the page, so the caller only needs to keep the corpus alive.
+  /// owns the page AND a pin on the served view, so the caller only needs
+  /// to keep the corpus object alive — concurrent mutations never touch a
+  /// live stream.
   ///
   /// With serving.page_size == 0: search + rank the whole corpus (blocking
   /// — ranking is global), then stream one snippet per page slot as it
@@ -278,6 +396,17 @@ class XmlCorpus {
   /// Mid-search failures surface per slot (every unreleased slot emits the
   /// search error; Collect reports the lowest one) rather than failing
   /// ServeQuery itself, which has already returned by then.
+  ///
+  /// The pin-taking overload serves exactly `pin`'s snapshot (the HTTP
+  /// layer passes the admission ticket's pin, so one request observes one
+  /// epoch end to end); the others pin the current view at entry.
+  Result<CorpusQueryStream> ServeQuery(const Query& query,
+                                       const SearchEngine& engine,
+                                       const RankingOptions& ranking,
+                                       const CorpusServingOptions& serving,
+                                       const SnippetOptions& options,
+                                       const StreamOptions& stream,
+                                       const CorpusPin& pin) const;
   Result<CorpusQueryStream> ServeQuery(const Query& query,
                                        const SearchEngine& engine,
                                        const RankingOptions& ranking,
@@ -291,9 +420,12 @@ class XmlCorpus {
 
   /// \brief Turns on the cross-query snippet cache for GenerateSnippets.
   ///
-  /// Document add/remove invalidates the affected entries automatically;
-  /// Invalidate/Clear on snippet_cache() are the manual hooks. Calling
-  /// again replaces the cache (and drops its contents).
+  /// Document removal invalidates the removed instance's entries
+  /// automatically (scoped by the epoch transition — see the file
+  /// comment); Invalidate/Clear on snippet_cache() are the manual hooks.
+  /// Calling again replaces the cache (and drops its contents). Unlike the
+  /// mutators, this is NOT safe concurrently with serving — enable the
+  /// cache before traffic starts.
   void EnableSnippetCache(const SnippetCache::Options& options);
   void EnableSnippetCache() { EnableSnippetCache(SnippetCache::Options{}); }
 
@@ -310,13 +442,15 @@ class XmlCorpus {
 
  private:
   /// Session-owned producer state of one streamed page (defined in
-  /// corpus.cc): the query copy, the page (owned or borrowed), per-document
-  /// services/contexts for the pending slots, and cache keys.
+  /// corpus.cc): the pinned view, the query copy, the page (owned or
+  /// borrowed), per-document services/contexts for the pending slots, and
+  /// cache keys.
   struct StreamPayload;
 
   /// The shared open path of StreamSnippets / ServeQuery: resolves
-  /// documents, probes the cache, builds per-document contexts for the
-  /// pending slots and opens the stream. `payload->page` must be set.
+  /// documents against the payload's pinned view, probes the cache, builds
+  /// per-document contexts for the pending slots and opens the stream.
+  /// `payload->page` and `payload->pin` must be set.
   Result<ServingSession> OpenStream(std::shared_ptr<StreamPayload> payload,
                                     const SnippetOptions& options,
                                     const StreamOptions& stream) const;
@@ -328,10 +462,16 @@ class XmlCorpus {
                                       const RankingOptions& ranking,
                                       const CorpusServingOptions& serving,
                                       const SnippetOptions& options,
-                                      const StreamOptions& stream) const;
+                                      const StreamOptions& stream,
+                                      const CorpusPin& pin) const;
 
-  std::map<std::string, XmlDatabase, std::less<>> databases_;
-  /// Shared by every document; keys carry the document name.
+  /// The epoch-published document table. Mutators hold
+  /// views_.writer_mutex() across their read-copy-update sequence (which
+  /// also guards next_instance_ / shutdown_); readers only Acquire.
+  EpochDomain<CorpusView> views_;
+  uint64_t next_instance_ = 1;  ///< guarded by views_.writer_mutex()
+  bool shutdown_ = false;       ///< guarded by views_.writer_mutex()
+  /// Shared by every document; keys carry the registration's cache_id.
   std::unique_ptr<SnippetCache> snippet_cache_;
   /// Observability only (mutated by const serving calls): internally
   /// synchronized, never affects results.

@@ -135,16 +135,18 @@ class SnippetCache {
     cache_.Put(key, std::move(value));
   }
 
-  /// Drops every entry generated against `document`. Call when a document
-  /// is removed or replaced; entries of other documents are untouched.
-  /// Returns the number of entries dropped.
+  /// Drops every entry generated against `document` (the key's document
+  /// id). Call when a document is removed or replaced; entries of other
+  /// ids are untouched. Returns the number of entries dropped.
   ///
   /// Ordering caveat (applies to Clear() too): invalidation only covers
-  /// entries already stored. A generation in flight against the old content
-  /// completes and Puts *after* the invalidation, resurrecting a stale
-  /// snippet. Callers own the ordering of content swaps versus in-flight
-  /// serving — quiesce serving around the swap, exactly as XmlCorpus
-  /// documents for its mutators.
+  /// entries already stored. A generation in flight against the old
+  /// content completes and Puts *after* the invalidation, resurrecting
+  /// the entry. Callers choose between two sound disciplines: quiesce
+  /// serving around the content swap, or — XmlCorpus's approach — scope
+  /// the document id to one immutable registration ("name@instance"), so
+  /// a late Put only resurrects an entry no future lookup can alias
+  /// (harmless residue the LRU ages out).
   size_t Invalidate(std::string_view document);
 
   /// Drops everything.

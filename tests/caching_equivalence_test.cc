@@ -284,5 +284,70 @@ TEST(CachingEquivalenceTest, InvalidationAfterDocumentSwap) {
   EXPECT_EQ(corpus.RemoveDocument("nope").code(), StatusCode::kNotFound);
 }
 
+// Invalidation racing an open stream: a lazily-producing stream pinned to
+// the old epoch is still draining (and Put-ting its snippets into the
+// cache) while the document is removed and re-added with new content.
+// Cache keys are scoped to the registration instance, so the old stream's
+// late Puts must never leak stale bytes into the new epoch's queries —
+// while the pinned old stream itself still serves the old content.
+TEST(CachingEquivalenceTest, InvalidationDuringOpenStream) {
+  XmlCorpus corpus;
+  corpus.EnableSnippetCache();
+  ASSERT_TRUE(corpus.AddDocument("data", GenerateStoresXml()).ok());
+
+  Query query = Query::Parse("texas");
+  XSeekEngine engine;
+  SnippetOptions options;
+  options.size_bound = 10;
+  StreamOptions lazy;
+  lazy.num_threads = 1;  // slots compute only as they are pulled
+
+  // Open the stream BEFORE the swap: the search runs at open against the
+  // old content, snippet generation (and its cache Puts) is still pending.
+  auto old_stream = corpus.ServeQuery(query, engine, RankingOptions{},
+                                      CorpusServingOptions{}, options, lazy);
+  ASSERT_TRUE(old_stream.ok()) << old_stream.status();
+  ASSERT_FALSE(old_stream->page().empty());
+
+  // Swap: same name, different content, while the old stream is open.
+  ASSERT_TRUE(corpus.RemoveDocument("data").ok());
+  ASSERT_TRUE(corpus.AddDocument("data", GenerateRetailerXml()).ok());
+
+  // A new-epoch query must serve fresh bytes (never the old content's).
+  XmlCorpus reference;
+  ASSERT_TRUE(reference.AddDocument("data", GenerateRetailerXml()).ok());
+  auto new_hits = corpus.SearchAll(query, engine);
+  ASSERT_TRUE(new_hits.ok());
+  ASSERT_FALSE(new_hits->empty());
+  auto new_snippets = corpus.GenerateSnippets(query, *new_hits, options);
+  ASSERT_TRUE(new_snippets.ok()) << new_snippets.status();
+  auto expected_new = reference.GenerateSnippets(query, *new_hits, options);
+  ASSERT_TRUE(expected_new.ok());
+  EXPECT_EQ(Fingerprints(*new_snippets), Fingerprints(*expected_new));
+
+  // Drain the old stream now: its pinned epoch still serves the OLD
+  // content, byte-identically — and every snippet it Puts lands under the
+  // retired instance's keys.
+  XmlCorpus old_reference;
+  ASSERT_TRUE(old_reference.AddDocument("data", GenerateStoresXml()).ok());
+  auto expected_old = old_reference.GenerateSnippets(
+      query, old_stream->page(), options, BatchOptions{});
+  ASSERT_TRUE(expected_old.ok()) << expected_old.status();
+  size_t drained = 0;
+  while (auto event = old_stream->stream().Next()) {
+    ASSERT_TRUE(event->snippet.ok()) << event->snippet.status();
+    EXPECT_EQ(Fingerprint(*event->snippet),
+              Fingerprint((*expected_old)[event->slot]));
+    ++drained;
+  }
+  EXPECT_EQ(drained, old_stream->page().size());
+
+  // The old stream's late Puts are in the cache now (residue under the
+  // retired instance) — the new epoch must STILL serve fresh bytes.
+  auto again = corpus.GenerateSnippets(query, *new_hits, options);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(Fingerprints(*again), Fingerprints(*expected_new));
+}
+
 }  // namespace
 }  // namespace extract

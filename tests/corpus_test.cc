@@ -30,7 +30,7 @@ TEST(CorpusTest, DuplicateNameRejected) {
   XmlCorpus corpus;
   ASSERT_TRUE(corpus.AddDocument("a", "<x>1</x>").ok());
   EXPECT_EQ(corpus.AddDocument("a", "<y>2</y>").code(),
-            StatusCode::kInvalidArgument);
+            StatusCode::kAlreadyExists);
   EXPECT_EQ(corpus.size(), 1u);
 }
 
