@@ -1,0 +1,95 @@
+#include "common/fault.h"
+
+namespace extract {
+
+namespace fault_internal {
+std::atomic<bool> g_armed{false};
+}  // namespace fault_internal
+
+namespace {
+
+/// xorshift64: tiny, seed-stable, and good enough for fire/no-fire draws.
+uint64_t NextPrng(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(std::vector<FaultRule> rules) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  rules_.reserve(rules.size());
+  for (FaultRule& rule : rules) {
+    ArmedRule armed;
+    armed.prng = rule.seed != 0 ? rule.seed : 1;
+    armed.rule = std::move(rule);
+    rules_.push_back(std::move(armed));
+  }
+  fault_internal::g_armed.store(!rules_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_internal::g_armed.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Check(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fault_internal::g_armed.load(std::memory_order_relaxed)) {
+    return Status::OK();
+  }
+  for (ArmedRule& armed : rules_) {
+    if (armed.rule.point != point) continue;
+    ++armed.hits;
+    if (armed.rule.max_fires != 0 && armed.fires >= armed.rule.max_fires) {
+      continue;
+    }
+    bool fire;
+    if (armed.rule.nth_hit != 0) {
+      fire = armed.hits == armed.rule.nth_hit;
+    } else {
+      // Draw in [0, 1): top 53 bits of the xorshift state.
+      const double draw =
+          static_cast<double>(NextPrng(&armed.prng) >> 11) / 9007199254740992.0;
+      fire = draw < armed.rule.probability;
+    }
+    if (fire) {
+      ++armed.fires;
+      return Status(armed.rule.code, armed.rule.message + " [fault:" +
+                                         std::string(point) + "]");
+    }
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::CheckFired(std::string_view point) {
+  return !Check(point).ok();
+}
+
+uint64_t FaultInjector::Hits(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t hits = 0;
+  for (const ArmedRule& armed : rules_) {
+    if (armed.rule.point == point) hits += armed.hits;
+  }
+  return hits;
+}
+
+uint64_t FaultInjector::TotalFires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t fires = 0;
+  for (const ArmedRule& armed : rules_) fires += armed.fires;
+  return fires;
+}
+
+}  // namespace extract

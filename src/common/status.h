@@ -32,6 +32,11 @@ enum class StatusCode {
   /// The entity a creation targeted already exists (duplicate corpus
   /// document add, mapped to HTTP 409).
   kAlreadyExists = 11,
+  /// A resource limit was hit: hostile input tripped a ParseLimits cap, a
+  /// QueryBudget was exhausted mid-query, or an allocation-bounding guard
+  /// fired. Mapped to HTTP 413 — the request was understood but is too
+  /// expensive to serve in full.
+  kResourceExhausted = 12,
 };
 
 /// Human-readable name of a StatusCode (e.g. "ParseError").
@@ -85,6 +90,9 @@ class Status {
   }
   static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -7,6 +7,8 @@
 #include <memory>
 #include <utility>
 
+#include "common/fault.h"
+
 namespace extract {
 
 namespace {
@@ -104,6 +106,11 @@ TaskGroup::~TaskGroup() {
 }
 
 void TaskGroup::Submit(std::function<void()> task) {
+  // Models a scheduler that silently loses work. Dropped before the
+  // outstanding count is bumped, so Wait() still quiesces; consumers of
+  // group work must be work-conserving (streams are: another producer or
+  // the consumer itself picks up the slot).
+  if (EXTRACT_FAULT_FIRED("pool.submit")) return;
   {
     std::lock_guard<std::mutex> lock(state_->mu);
     ++state_->outstanding;

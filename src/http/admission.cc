@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/fault.h"
+
 namespace extract {
 
 AdmissionController::AdmissionController(const AdmissionOptions& options)
@@ -27,6 +29,9 @@ AdmissionController::Ticket AdmissionController::MakeTicket() {
 
 Result<AdmissionController::Ticket> AdmissionController::Acquire(
     std::chrono::steady_clock::time_point deadline) {
+  // An injected shed surfaces exactly like a real one: no slot consumed,
+  // no waiter enqueued, the caller maps the Status to 503/413/etc.
+  EXTRACT_INJECT_FAULT("admission.acquire");
   const auto now = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
   if (shutdown_) {

@@ -9,23 +9,42 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
+#include "common/fault.h"
 #include "http/json.h"
 
 namespace extract {
 
 namespace {
 
-/// Blocking send of the whole buffer with SIGPIPE suppressed.
+/// Blocking send of the whole buffer with SIGPIPE suppressed. Loops on
+/// short writes (a partial send just advances the cursor). Failure
+/// taxonomy, audited per errno:
+///   * EINTR — retry immediately, no state lost.
+///   * ENOBUFS/ENOMEM — transient kernel memory pressure, not a dead
+///     peer: back off briefly and retry a bounded number of times before
+///     giving up (returning false would wrongly mark the client gone).
+///   * EAGAIN/EWOULDBLOCK — the SO_SNDTIMEO write budget expired with the
+///     peer not draining (stalled SSE reader): treat as disconnected.
+///   * EPIPE/ECONNRESET/anything else — the peer is gone.
 bool SendAll(int fd, std::string_view data) {
   size_t sent = 0;
+  int transient_retries = 0;
   while (sent < data.size()) {
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                        MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if ((errno == ENOBUFS || errno == ENOMEM) && transient_retries < 8) {
+        ++transient_retries;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(1 << transient_retries));
+        continue;
+      }
       return false;
     }
+    if (n > 0) transient_retries = 0;
     sent += static_cast<size_t>(n);
   }
   return true;
@@ -60,6 +79,8 @@ int HttpStatusForCode(StatusCode code) {
     case StatusCode::kDeadlineExceeded:
     case StatusCode::kUnavailable:
       return 503;
+    case StatusCode::kResourceExhausted:
+      return 413;
     case StatusCode::kUnimplemented:
       return 501;
     default:
@@ -71,7 +92,9 @@ int HttpStatusForCode(StatusCode code) {
 
 bool ResponseWriter::WriteAll(std::string_view data) {
   if (disconnected_) return false;
-  if (!SendAll(fd_, data)) {
+  // Simulated EPIPE: the injected write failure takes the exact sticky-
+  // disconnect branch a real one would.
+  if (EXTRACT_FAULT_FIRED("http.write") || !SendAll(fd_, data)) {
     disconnected_ = true;
     return false;
   }
@@ -264,12 +287,25 @@ void HttpServer::AcceptLoop() {
       ::close(fd);
       break;
     }
+    // Simulated transient accept failure (EMFILE and friends): the socket
+    // is dropped before any request is read; the client sees a clean EOF
+    // and the accept loop keeps serving.
+    if (EXTRACT_FAULT_FIRED("http.accept")) {
+      ::close(fd);
+      continue;
+    }
     timeval tv{};
     tv.tv_sec = static_cast<time_t>(options_.read_timeout.count() / 1000);
     tv.tv_usec =
         static_cast<suseconds_t>((options_.read_timeout.count() % 1000) *
                                  1000);
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    timeval wtv{};
+    wtv.tv_sec = static_cast<time_t>(options_.write_timeout.count() / 1000);
+    wtv.tv_usec =
+        static_cast<suseconds_t>((options_.write_timeout.count() % 1000) *
+                                 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &wtv, sizeof(wtv));
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
@@ -313,6 +349,9 @@ void HttpServer::HandleConnection(Connection* conn) {
   bool received_any = false;
   while (parser.state() == HttpRequestParser::State::kIncomplete &&
          running_.load()) {
+    // Simulated hard read error (ECONNRESET mid-head): close without a
+    // response, exactly like the n < 0 default branch below.
+    if (EXTRACT_FAULT_FIRED("http.read")) break;
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n > 0) {
       received_any = true;

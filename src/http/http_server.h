@@ -58,6 +58,10 @@ struct HttpServerOptions {
   /// Blocking-read timeout per recv; a request head not completed within
   /// ~this budget times out with 408.
   std::chrono::milliseconds read_timeout{5000};
+  /// Blocking-write timeout per send: a client that stops draining (a
+  /// stalled SSE reader) is treated as disconnected after ~this budget
+  /// instead of parking the connection thread forever.
+  std::chrono::milliseconds write_timeout{10000};
   HttpParseLimits parse_limits;
   AdmissionOptions admission;
 };
@@ -108,6 +112,13 @@ class ResponseWriter {
   /// Status code sent (for the server's response-class counters).
   int sent_status() const { return sent_status_; }
   bool response_started() const { return response_started_; }
+
+  /// \brief Wraps an arbitrary connected socket — the regression seam for
+  /// the write-path tests (socketpair partners dribbling 1-byte reads,
+  /// peers closed mid-write). Production writers are built by HttpServer.
+  static ResponseWriter ForSocket(int fd, bool head_request = false) {
+    return ResponseWriter(fd, head_request);
+  }
 
  private:
   friend class HttpServer;

@@ -24,6 +24,8 @@ int HttpStatusFor(const Status& status) {
     case StatusCode::kDeadlineExceeded:
     case StatusCode::kUnavailable:
       return 503;
+    case StatusCode::kResourceExhausted:
+      return 413;
     case StatusCode::kUnimplemented:
       return 501;
     default:
@@ -82,10 +84,14 @@ void AppendSearchStatsJson(const TopKSearchStats& stats, JsonBuilder& json) {
 }
 
 /// The trailing stats object of both renderings (the JSON page's "stats"
-/// member and the SSE `done` event payload).
-std::string RenderFinalStatsJson(const CorpusQueryStream& stream) {
+/// member and the SSE `done` event payload). `degraded` is true when any
+/// QueryBudget cap (node visits stream-side, output bytes here) truncated
+/// the page — the response is well-formed but partial. Shared by both
+/// renderings, so the degraded contract stays wire-equivalent.
+std::string RenderFinalStatsJson(const CorpusQueryStream& stream,
+                                 bool degraded) {
   JsonBuilder json;
-  json.BeginObject().Key("stream");
+  json.BeginObject().Key("degraded").Bool(degraded).Key("stream");
   AppendStreamStatsJson(stream.Stats(), json);
   json.Key("search");
   AppendSearchStatsJson(stream.SearchStats(), json);
@@ -245,6 +251,28 @@ void QueryService::HandleQuery(const HttpRequest& request,
     }
   }
 
+  // Per-request budget overrides; the configured serving budget is the
+  // default. 0 is rejected (use absence for "unlimited").
+  QueryBudget budget = options_.serving.budget;
+  if (const std::string* raw = request.FindParam("max_nodes")) {
+    auto parsed = ParseSizeParam(*raw);
+    if (!parsed.has_value() || *parsed == 0) {
+      writer.SendError(400, Status::InvalidArgument(
+                                "bad max_nodes: '" + *raw + "'"));
+      return;
+    }
+    budget.max_node_visits = *parsed;
+  }
+  if (const std::string* raw = request.FindParam("max_bytes")) {
+    auto parsed = ParseSizeParam(*raw);
+    if (!parsed.has_value() || *parsed == 0) {
+      writer.SendError(400, Status::InvalidArgument(
+                                "bad max_bytes: '" + *raw + "'"));
+      return;
+    }
+    budget.max_output_bytes = *parsed;
+  }
+
   const std::string* mode = request.FindParam("mode");
   bool sse;
   if (mode != nullptr) {
@@ -280,6 +308,7 @@ void QueryService::HandleQuery(const HttpRequest& request,
 
   CorpusServingOptions serving = options_.serving;
   serving.page_size = gated ? page_size : 0;
+  serving.budget = budget;
 
   // Serve against the epoch the ticket pinned at admission. The ticket
   // outlives the drain below, so the pinned view cannot be reclaimed while
@@ -298,12 +327,26 @@ void QueryService::HandleQuery(const HttpRequest& request,
   CorpusQueryStream& stream = *served;
 
   if (!sse) {
-    // Blocking JSON page: drain the stream, reassemble in slot order.
+    // Blocking JSON page: drain the stream, reassemble in slot order. An
+    // output-byte trip drops the over-cap slot and everything after it
+    // (cancelling the stream so unstarted slots stop costing pool time)
+    // but still answers 200 with the slots that fit — truncated, flagged.
     std::vector<std::pair<size_t, std::string>> slots;
+    bool truncated = false;
+    size_t rendered_bytes = 0;
     while (auto event = stream.stream().Next()) {
       // A vanished client cannot be answered; stop burning pool time on it.
       if (!writer.CheckClientAlive()) stream.Cancel();
-      slots.emplace_back(event->slot, RenderSlotJson(*event, stream.page()));
+      if (truncated) continue;  // drain the cancelled tail
+      std::string slot_json = RenderSlotJson(*event, stream.page());
+      if (budget.max_output_bytes != 0 &&
+          rendered_bytes + slot_json.size() > budget.max_output_bytes) {
+        truncated = true;
+        stream.Cancel();
+        continue;
+      }
+      rendered_bytes += slot_json.size();
+      slots.emplace_back(event->slot, std::move(slot_json));
     }
     std::sort(slots.begin(), slots.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -315,7 +358,7 @@ void QueryService::HandleQuery(const HttpRequest& request,
       body += slots[i].second;
     }
     body += "],\"stats\":";
-    body += RenderFinalStatsJson(stream);
+    body += RenderFinalStatsJson(stream, stream.degraded() || truncated);
     body += "}";
     writer.SendJson(200, body);
     return;
@@ -331,14 +374,26 @@ void QueryService::HandleQuery(const HttpRequest& request,
     return;
   }
   bool disconnected = false;
+  bool truncated = false;
+  size_t sent_bytes = 0;
   while (auto event = stream.stream().Next()) {
-    if (disconnected) continue;  // drain the cancelled tail silently
+    if (disconnected || truncated) continue;  // drain the tail silently
     SseFrame frame;
     frame.Event(event->snippet.ok() ? "snippet" : "error")
         .Id(event->slot)
         .Data(RenderSlotJson(*event, stream.page()));
-    if (!writer.WriteChunk(std::move(frame).Finish()) ||
-        !writer.CheckClientAlive()) {
+    std::string text = std::move(frame).Finish();
+    // Output-byte trip: suppress this and every later snippet frame; the
+    // stream is cancelled but still drained, and the `done` frame below
+    // closes the stream well-formed with degraded set.
+    if (budget.max_output_bytes != 0 &&
+        sent_bytes + text.size() > budget.max_output_bytes) {
+      truncated = true;
+      stream.Cancel();
+      continue;
+    }
+    sent_bytes += text.size();
+    if (!writer.WriteChunk(text) || !writer.CheckClientAlive()) {
       // Client is gone: cancel the stream so unstarted slots free the pool
       // immediately, then keep draining (cancelled events are instant).
       disconnected = true;
@@ -348,7 +403,8 @@ void QueryService::HandleQuery(const HttpRequest& request,
   }
   if (!disconnected) {
     SseFrame done;
-    done.Event("done").Data(RenderFinalStatsJson(stream));
+    done.Event("done").Data(
+        RenderFinalStatsJson(stream, stream.degraded() || truncated));
     writer.WriteChunk(std::move(done).Finish());
     writer.EndChunked();
   }

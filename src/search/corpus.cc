@@ -8,6 +8,7 @@
 #include <queue>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/thread_pool.h"
 #include "snippet/snippet_context.h"
 #include "snippet/snippet_service.h"
@@ -382,6 +383,10 @@ Status XmlCorpus::AddDatabase(const std::string& name, XmlDatabase db) {
   doc.instance = next_instance_++;
   doc.cache_id = name + "@" + std::to_string(doc.instance);
   next.documents.emplace(name, std::move(doc));
+  // Last failable step before the publish: a fired fault means the whole
+  // mutation fails with NOTHING published — in-flight readers keep the old
+  // view and a retry starts clean (a fresh instance id).
+  EXTRACT_INJECT_FAULT("epoch.publish");
   views_.Publish(std::move(next));
   // No cache invalidation needed: a fresh instance id means no cached
   // entry — from any epoch, under any interleaving — can name this
@@ -406,6 +411,7 @@ Status XmlCorpus::RemoveDocument(std::string_view name) {
     cache_id = it->second.cache_id;
     CorpusView next = *current;
     next.documents.erase(next.documents.find(name));
+    EXTRACT_INJECT_FAULT("epoch.publish");
     views_.Publish(std::move(next));
   }
   // Invalidate AFTER the publish: every new pin already misses the
@@ -645,8 +651,9 @@ struct XmlCorpus::StreamPayload {
   struct PerDocument {
     SnippetService service;
     SnippetContext context;
+    const XmlDatabase* db;  ///< for budget charging (subtree node counts)
     PerDocument(const XmlDatabase* db, const Query& query)
-        : service(db), context(db, query) {}
+        : service(db), context(db, query), db(db) {}
   };
 
   /// The view this page serves against. Held for the session's lifetime,
@@ -675,6 +682,33 @@ struct XmlCorpus::StreamPayload {
   /// Its compute closures probe/fill the cache per slot (slots are not
   /// known at open), unlike the blocking path's open-time probe.
   std::unique_ptr<internal::TopKCoordinator> coordinator;
+
+  /// Per-query resource caps (CorpusServingOptions::budget) plus the
+  /// charge counters the compute closures bump. Once one slot trips the
+  /// node cap, every later charge fails too: emitted snippets stand, the
+  /// rest of the page degrades to kResourceExhausted slot errors.
+  QueryBudget budget;
+  std::atomic<size_t> nodes_visited{0};
+  std::atomic<bool> degraded{false};
+
+  /// Charges `root`'s subtree against the node budget; kResourceExhausted
+  /// (and the sticky degraded flag) once the cap is crossed. The charge
+  /// happens before generation, so a slot never does over-cap work.
+  Status ChargeNodes(const XmlDatabase& db, NodeId root) {
+    if (budget.max_node_visits == 0) return Status::OK();
+    const size_t cost =
+        static_cast<size_t>(db.index().subtree_end(root) - root);
+    const size_t seen =
+        nodes_visited.fetch_add(cost, std::memory_order_relaxed) + cost;
+    if (seen > budget.max_node_visits) {
+      degraded.store(true, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "query budget exceeded: " + std::to_string(seen) +
+          " node visits > max_node_visits (" +
+          std::to_string(budget.max_node_visits) + ")");
+    }
+    return Status::OK();
+  }
 };
 
 Result<ServingSession> XmlCorpus::OpenStream(
@@ -754,6 +788,8 @@ Result<ServingSession> XmlCorpus::OpenStream(
     const CorpusResult& hit = (*state->page)[slot];
     StreamPayload::PerDocument& doc =
         *state->documents.find(hit.document)->second;
+    // Only misses reach compute (hits went live at open, uncharged).
+    EXTRACT_RETURN_IF_ERROR(state->ChargeNodes(*doc.db, hit.result.root));
     Result<Snippet> snippet =
         doc.service.Generate(doc.context, hit.result, options);
     if (!snippet.ok()) return snippet;
@@ -814,6 +850,7 @@ Result<CorpusQueryStream> XmlCorpus::ServeTopK(
   auto payload = std::make_shared<StreamPayload>();
   payload->pin = pin;
   payload->query = query;
+  payload->budget = serving.budget;
   // Reserved up front: the release hook appends while compute closures
   // index settled slots, which is only race-free because the buffer never
   // reallocates (element writes are published by the gate's watermark).
@@ -889,6 +926,9 @@ Result<CorpusQueryStream> XmlCorpus::ServeTopK(
         return cached->Clone();
       }
     }
+    // Charged after the cache probe: the budget caps generation work and
+    // cache hits do none.
+    EXTRACT_RETURN_IF_ERROR(state->ChargeNodes(*doc->db, hit.result.root));
     Result<Snippet> snippet =
         doc->service.Generate(doc->context, hit.result, opts);
     if (!snippet.ok()) return snippet;
@@ -910,7 +950,10 @@ Result<CorpusQueryStream> XmlCorpus::ServeTopK(
   };
   const std::vector<CorpusResult>* page_ptr = &payload->owned_page;
   builder.payload = std::move(payload);
-  return CorpusQueryStream(std::move(builder).Open(), page_ptr, coordinator);
+  CorpusQueryStream qs(std::move(builder).Open(), page_ptr, coordinator);
+  qs.degraded_ = &state->degraded;
+  qs.nodes_visited_ = &state->nodes_visited;
+  return qs;
 }
 
 Result<CorpusQueryStream> XmlCorpus::ServeQuery(
@@ -935,13 +978,18 @@ Result<CorpusQueryStream> XmlCorpus::ServeQuery(
   auto payload = std::make_shared<StreamPayload>();
   payload->pin = pin;
   payload->query = query;
+  payload->budget = serving.budget;
   payload->owned_page = std::move(*page);
   payload->page = &payload->owned_page;
   const std::vector<CorpusResult>* page_ptr = &payload->owned_page;
+  StreamPayload* state = payload.get();
   Result<ServingSession> session =
       OpenStream(std::move(payload), options, stream);
   if (!session.ok()) return session.status();
-  return CorpusQueryStream(std::move(*session), page_ptr);
+  CorpusQueryStream qs(std::move(*session), page_ptr);
+  qs.degraded_ = &state->degraded;
+  qs.nodes_visited_ = &state->nodes_visited;
+  return qs;
 }
 
 Result<CorpusQueryStream> XmlCorpus::ServeQuery(

@@ -50,6 +50,7 @@
 #ifndef EXTRACT_SEARCH_CORPUS_H_
 #define EXTRACT_SEARCH_CORPUS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -148,11 +149,32 @@ struct TopKSearchStats {
 /// partition regions then run inline on the pool workers), huge-few
 /// corpora run the document loop on the calling thread so the engine's
 /// partition parallelism gets the whole pool.
+/// \brief Per-query resource caps — the degraded-response failure domain.
+///
+/// A query that exceeds a cap is not killed: the slot that trips emits
+/// kResourceExhausted, every later slot short-circuits the same way, the
+/// already-emitted snippets stand, and CorpusQueryStream::degraded() turns
+/// true so the serving layer can mark the (well-formed, truncated)
+/// response as partial instead of failing it. Zero disables a cap.
+struct QueryBudget {
+  /// Cap on indexed nodes visited by snippet generation across the whole
+  /// page (each slot charges its result subtree's node count before
+  /// generating; cache hits are free — the budget caps work, not output).
+  size_t max_node_visits = 0;
+  /// Cap on response payload bytes, enforced by the HTTP layer as it
+  /// renders (the stream cannot see wire encoding). Carried here so one
+  /// struct names the whole budget.
+  size_t max_output_bytes = 0;
+};
+
 struct CorpusServingOptions {
   /// Worker threads searching shards: 0 = one per configured core
   /// (EXTRACT_POOL_THREADS overrides hardware_concurrency), 1 = the
   /// sequential fallback (searches on the calling thread, no pool).
   size_t search_threads = 0;
+
+  /// Per-query resource caps; default-constructed = unlimited.
+  QueryBudget budget;
 
   /// Upper bound on the number of shards the documents are partitioned
   /// into (contiguous runs in document-name order). 0 = one shard per
@@ -205,6 +227,21 @@ class CorpusQueryStream {
   /// search has settled every slot.
   TopKSearchStats SearchStats() const;
 
+  /// True once any slot tripped the QueryBudget node-visit cap: the stream
+  /// still drains (later slots emit kResourceExhausted) and everything
+  /// emitted before the trip stands — a truncated page, not a failed one.
+  bool degraded() const {
+    return degraded_ != nullptr &&
+           degraded_->load(std::memory_order_relaxed);
+  }
+
+  /// Indexed nodes charged against QueryBudget::max_node_visits so far.
+  size_t nodes_visited() const {
+    return nodes_visited_ == nullptr
+               ? 0
+               : nodes_visited_->load(std::memory_order_relaxed);
+  }
+
  private:
   friend class XmlCorpus;
   CorpusQueryStream(ServingSession session,
@@ -219,6 +256,10 @@ class CorpusQueryStream {
   const std::vector<CorpusResult>* page_;  ///< owned by session_'s payload
   /// Owned by session_'s payload; null for blocking-mode streams.
   internal::TopKCoordinator* coordinator_ = nullptr;
+  /// Budget telemetry, owned by session_'s payload; null when the serving
+  /// path carries no budget (XmlCorpus wires them after construction).
+  const std::atomic<bool>* degraded_ = nullptr;
+  const std::atomic<size_t>* nodes_visited_ = nullptr;
 };
 
 /// \brief A named collection of loaded databases with epoch-published

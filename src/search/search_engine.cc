@@ -7,6 +7,7 @@
 #include <functional>
 #include <limits>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "search/ranking.h"
@@ -17,6 +18,7 @@ namespace extract {
 
 Result<XmlDatabase> XmlDatabase::Load(std::string_view xml,
                                       const LoadOptions& options) {
+  EXTRACT_INJECT_FAULT("db.load");
   std::unique_ptr<XmlDocument> doc;
   EXTRACT_ASSIGN_OR_RETURN(doc, ParseXml(xml, options.parse));
   return FromDocument(std::move(doc), options);
@@ -28,6 +30,7 @@ Result<XmlDatabase> XmlDatabase::Load(std::string_view xml) {
 
 Result<XmlDatabase> XmlDatabase::FromDocument(std::unique_ptr<XmlDocument> doc,
                                               const LoadOptions& options) {
+  EXTRACT_INJECT_FAULT("index.document.build");
   IndexedDocument index;
   EXTRACT_ASSIGN_OR_RETURN(index,
                            IndexedDocument::Build(*doc, options.indexing));
@@ -38,6 +41,7 @@ Result<XmlDatabase> XmlDatabase::FromDocument(std::unique_ptr<XmlDocument> doc,
 Result<XmlDatabase> XmlDatabase::FromIndexedDocument(IndexedDocument index,
                                                      const Dtd* dtd,
                                                      const LoadOptions& options) {
+  EXTRACT_INJECT_FAULT("index.partitions.build");
   XmlDatabase db;
   db.index_ = std::make_unique<IndexedDocument>(std::move(index));
   db.partitions_ = IndexPartitions::Build(*db.index_, options.partitioning);
@@ -326,6 +330,7 @@ Result<std::unique_ptr<ResultProducer>> XSeekEngine::OpenIncremental(
 
 Result<std::vector<QueryResult>> XSeekEngine::Search(const XmlDatabase& db,
                                                      const Query& query) const {
+  EXTRACT_INJECT_FAULT("search.execute");
   if (query.keywords.empty()) {
     return Status::InvalidArgument("query has no keywords");
   }

@@ -38,6 +38,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/fault.h"
 #include "common/lru_cache.h"
 #include "snippet/snippet_options.h"
 #include "snippet/snippet_service.h"
@@ -127,11 +128,17 @@ class SnippetCache {
   /// immutable and stays alive while the caller holds the pointer, even
   /// across eviction; copy it out with Snippet::Clone().
   std::shared_ptr<const Snippet> Get(const SnippetCacheKey& key) {
+    // A fired fault is a forced miss: the caller regenerates, which must
+    // produce a byte-identical snippet (the cache is purely memoization).
+    if (EXTRACT_FAULT_FIRED("cache.get")) return nullptr;
     auto hit = cache_.Get(key);
     return hit ? std::move(*hit) : nullptr;
   }
 
   void Put(const SnippetCacheKey& key, std::shared_ptr<const Snippet> value) {
+    // A fired fault drops the insert — a cache that lost the write. Only
+    // hit rates change, never results.
+    if (EXTRACT_FAULT_FIRED("cache.put")) return;
     cache_.Put(key, std::move(value));
   }
 

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "common/fault.h"
+
 namespace extract {
 
 namespace {
@@ -33,7 +35,11 @@ Result<Snippet> SnippetService::RunPipeline(SnippetContext& ctx,
   for (size_t s = 0; s < stages_.size(); ++s) {
     const SnippetStage& stage = *stages_[s];
     const Clock::time_point start = Clock::now();
-    Status status = stage.Run(ctx, options, draft);
+    // Fires between stages, then flows through the same decoration below
+    // that a genuine stage failure takes.
+    Status status = Status::OK();
+    EXTRACT_FAULT_CHECK_INTO(status, "snippet.stage");
+    if (status.ok()) status = stage.Run(ctx, options, draft);
     counters_[s].Record(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
                                                              start)

@@ -1,0 +1,36 @@
+// Hostile-input caps shared by the tokenizer and the DOM parser.
+//
+// Real-world XML collections contain malformed and adversarial documents
+// (nesting bombs, megabyte attribute tokens, entity floods). Every cap
+// here is checked BEFORE the offending bytes are copied or the offending
+// node is allocated, so a hostile document is rejected with
+// kResourceExhausted while peak memory stays proportional to the limit,
+// never to the attack — the parser's memory ceiling is ~2x the largest
+// admitted token, not the input size.
+
+#ifndef EXTRACT_XML_PARSE_LIMITS_H_
+#define EXTRACT_XML_PARSE_LIMITS_H_
+
+#include <cstddef>
+
+namespace extract {
+
+/// Caps enforced during tokenization (token bytes, entity expansions) and
+/// tree building (element depth, total nodes). A zero disables that cap —
+/// the pre-hardening behavior, kept for trusted embedded inputs.
+struct ParseLimits {
+  /// Maximum open-element depth of the DOM (a nesting bomb is rejected at
+  /// this depth instead of growing an unbounded stack).
+  size_t max_depth = 256;
+  /// Maximum bytes of one token's content: a text run, CDATA/comment/PI
+  /// body, attribute value, name, or DOCTYPE internal subset.
+  size_t max_token_bytes = 8u << 20;  // 8 MiB
+  /// Maximum nodes appended to one document's DOM.
+  size_t max_total_nodes = 4u << 20;  // ~4.2M nodes
+  /// Maximum entity references ('&...;') resolved across the document.
+  size_t max_entity_expansions = 1u << 20;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_XML_PARSE_LIMITS_H_

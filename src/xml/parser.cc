@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "xml/tokenizer.h"
 
@@ -27,8 +28,23 @@ Status BuildTree(XmlTokenizer* tokenizer, XmlNode* document_node,
   std::vector<XmlNode*> stack;  // open elements; document_node is implicit
   XmlNode* root_seen = nullptr;
   bool doctype_seen = false;
+  const ParseLimits& limits = options.limits;
+  size_t total_nodes = 0;
+  // Every AppendChild below charges this first, so a node-count bomb is
+  // rejected before the node over the cap is allocated.
+  const auto charge_node = [&limits, &total_nodes,
+                            tokenizer]() -> Status {
+    if (limits.max_total_nodes != 0 && ++total_nodes > limits.max_total_nodes) {
+      return Status::ResourceExhausted(
+          "document exceeds max_total_nodes (" +
+          std::to_string(limits.max_total_nodes) + ") at line " +
+          std::to_string(tokenizer->line()));
+    }
+    return Status::OK();
+  };
 
   for (;;) {
+    EXTRACT_INJECT_FAULT("xml.parser.build");
     XmlToken token;
     EXTRACT_ASSIGN_OR_RETURN(token, tokenizer->Next());
     XmlNode* parent = stack.empty() ? document_node : stack.back();
@@ -52,6 +68,13 @@ Status BuildTree(XmlTokenizer* tokenizer, XmlNode* document_node,
                 "> at line " + std::to_string(token.line));
           }
         }
+        if (limits.max_depth != 0 && stack.size() >= limits.max_depth) {
+          return Status::ResourceExhausted(
+              "element nesting exceeds max_depth (" +
+              std::to_string(limits.max_depth) + ") at line " +
+              std::to_string(token.line));
+        }
+        EXTRACT_RETURN_IF_ERROR(charge_node());
         XmlNode* element = parent->AppendChild(XmlNode::MakeElement(token.name));
         for (auto& attr : token.attributes) {
           element->AddAttribute(std::move(attr.name), std::move(attr.value));
@@ -90,6 +113,7 @@ Status BuildTree(XmlTokenizer* tokenizer, XmlNode* document_node,
           XmlNode* last = parent->children().back().get();
           last->set_content(last->content() + token.content);
         } else {
+          EXTRACT_RETURN_IF_ERROR(charge_node());
           parent->AppendChild(XmlNode::MakeText(std::move(token.content)));
         }
         break;
@@ -99,17 +123,20 @@ Status BuildTree(XmlTokenizer* tokenizer, XmlNode* document_node,
           return Status::ParseError("CDATA outside the root element at line " +
                                     std::to_string(token.line));
         }
+        EXTRACT_RETURN_IF_ERROR(charge_node());
         parent->AppendChild(XmlNode::MakeCData(std::move(token.content)));
         break;
       }
       case XmlTokenType::kComment: {
         if (options.keep_comments && !stack.empty()) {
+          EXTRACT_RETURN_IF_ERROR(charge_node());
           parent->AppendChild(XmlNode::MakeComment(std::move(token.content)));
         }
         break;
       }
       case XmlTokenType::kProcessingInstruction: {
         if (options.keep_processing_instructions) {
+          EXTRACT_RETURN_IF_ERROR(charge_node());
           parent->AppendChild(XmlNode::MakeProcessingInstruction(
               std::move(token.name), std::move(token.content)));
         }
@@ -148,7 +175,7 @@ Status BuildTree(XmlTokenizer* tokenizer, XmlNode* document_node,
 Result<std::unique_ptr<XmlDocument>> ParseXml(std::string_view input,
                                               const XmlParseOptions& options) {
   auto doc = std::make_unique<XmlDocument>();
-  XmlTokenizer tokenizer(input);
+  XmlTokenizer tokenizer(input, options.limits);
   EXTRACT_RETURN_IF_ERROR(
       BuildTree(&tokenizer, doc->document(), doc.get(), options));
   return doc;
@@ -160,8 +187,8 @@ Result<std::unique_ptr<XmlDocument>> ParseXml(std::string_view input) {
 
 Result<std::unique_ptr<XmlNode>> ParseXmlFragment(std::string_view input) {
   auto holder = XmlNode::MakeDocument();
-  XmlTokenizer tokenizer(input);
   XmlParseOptions options;
+  XmlTokenizer tokenizer(input, options.limits);
   EXTRACT_RETURN_IF_ERROR(
       BuildTree(&tokenizer, holder.get(), /*doc_or_null=*/nullptr, options));
   // Detach the single root element.

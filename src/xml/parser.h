@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "xml/dom.h"
+#include "xml/parse_limits.h"
 
 namespace extract {
 
@@ -24,6 +25,11 @@ struct XmlParseOptions {
   /// the DOCTYPE is skipped; node classification then falls back to data
   /// inference.
   bool parse_dtd = true;
+  /// Hostile-input caps (depth, token bytes, node count, entity
+  /// expansions), enforced tokenizer-through-DOM. Violations return
+  /// kResourceExhausted with position info; a zeroed field disables that
+  /// cap. See xml/parse_limits.h for the defaults.
+  ParseLimits limits;
 };
 
 /// \brief Parses a complete XML document.

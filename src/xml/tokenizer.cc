@@ -1,7 +1,9 @@
 #include "xml/tokenizer.h"
 
+#include <algorithm>
 #include <cctype>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "xml/escape.h"
 
@@ -15,7 +17,11 @@ bool IsXmlNameChar(unsigned char c) {
   return IsXmlNameStartChar(c) || std::isdigit(c) != 0 || c == '-' || c == '.';
 }
 
-XmlTokenizer::XmlTokenizer(std::string_view input) : input_(input) {}
+XmlTokenizer::XmlTokenizer(std::string_view input)
+    : XmlTokenizer(input, ParseLimits{}) {}
+
+XmlTokenizer::XmlTokenizer(std::string_view input, const ParseLimits& limits)
+    : input_(input), limits_(limits) {}
 
 char XmlTokenizer::PeekAt(size_t offset) const {
   size_t p = pos_ + offset;
@@ -48,16 +54,45 @@ Status XmlTokenizer::Error(const std::string& message) const {
                             ", column " + std::to_string(column_));
 }
 
+Status XmlTokenizer::LimitError(const std::string& message) const {
+  return Status::ResourceExhausted(message + " at line " +
+                                   std::to_string(line_) + ", column " +
+                                   std::to_string(column_));
+}
+
+Status XmlTokenizer::CheckTokenBytes(size_t raw_bytes) const {
+  if (limits_.max_token_bytes != 0 && raw_bytes > limits_.max_token_bytes) {
+    return LimitError("token exceeds max_token_bytes (" +
+                      std::to_string(raw_bytes) + " > " +
+                      std::to_string(limits_.max_token_bytes) + ")");
+  }
+  return Status::OK();
+}
+
+Status XmlTokenizer::ChargeEntities(std::string_view raw) {
+  if (limits_.max_entity_expansions == 0) return Status::OK();
+  entity_expansions_ += static_cast<size_t>(
+      std::count(raw.begin(), raw.end(), '&'));
+  if (entity_expansions_ > limits_.max_entity_expansions) {
+    return LimitError("entity expansion cap exceeded (" +
+                      std::to_string(entity_expansions_) + " > " +
+                      std::to_string(limits_.max_entity_expansions) + ")");
+  }
+  return Status::OK();
+}
+
 Result<std::string> XmlTokenizer::ReadName() {
   if (AtEnd() || !IsXmlNameStartChar(static_cast<unsigned char>(Peek()))) {
     return Error("expected name");
   }
   size_t start = pos_;
   while (!AtEnd() && IsXmlNameChar(static_cast<unsigned char>(Peek()))) Advance();
+  EXTRACT_RETURN_IF_ERROR(CheckTokenBytes(pos_ - start));
   return std::string(input_.substr(start, pos_ - start));
 }
 
 Result<XmlToken> XmlTokenizer::Next() {
+  EXTRACT_INJECT_FAULT("xml.tokenizer.next");
   if (AtEnd()) {
     XmlToken t;
     t.type = XmlTokenType::kEndOfInput;
@@ -122,6 +157,8 @@ Result<XmlToken> XmlTokenizer::ReadStartTag() {
       Advance();
     }
     if (AtEnd()) return Error("unterminated attribute value");
+    EXTRACT_RETURN_IF_ERROR(CheckTokenBytes(pos_ - start));
+    EXTRACT_RETURN_IF_ERROR(ChargeEntities(input_.substr(start, pos_ - start)));
     EXTRACT_ASSIGN_OR_RETURN(
         attr.value, UnescapeXml(input_.substr(start, pos_ - start)));
     Advance();  // closing quote
@@ -152,6 +189,7 @@ Result<XmlToken> XmlTokenizer::ReadComment() {
   size_t start = pos_;
   size_t end = input_.find("-->", pos_);
   if (end == std::string_view::npos) return Error("unterminated comment");
+  EXTRACT_RETURN_IF_ERROR(CheckTokenBytes(end - start));
   // XML forbids "--" inside comments; tolerate it but still find the end.
   t.content = std::string(input_.substr(start, end - start));
   while (pos_ < end + 3) Advance();
@@ -167,6 +205,7 @@ Result<XmlToken> XmlTokenizer::ReadCData() {
   size_t start = pos_;
   size_t end = input_.find("]]>", pos_);
   if (end == std::string_view::npos) return Error("unterminated CDATA section");
+  EXTRACT_RETURN_IF_ERROR(CheckTokenBytes(end - start));
   t.content = std::string(input_.substr(start, end - start));
   while (pos_ < end + 3) Advance();
   return t;
@@ -186,6 +225,7 @@ Result<XmlToken> XmlTokenizer::ReadPiOrXmlDecl() {
   if (end == std::string_view::npos) {
     return Error("unterminated processing instruction");
   }
+  EXTRACT_RETURN_IF_ERROR(CheckTokenBytes(end - start));
   t.content = std::string(input_.substr(start, end - start));
   while (pos_ < end + 2) Advance();
   return t;
@@ -228,6 +268,7 @@ Result<XmlToken> XmlTokenizer::ReadDoctype() {
         } else if (d == ']') {
           --depth;
           if (depth == 0) {
+            EXTRACT_RETURN_IF_ERROR(CheckTokenBytes(pos_ - start));
             t.content = std::string(input_.substr(start, pos_ - start));
             Advance();  // ']'
             continue;
@@ -263,6 +304,8 @@ Result<XmlToken> XmlTokenizer::ReadText() {
   t.column = column_;
   size_t start = pos_;
   while (!AtEnd() && Peek() != '<') Advance();
+  EXTRACT_RETURN_IF_ERROR(CheckTokenBytes(pos_ - start));
+  EXTRACT_RETURN_IF_ERROR(ChargeEntities(input_.substr(start, pos_ - start)));
   Result<std::string> unescaped = UnescapeXml(input_.substr(start, pos_ - start));
   if (!unescaped.ok()) {
     return Status::ParseError(unescaped.status().message() + " at line " +

@@ -21,6 +21,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "xml/parse_limits.h"
 
 namespace extract {
 
@@ -71,8 +72,10 @@ struct XmlToken {
 /// stack (tag balance); the DOM parser layered on top does.
 class XmlTokenizer {
  public:
-  /// The input must outlive the tokenizer.
+  /// The input must outlive the tokenizer. The default limits reject
+  /// hostile inputs (see xml/parse_limits.h) with kResourceExhausted.
   explicit XmlTokenizer(std::string_view input);
+  XmlTokenizer(std::string_view input, const ParseLimits& limits);
 
   /// Produces the next token or a ParseError with position information.
   Result<XmlToken> Next();
@@ -92,6 +95,13 @@ class XmlTokenizer {
   void SkipWhitespace();
 
   Status Error(const std::string& message) const;
+  /// kResourceExhausted with position info — a ParseLimits cap tripped.
+  Status LimitError(const std::string& message) const;
+  /// Rejects a token whose raw content spans more than max_token_bytes,
+  /// BEFORE the bytes are copied out of the input buffer.
+  Status CheckTokenBytes(size_t raw_bytes) const;
+  /// Counts the entity references of a raw slice against the expansion cap.
+  Status ChargeEntities(std::string_view raw);
 
   Result<std::string> ReadName();
   Result<XmlToken> ReadMarkup();       // dispatches on '<...'
@@ -104,9 +114,11 @@ class XmlTokenizer {
   Result<XmlToken> ReadText();
 
   std::string_view input_;
+  ParseLimits limits_;
   size_t pos_ = 0;
   int line_ = 1;
   int column_ = 1;
+  size_t entity_expansions_ = 0;
 };
 
 /// True iff `c` may start an XML name.

@@ -1,0 +1,175 @@
+// Write-path hardening of ResponseWriter (ISSUE satellite: audit every
+// write path for partial-write and error handling). The regression seam is
+// ResponseWriter::ForSocket over a socketpair, which lets the tests create
+// exactly the conditions a slow, hostile or vanished client produces:
+//
+//   * a reader draining ONE byte at a time (every send() is partial);
+//   * a peer that closed mid-response (EPIPE — must flip the sticky
+//     disconnected flag, not crash, not signal);
+//   * a reader that stops draining entirely (SO_SNDTIMEO expiry — the
+//     stalled-SSE-client case).
+
+#include "http/http_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "http_test_util.h"
+
+namespace extract {
+namespace {
+
+struct SocketPair {
+  int writer = -1;
+  int reader = -1;
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    writer = fds[0];
+    reader = fds[1];
+  }
+  ~SocketPair() {
+    if (writer >= 0) ::close(writer);
+    if (reader >= 0) ::close(reader);
+  }
+};
+
+/// Drains `fd` one byte at a time until EOF — the pathological client that
+/// turns every large send() into a short write.
+std::string DribbleToEof(int fd) {
+  std::string out;
+  char c;
+  for (;;) {
+    ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n == 1) {
+      out.push_back(c);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  return out;
+}
+
+TEST(ResponseWriterTest, LargeBodySurvivesOneByteDribbleReader) {
+  SocketPair pair;
+  // Shrink the send buffer so the megabyte body cannot fit: SendAll's
+  // short-write loop must carry the remainder forward.
+  const int sndbuf = 4096;
+  ::setsockopt(pair.writer, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+
+  std::string body(1 << 20, 'x');
+  std::string received;
+  std::thread reader([&] { received = DribbleToEof(pair.reader); });
+
+  ResponseWriter writer = ResponseWriter::ForSocket(pair.writer);
+  writer.SendResponse(200, "text/plain", body);
+  EXPECT_FALSE(writer.client_disconnected());
+  ::shutdown(pair.writer, SHUT_WR);
+  reader.join();
+
+  testing::HttpResponse parsed = testing::ParseResponse(received);
+  ASSERT_TRUE(parsed.valid);
+  EXPECT_EQ(parsed.status, 200);
+  EXPECT_EQ(parsed.body, body);  // byte-exact despite ~1M partial writes
+}
+
+TEST(ResponseWriterTest, ChunkedStreamSurvivesDribbleReader) {
+  SocketPair pair;
+  const int sndbuf = 4096;
+  ::setsockopt(pair.writer, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+
+  std::string received;
+  std::thread reader([&] { received = DribbleToEof(pair.reader); });
+
+  ResponseWriter writer = ResponseWriter::ForSocket(pair.writer);
+  ASSERT_TRUE(writer.BeginChunked(200, "text/event-stream"));
+  std::string expected;
+  for (int i = 0; i < 64; ++i) {
+    std::string chunk = "event " + std::to_string(i) + ": " +
+                        std::string(1024, static_cast<char>('a' + i % 26)) +
+                        "\n";
+    expected += chunk;
+    ASSERT_TRUE(writer.WriteChunk(chunk)) << "chunk " << i;
+  }
+  ASSERT_TRUE(writer.EndChunked());
+  EXPECT_FALSE(writer.client_disconnected());
+  ::shutdown(pair.writer, SHUT_WR);
+  reader.join();
+
+  testing::HttpResponse parsed = testing::ParseResponse(received);
+  ASSERT_TRUE(parsed.valid);
+  EXPECT_EQ(parsed.headers["transfer-encoding"], "chunked");
+  EXPECT_EQ(parsed.body, expected);
+}
+
+TEST(ResponseWriterTest, PeerCloseMakesDisconnectSticky) {
+  SocketPair pair;
+  ::close(pair.reader);
+  pair.reader = -1;
+
+  ResponseWriter writer = ResponseWriter::ForSocket(pair.writer);
+  // Large enough to defeat the kernel's willingness to buffer into a dead
+  // socket; MSG_NOSIGNAL turns the SIGPIPE into EPIPE.
+  writer.SendResponse(200, "text/plain", std::string(1 << 20, 'x'));
+  EXPECT_TRUE(writer.client_disconnected());
+
+  // Sticky: every later write is a no-op returning failure, never a crash.
+  EXPECT_FALSE(writer.BeginChunked(200, "text/plain"));
+  EXPECT_FALSE(writer.WriteChunk("more"));
+  EXPECT_FALSE(writer.EndChunked());
+  EXPECT_TRUE(writer.client_disconnected());
+}
+
+TEST(ResponseWriterTest, PeerCloseMidChunkedStreamIsDetected) {
+  SocketPair pair;
+  ResponseWriter writer = ResponseWriter::ForSocket(pair.writer);
+  ASSERT_TRUE(writer.BeginChunked(200, "text/event-stream"));
+  ASSERT_TRUE(writer.WriteChunk("first\n"));
+
+  ::close(pair.reader);
+  pair.reader = -1;
+  // The close may take one or two writes to surface (the first can land in
+  // the kernel buffer); it must surface as the sticky flag, not a signal.
+  bool failed = false;
+  for (int i = 0; i < 64 && !failed; ++i) {
+    failed = !writer.WriteChunk(std::string(64 * 1024, 'y'));
+  }
+  EXPECT_TRUE(failed);
+  EXPECT_TRUE(writer.client_disconnected());
+}
+
+TEST(ResponseWriterTest, StalledReaderTripsSendTimeout) {
+  SocketPair pair;
+  const int sndbuf = 4096;
+  ::setsockopt(pair.writer, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+  // The production AcceptLoop arms SO_SNDTIMEO from options.write_timeout;
+  // mirror it here with a short budget. The reader never drains, so the
+  // buffers fill and send() must give up instead of parking forever.
+  timeval tv{};
+  tv.tv_usec = 200 * 1000;
+  ::setsockopt(pair.writer, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  ResponseWriter writer = ResponseWriter::ForSocket(pair.writer);
+  writer.SendResponse(200, "text/plain", std::string(4 << 20, 'z'));
+  EXPECT_TRUE(writer.client_disconnected());
+}
+
+TEST(ResponseWriterTest, CheckClientAliveSeesPeerReset) {
+  SocketPair pair;
+  ResponseWriter writer = ResponseWriter::ForSocket(pair.writer);
+  EXPECT_TRUE(writer.CheckClientAlive());
+  ::close(pair.reader);
+  pair.reader = -1;
+  EXPECT_FALSE(writer.CheckClientAlive());
+  EXPECT_TRUE(writer.client_disconnected());
+}
+
+}  // namespace
+}  // namespace extract
