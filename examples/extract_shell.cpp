@@ -28,6 +28,13 @@
 //   result <rank>                   print the full tree of a result
 //   html <path>                     write the last results page as HTML
 //   save <path> / load <path>       snapshot the active data set's index
+//   snapshot save <path>            persist the whole corpus as one
+//                                   mmap-able snapshot image
+//   snapshot open <path>            attach a corpus snapshot: documents
+//                                   become queryable at once and decode
+//                                   lazily on first touch
+//   snapshot stats                  fault-in counters of the attached
+//                                   snapshot
 //   load <name> <file>              parse an XML file into the live corpus
 //                                   under <name>, printing the epoch
 //                                   transition (safe mid-session: pinned
@@ -118,11 +125,18 @@ struct ShellState {
       retired_stats.Merge(session.service->StageStatsSnapshot());
     }
     // Pin the current epoch for the session's lifetime: later `unload`s
-    // retire the view but cannot free it under the session.
+    // retire the view but cannot free it under the session. Resolution goes
+    // through the view, so a snapshot-backed data set faults in here.
     session.pin = corpus.PinView();
-    session.db = session.pin->documents.find(active)->second.db.get();
+    Result<ResolvedDocument> resolved = session.pin->Resolve(active);
+    session.db = resolved.ok() ? resolved->db->get() : nullptr;
     session.document = active;
     session.text = text;
+    if (session.db == nullptr) {
+      session.service.reset();
+      session.context.reset();
+      return session;
+    }
     session.service = std::make_unique<SnippetService>(session.db);
     session.context = std::make_unique<SnippetContext>(session.db, query);
     return session;
@@ -175,6 +189,10 @@ void CmdQuery(ShellState* state, const std::string& text) {
   // later `bound` regenerations all observe the same content even if the
   // data set is unloaded or replaced between commands.
   QuerySession& session = state->SessionFor(text, query);
+  if (session.db == nullptr) {
+    std::printf("error: cannot resolve '%s'\n", state->active.c_str());
+    return;
+  }
   XSeekEngine engine;
   auto results = engine.Search(*session.db, query);
   if (!results.ok()) {
@@ -479,6 +497,66 @@ void CmdUnload(ShellState* state, const std::string& name) {
   if (state->active == name) state->active.clear();
 }
 
+// `snapshot save <path>`: persist every visible document as one mmap-able
+// corpus snapshot image. `snapshot open <path>`: attach such an image —
+// its documents become queryable immediately and decode lazily on first
+// touch. `snapshot stats`: fault-in counters of the attached snapshot.
+void CmdSnapshot(ShellState* state, const std::string& rest) {
+  std::istringstream args(rest);
+  std::string sub, path;
+  args >> sub >> path;
+  if (sub == "save" && !path.empty()) {
+    Status status = state->corpus.SaveSnapshot(path);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return;
+    }
+    std::printf("saved %zu document(s) to %s\n", state->corpus.size(),
+                path.c_str());
+    return;
+  }
+  if (sub == "open" && !path.empty()) {
+    auto snapshot = CorpusSnapshot::Open(path);
+    if (!snapshot.ok()) {
+      std::printf("error: %s\n", snapshot.status().ToString().c_str());
+      return;
+    }
+    CorpusSnapshotStats stats = (*snapshot)->Stats();
+    Status status = state->corpus.AttachSnapshot(std::move(*snapshot));
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return;
+    }
+    std::printf("attached %llu document(s) from %s (%.2f MB mapped, "
+                "opened in %.3f ms)\n",
+                static_cast<unsigned long long>(stats.documents),
+                path.c_str(),
+                static_cast<double>(stats.file_bytes) / 1e6,
+                static_cast<double>(stats.open_ns) / 1e6);
+    return;
+  }
+  if (sub == "stats") {
+    auto stats = state->corpus.SnapshotStatsSnapshot();
+    if (!stats.has_value()) {
+      std::printf("no snapshot attached\n");
+      return;
+    }
+    std::printf("snapshot %s: %llu document(s), %llu resident, "
+                "%llu fault(s) (%llu failed), %.2f ms faulting, "
+                "opened in %.3f ms\n",
+                stats->path.c_str(),
+                static_cast<unsigned long long>(stats->documents),
+                static_cast<unsigned long long>(stats->resident),
+                static_cast<unsigned long long>(stats->faults),
+                static_cast<unsigned long long>(stats->fault_failures),
+                static_cast<double>(stats->fault_ns) / 1e6,
+                static_cast<double>(stats->open_ns) / 1e6);
+    return;
+  }
+  std::printf(
+      "usage: snapshot save <path> | snapshot open <path> | snapshot stats\n");
+}
+
 void CmdCache(ShellState* state, const std::string& arg) {
   SnippetCache* cache = state->corpus.snippet_cache();
   if (cache == nullptr) {
@@ -504,6 +582,7 @@ void PrintHelp() {
       "schema |\n  bound <n> | query <kw...> | queryall <kw...> | "
       "stream <kw...> |\n  result <rank> | html <path> | "
       "save <path> | load <path> |\n  load <name> <file> | unload <name> | "
+      "snapshot save|open <path> |\n  snapshot stats | "
       "cache [clear] | stats [reset] |\n  help | quit\n");
 }
 
@@ -568,6 +647,8 @@ int main() {
       }
     } else if (command == "unload") {
       CmdUnload(&state, rest);
+    } else if (command == "snapshot") {
+      CmdSnapshot(&state, rest);
     } else if (command == "cache") {
       CmdCache(&state, rest);
     } else if (command == "stats") {

@@ -1,0 +1,90 @@
+#include "common/mmap_file.h"
+
+#include <cstdio>
+#include <utility>
+
+#if defined(_WIN32)
+#define EXTRACT_HAS_MMAP 0
+#else
+#define EXTRACT_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace extract {
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+    fallback_ = std::move(other.fallback_);
+  }
+  return *this;
+}
+
+MmapFile::~MmapFile() { Release(); }
+
+void MmapFile::Release() {
+#if EXTRACT_HAS_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+  fallback_.clear();
+}
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+#if EXTRACT_HAS_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("cannot stat " + path);
+  }
+  MmapFile out;
+  out.size_ = static_cast<size_t>(st.st_size);
+  if (out.size_ > 0) {
+    void* addr = ::mmap(nullptr, out.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      return Status::Internal("cannot mmap " + path);
+    }
+    out.data_ = static_cast<const uint8_t*>(addr);
+    out.mapped_ = true;
+  }
+  ::close(fd);  // the mapping keeps the inode alive
+  return out;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  MmapFile out;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot size " + path);
+  }
+  out.fallback_.resize(static_cast<size_t>(size));
+  if (size > 0 &&
+      std::fread(out.fallback_.data(), 1, out.fallback_.size(), f) !=
+          out.fallback_.size()) {
+    std::fclose(f);
+    return Status::Internal("short read from " + path);
+  }
+  std::fclose(f);
+  out.data_ = out.fallback_.empty() ? nullptr : out.fallback_.data();
+  out.size_ = out.fallback_.size();
+  return out;
+#endif
+}
+
+}  // namespace extract

@@ -1,0 +1,59 @@
+// Read-only memory-mapped files — the zero-copy substrate of the corpus
+// snapshot loader (search/corpus_snapshot.h).
+//
+// Open() maps the whole file PROT_READ/MAP_PRIVATE, so "loading" costs one
+// mmap syscall regardless of file size and the OS page cache decides which
+// pages are resident — cold data stays on disk until first touch. On
+// platforms without mmap the class falls back to reading the file into a
+// heap buffer; callers only see data()/size() either way.
+
+#ifndef EXTRACT_COMMON_MMAP_FILE_H_
+#define EXTRACT_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace extract {
+
+/// \brief An immutable byte view of one whole file, backed by a private
+/// read-only mapping (or a heap copy on platforms without mmap).
+///
+/// Move-only; the mapping is released on destruction. The view is plain
+/// memory: concurrent readers need no synchronization, but every consumer
+/// must bounds-check offsets itself — the class makes no claim about the
+/// bytes beyond [data(), data() + size()).
+class MmapFile {
+ public:
+  /// Maps `path` read-only. NotFound when the file cannot be opened,
+  /// Internal for stat/map failures. An empty file maps to size() == 0 with
+  /// a null data() — still a valid object.
+  static Result<MmapFile> Open(const std::string& path);
+
+  /// An empty view (data() == nullptr, size() == 0) — the moved-from state.
+  MmapFile() = default;
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  void Release();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;              ///< true: munmap on destruction
+  std::vector<uint8_t> fallback_;    ///< heap copy when mmap is unavailable
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_COMMON_MMAP_FILE_H_

@@ -492,6 +492,33 @@ void QueryService::HandleStats(const HttpRequest& request,
       .Number(static_cast<size_t>(epochs.reclaimed));
   json.EndObject();
 
+  // The persistent-corpus surface: how much of the attached snapshot has
+  // faulted in, and what open + fault-in cost so far. Null without one.
+  json.Key("snapshot");
+  if (std::optional<CorpusSnapshotStats> snapshot =
+          corpus_->SnapshotStatsSnapshot()) {
+    json.BeginObject()
+        .Key("path")
+        .String(snapshot->path)
+        .Key("documents")
+        .Number(static_cast<size_t>(snapshot->documents))
+        .Key("resident")
+        .Number(static_cast<size_t>(snapshot->resident))
+        .Key("faults")
+        .Number(static_cast<size_t>(snapshot->faults))
+        .Key("fault_failures")
+        .Number(static_cast<size_t>(snapshot->fault_failures))
+        .Key("fault_ns")
+        .Number(static_cast<size_t>(snapshot->fault_ns))
+        .Key("open_ns")
+        .Number(static_cast<size_t>(snapshot->open_ns))
+        .Key("file_bytes")
+        .Number(static_cast<size_t>(snapshot->file_bytes))
+        .EndObject();
+  } else {
+    json.Null();
+  }
+
   json.Key("documents").Number(corpus_->size());
   json.EndObject();
   writer.SendJson(200, json.str());

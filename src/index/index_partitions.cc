@@ -43,4 +43,22 @@ std::vector<NodeRange> IndexPartitions::Clip(NodeId begin, NodeId end) const {
   return out;
 }
 
+Result<IndexPartitions> IndexPartitions::FromBounds(
+    std::vector<NodeId> bounds) {
+  if (bounds.size() < 2 || bounds.front() != 0) {
+    return Status::InvalidArgument("partition bounds must start at 0");
+  }
+  for (size_t i = 1; i + 1 < bounds.size(); ++i) {
+    if (bounds[i] <= bounds[i - 1]) {
+      return Status::InvalidArgument("partition bounds not ascending");
+    }
+  }
+  if (bounds.back() < bounds[bounds.size() - 2]) {
+    return Status::InvalidArgument("partition bounds not ascending");
+  }
+  IndexPartitions out;
+  out.bounds_ = std::move(bounds);
+  return out;
+}
+
 }  // namespace extract

@@ -60,6 +60,17 @@ class IndexPartitions {
   static IndexPartitions Build(const IndexedDocument& doc,
                                const IndexPartitionOptions& options);
 
+  /// \brief Restores a grid from its stored bound array (the corpus
+  /// snapshot loader's path — the grid is persisted instead of re-derived
+  /// so snapshot-backed serving shards exactly like the original load).
+  /// Requires bounds[0] == 0 and strictly ascending interior bounds;
+  /// returns InvalidArgument otherwise.
+  static Result<IndexPartitions> FromBounds(std::vector<NodeId> bounds);
+
+  /// Partition bound array (size count() + 1, bounds()[0] == 0) — the
+  /// persisted form consumed by FromBounds.
+  const std::vector<NodeId>& bounds() const { return bounds_; }
+
   /// Number of partitions (>= 1).
   size_t count() const { return bounds_.size() - 1; }
 

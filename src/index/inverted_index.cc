@@ -69,6 +69,17 @@ const PostingList* InvertedIndex::Find(std::string_view token) const {
   return it == postings_.end() ? nullptr : &it->second;
 }
 
+InvertedIndex InvertedIndex::Restore(
+    std::unordered_map<std::string, PostingList> postings) {
+  InvertedIndex out;
+  out.postings_ = std::move(postings);
+  out.total_postings_ = 0;
+  for (const auto& [token, list] : out.postings_) {
+    out.total_postings_ += list.nodes.size();
+  }
+  return out;
+}
+
 std::vector<std::string> InvertedIndex::Tokens() const {
   std::vector<std::string> out;
   out.reserve(postings_.size());

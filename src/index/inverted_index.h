@@ -51,6 +51,13 @@ class InvertedIndex {
   static InvertedIndex Build(const IndexedDocument& doc,
                              const TextAnalyzer& analyzer);
 
+  /// \brief Restores an index from already-built posting lists (the corpus
+  /// snapshot loader's path). The lists must satisfy the Build invariants
+  /// (nodes ascending, deduplicated, parallel sources) — callers verify
+  /// framing/checksums; this only recomputes the posting total.
+  static InvertedIndex Restore(
+      std::unordered_map<std::string, PostingList> postings);
+
   /// The posting list for (already lower-cased) `token`, or nullptr.
   const PostingList* Find(std::string_view token) const;
 

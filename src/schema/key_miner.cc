@@ -108,6 +108,13 @@ const std::vector<KeyCandidate>& KeyIndex::CandidatesOf(
   return it == candidates_.end() ? kEmpty : it->second;
 }
 
+KeyIndex KeyIndex::Restore(
+    std::map<LabelId, std::vector<KeyCandidate>> candidates) {
+  KeyIndex out;
+  out.candidates_ = std::move(candidates);
+  return out;
+}
+
 std::vector<LabelId> KeyIndex::EntityLabels() const {
   std::vector<LabelId> out;
   out.reserve(candidates_.size());

@@ -43,6 +43,11 @@ class KeyIndex {
   static KeyIndex Mine(const IndexedDocument& doc,
                        const NodeClassification& classification);
 
+  /// \brief Restores mined keys from their stored candidate lists (the
+  /// corpus snapshot loader's path). Lists must already be ranked best
+  /// first, as Mine produced them.
+  static KeyIndex Restore(std::map<LabelId, std::vector<KeyCandidate>> candidates);
+
   /// The best key attribute label for `entity_label`, or nullopt if the
   /// entity has no attribute children at all.
   std::optional<LabelId> KeyAttributeOf(LabelId entity_label) const;

@@ -109,6 +109,21 @@ NodeCategory NodeClassification::PairCategory(LabelId parent_label,
   return it == pair_category_.end() ? NodeCategory::kConnection : it->second;
 }
 
+NodeClassification NodeClassification::Restore(
+    std::map<std::pair<LabelId, LabelId>, NodeCategory> pair_category,
+    std::vector<NodeCategory> per_node, std::vector<LabelId> entity_labels,
+    size_t num_labels) {
+  NodeClassification out;
+  out.pair_category_ = std::move(pair_category);
+  out.per_node_ = std::move(per_node);
+  out.entity_labels_ = std::move(entity_labels);
+  out.is_entity_label_.resize(num_labels, false);
+  for (LabelId label : out.entity_labels_) {
+    if (label < num_labels) out.is_entity_label_[label] = true;
+  }
+  return out;
+}
+
 bool NodeClassification::IsEntityLabel(LabelId label) const {
   return label < is_entity_label_.size() && is_entity_label_[label];
 }

@@ -52,6 +52,15 @@ class NodeClassification {
   static NodeClassification Classify(const IndexedDocument& doc,
                                      const Dtd* dtd);
 
+  /// \brief Restores a classification from its stored tables (the corpus
+  /// snapshot loader's path; persisting beats re-classifying at fault-in).
+  /// `entity_labels` must be sorted ascending and every label below
+  /// `num_labels`; `pair_category` / `per_node` are taken as-is.
+  static NodeClassification Restore(
+      std::map<std::pair<LabelId, LabelId>, NodeCategory> pair_category,
+      std::vector<NodeCategory> per_node, std::vector<LabelId> entity_labels,
+      size_t num_labels);
+
   /// Category of node `n`.
   NodeCategory category(NodeId n) const { return per_node_[n]; }
 
@@ -67,6 +76,13 @@ class NodeClassification {
   /// denotes the document root position. Returns kConnection for unseen
   /// pairs.
   NodeCategory PairCategory(LabelId parent_label, LabelId label) const;
+
+  /// Every decided (parent label, label) -> category pair (the snapshot
+  /// encoder persists this table so Restore can skip re-classification).
+  const std::map<std::pair<LabelId, LabelId>, NodeCategory>& pair_categories()
+      const {
+    return pair_category_;
+  }
 
   /// Labels that are classified as entities in at least one parent context.
   const std::vector<LabelId>& entity_labels() const { return entity_labels_; }

@@ -35,6 +35,93 @@ bool CorpusHitWorse(const CorpusResult& a, const CorpusResult& b) {
 
 }  // namespace
 
+bool CorpusView::IsHidden(std::string_view name) const {
+  if (hidden == nullptr) return false;
+  return std::binary_search(hidden->begin(), hidden->end(), name);
+}
+
+size_t CorpusView::VisibleCount() const {
+  size_t count = documents.size();
+  if (snapshot != nullptr) {
+    count += snapshot->doc_count();
+    // Hidden names are always live snapshot names (RemoveDocument only
+    // hides what is visible), so the subtraction is exact.
+    if (hidden != nullptr) count -= hidden->size();
+  }
+  return count;
+}
+
+bool CorpusView::Contains(std::string_view name) const {
+  if (documents.find(name) != documents.end()) return true;
+  if (snapshot == nullptr || IsHidden(name)) return false;
+  return snapshot->FindIndex(name) >= 0;
+}
+
+std::vector<CorpusView::DocEntry> CorpusView::VisibleDocs() const {
+  // Two-pointer merge of the overlay map and the snapshot's sorted name
+  // directory. Visible names never collide across the layers (AttachSnapshot
+  // and AddDatabase both reject the overlap), so plain alternation suffices.
+  std::vector<DocEntry> out;
+  const size_t snap_n = snapshot == nullptr ? 0 : snapshot->doc_count();
+  out.reserve(documents.size() + snap_n);
+  auto it = documents.begin();
+  size_t i = 0;
+  while (it != documents.end() || i < snap_n) {
+    if (i < snap_n && IsHidden(snapshot->name(i))) {
+      ++i;
+      continue;
+    }
+    if (i >= snap_n ||
+        (it != documents.end() && it->first < snapshot->name(i))) {
+      out.push_back(DocEntry{it->first, &it->second, 0});
+      ++it;
+    } else {
+      out.push_back(DocEntry{snapshot->name(i), nullptr, i});
+      ++i;
+    }
+  }
+  return out;
+}
+
+Result<ResolvedDocument> CorpusView::Materialize(const DocEntry& entry) const {
+  ResolvedDocument out;
+  if (entry.overlay != nullptr) {
+    out.db = &entry.overlay->db;
+    out.cache_id = &entry.overlay->cache_id;
+    out.instance = entry.overlay->instance;
+    return out;
+  }
+  Result<const CorpusSnapshot::SnapshotDocument*> doc =
+      snapshot->Fault(entry.snapshot_index);
+  EXTRACT_RETURN_IF_ERROR(doc.status());
+  out.db = &(*doc)->db;
+  out.cache_id = &(*doc)->cache_id;
+  out.instance = (*doc)->instance;
+  return out;
+}
+
+Result<ResolvedDocument> CorpusView::Resolve(std::string_view name) const {
+  auto it = documents.find(name);
+  if (it != documents.end()) {
+    ResolvedDocument out;
+    out.db = &it->second.db;
+    out.cache_id = &it->second.cache_id;
+    out.instance = it->second.instance;
+    return out;
+  }
+  if (snapshot != nullptr && !IsHidden(name)) {
+    const ptrdiff_t i = snapshot->FindIndex(name);
+    if (i >= 0) {
+      DocEntry entry;
+      entry.name = name;
+      entry.snapshot_index = static_cast<size_t>(i);
+      return Materialize(entry);
+    }
+  }
+  return Status::NotFound("document '" + std::string(name) +
+                          "' not registered");
+}
+
 namespace internal {
 
 /// \brief The threshold-algorithm bound-merge behind XmlCorpus::SearchTopK
@@ -78,25 +165,42 @@ class TopKCoordinator {
   /// under blocking SearchTopK.
   StreamGate gate;
 
-  /// Opens one producer per document of the pinned view, in name order.
-  /// The view (names and databases) must stay alive for the coordinator's
-  /// lifetime — callers keep the pin in the session payload or on the
-  /// stack. On failure the error is resolved with blocking-loop parity
-  /// (see ResolveFailureLocked).
+  /// Opens one producer per visible document of the pinned view, in name
+  /// order, faulting snapshot-backed documents in on the way. The view must
+  /// stay alive for the coordinator's lifetime — callers keep the pin in
+  /// the session payload or on the stack. Under AND keyword semantics
+  /// (SearchEngine::RequiresAllKeywords) snapshot documents that provably
+  /// cannot match are skipped without faulting them in — they contribute no
+  /// hits, so the released page is unchanged. On failure (fault-in or open)
+  /// the error is resolved with blocking-loop parity (ResolveFailureLocked).
   Status Open(const CorpusView& view) {
     std::lock_guard<std::mutex> lock(mu_);
     start_ = std::chrono::steady_clock::now();
-    producers_.reserve(view.documents.size());
+    const std::vector<CorpusView::DocEntry> entries = view.VisibleDocs();
+    producers_.reserve(entries.size());
+    const bool prune =
+        view.snapshot != nullptr && engine_->RequiresAllKeywords();
+    CorpusSnapshot::QueryFilter filter(query_);
     bool failed = false;
-    for (const auto& [name, doc] : view.documents) {
+    for (const CorpusView::DocEntry& entry : entries) {
+      if (prune && entry.overlay == nullptr &&
+          !view.snapshot->MayMatch(entry.snapshot_index, filter)) {
+        continue;
+      }
       Producer p;
-      p.name = &name;
-      Result<std::unique_ptr<ResultProducer>> opened =
-          engine_->OpenIncremental(*doc.db, query_, ranking_, k_);
-      if (opened.ok()) {
-        p.producer = std::move(*opened);
+      p.name = std::string(entry.name);
+      Result<ResolvedDocument> doc = view.Materialize(entry);
+      if (doc.ok()) {
+        Result<std::unique_ptr<ResultProducer>> opened =
+            engine_->OpenIncremental(**doc->db, query_, ranking_, k_);
+        if (opened.ok()) {
+          p.producer = std::move(*opened);
+        } else {
+          p.status = opened.status();
+          failed = true;
+        }
       } else {
-        p.status = opened.status();
+        p.status = doc.status();
         failed = true;
       }
       producers_.push_back(std::move(p));
@@ -161,7 +265,9 @@ class TopKCoordinator {
 
  private:
   struct Producer {
-    const std::string* name = nullptr;
+    /// Owned: snapshot-backed names live in the mapped name arena, not in
+    /// the overlay map, so there is no long-lived std::string to alias.
+    std::string name;
     std::unique_ptr<ResultProducer> producer;  ///< null iff open failed
     /// Pulled-but-unreleased hits; max-heap under CorpusHitWorse, so the
     /// front is the hit appearing first in the page order.
@@ -200,7 +306,7 @@ class TopKCoordinator {
         if (!p.producer || p.producer->Exhausted()) continue;
         const double bound = p.producer->ScoreUpperBound();
         if (bound > front.score ||
-            (bound == front.score && *p.name <= front.document)) {
+            (bound == front.score && p.name <= front.document)) {
           pull_set_.push_back(i);
         }
       }
@@ -262,7 +368,7 @@ class TopKCoordinator {
         return;
       }
       for (RankedResult& r : buf) {
-        p.heap.push_back(CorpusResult{*p.name, std::move(r.result), r.score});
+        p.heap.push_back(CorpusResult{p.name, std::move(r.result), r.score});
         std::push_heap(p.heap.begin(), p.heap.end(), CorpusHitWorse);
       }
     };
@@ -373,7 +479,9 @@ Status XmlCorpus::AddDatabase(const std::string& name, XmlDatabase db) {
                                       name + "' rejected");
   }
   CorpusPin current = views_.Acquire();
-  if (current->documents.find(name) != current->documents.end()) {
+  if (current->documents.find(name) != current->documents.end() ||
+      (current->snapshot != nullptr && !current->IsHidden(name) &&
+       current->snapshot->FindIndex(name) >= 0)) {
     return Status::AlreadyExists("document '" + name +
                                  "' already registered");
   }
@@ -404,15 +512,41 @@ Status XmlCorpus::RemoveDocument(std::string_view name) {
     }
     CorpusPin current = views_.Acquire();
     auto it = current->documents.find(name);
-    if (it == current->documents.end()) {
-      return Status::NotFound("document '" + std::string(name) +
-                              "' not registered");
+    if (it != current->documents.end()) {
+      cache_id = it->second.cache_id;
+      CorpusView next = *current;
+      next.documents.erase(next.documents.find(name));
+      EXTRACT_INJECT_FAULT("epoch.publish");
+      views_.Publish(std::move(next));
+    } else {
+      // Snapshot-backed document: the mapping is immutable, so removal
+      // masks the name out of the view instead (copy-on-write hidden set —
+      // older epochs keep the unmasked set they pinned). Serving cannot
+      // tell the difference; re-adding the name later registers a fresh
+      // overlay instance on top of the still-hidden snapshot entry.
+      ptrdiff_t index = -1;
+      if (current->snapshot != nullptr && !current->IsHidden(name)) {
+        index = current->snapshot->FindIndex(name);
+      }
+      if (index < 0) {
+        return Status::NotFound("document '" + std::string(name) +
+                                "' not registered");
+      }
+      cache_id = std::string(name) + "@" +
+                 std::to_string(current->snapshot->instance_base() +
+                                static_cast<uint64_t>(index));
+      CorpusView next = *current;
+      auto hidden =
+          next.hidden == nullptr
+              ? std::make_shared<std::vector<std::string>>()
+              : std::make_shared<std::vector<std::string>>(*next.hidden);
+      hidden->insert(
+          std::lower_bound(hidden->begin(), hidden->end(), name),
+          std::string(name));
+      next.hidden = std::move(hidden);
+      EXTRACT_INJECT_FAULT("epoch.publish");
+      views_.Publish(std::move(next));
     }
-    cache_id = it->second.cache_id;
-    CorpusView next = *current;
-    next.documents.erase(next.documents.find(name));
-    EXTRACT_INJECT_FAULT("epoch.publish");
-    views_.Publish(std::move(next));
   }
   // Invalidate AFTER the publish: every new pin already misses the
   // document, so no new-epoch query can re-cache under this instance.
@@ -421,6 +555,55 @@ Status XmlCorpus::RemoveDocument(std::string_view name) {
   // back, so nothing can read them as current) aged out by the LRU.
   if (snippet_cache_) snippet_cache_->Invalidate(cache_id);
   return Status::OK();
+}
+
+Status XmlCorpus::AttachSnapshot(std::shared_ptr<CorpusSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("null snapshot");
+  }
+  std::lock_guard<std::mutex> writer(views_.writer_mutex());
+  if (shutdown_) {
+    return Status::FailedPrecondition(
+        "corpus is shutting down; snapshot attach rejected");
+  }
+  CorpusPin current = views_.Acquire();
+  // The overlay is small next to a snapshot, so probe each overlay name
+  // against the snapshot's O(log n) directory rather than the reverse.
+  for (const auto& [name, doc] : current->documents) {
+    if (snapshot->FindIndex(name) >= 0) {
+      return Status::AlreadyExists("document '" + name +
+                                   "' already registered");
+    }
+  }
+  // Reserve the snapshot's instance-id range so its documents get snippet
+  // cache scoping like any registration (document i = base + i). The range
+  // is monotonic and never reused; a failed publish below just skips ids.
+  snapshot->SetInstanceBase(next_instance_);
+  next_instance_ += snapshot->doc_count();
+  CorpusView next = *current;
+  next.snapshot = std::move(snapshot);
+  next.hidden.reset();
+  EXTRACT_INJECT_FAULT("epoch.publish");
+  views_.Publish(std::move(next));
+  return Status::OK();
+}
+
+Status XmlCorpus::SaveSnapshot(const std::string& path) const {
+  CorpusPin pin = PinView();
+  Result<CorpusSnapshotWriter> writer = CorpusSnapshotWriter::Create(path);
+  EXTRACT_RETURN_IF_ERROR(writer.status());
+  for (const CorpusView::DocEntry& entry : pin->VisibleDocs()) {
+    ResolvedDocument doc;
+    EXTRACT_ASSIGN_OR_RETURN(doc, pin->Materialize(entry));
+    EXTRACT_RETURN_IF_ERROR(writer->Add(entry.name, **doc.db));
+  }
+  return writer->Finish();
+}
+
+std::optional<CorpusSnapshotStats> XmlCorpus::SnapshotStatsSnapshot() const {
+  CorpusPin pin = PinView();
+  if (pin->snapshot == nullptr) return std::nullopt;
+  return pin->snapshot->Stats();
 }
 
 void XmlCorpus::BeginShutdown() {
@@ -433,23 +616,28 @@ void XmlCorpus::EnableSnippetCache(const SnippetCache::Options& options) {
 }
 
 const XmlDatabase* XmlCorpus::Find(std::string_view name) const {
+  // A snapshot-backed document faults in here; a fault-in failure reads as
+  // absent (nullptr), like every other invisible name.
   CorpusPin pin = PinView();
-  auto it = pin->documents.find(name);
-  return it == pin->documents.end() ? nullptr : it->second.db.get();
+  Result<ResolvedDocument> doc = pin->Resolve(name);
+  return doc.ok() ? doc->db->get() : nullptr;
 }
 
 std::shared_ptr<const XmlDatabase> XmlCorpus::FindShared(
     std::string_view name) const {
   CorpusPin pin = PinView();
-  auto it = pin->documents.find(name);
-  return it == pin->documents.end() ? nullptr : it->second.db;
+  Result<ResolvedDocument> doc = pin->Resolve(name);
+  return doc.ok() ? *doc->db : nullptr;
 }
 
 std::vector<std::string> XmlCorpus::DocumentNames() const {
   CorpusPin pin = PinView();
+  const std::vector<CorpusView::DocEntry> entries = pin->VisibleDocs();
   std::vector<std::string> names;
-  names.reserve(pin->documents.size());
-  for (const auto& [name, doc] : pin->documents) names.push_back(name);
+  names.reserve(entries.size());
+  for (const CorpusView::DocEntry& entry : entries) {
+    names.emplace_back(entry.name);
+  }
   return names;
 }
 
@@ -476,15 +664,25 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
     const CorpusPin& pin) const {
   const auto start = std::chrono::steady_clock::now();
 
-  // Snapshot the documents in name order — the order the sequential loop
-  // visits, the shard partition axis, and the merge tie-break. The pinned
-  // view is immutable, so these pointers are stable for the whole call.
-  std::vector<std::pair<const std::string*, const XmlDatabase*>> docs;
-  docs.reserve(pin->documents.size());
-  for (const auto& [name, doc] : pin->documents) {
-    docs.emplace_back(&name, doc.db.get());
+  // Enumerate the visible documents in name order — the order the
+  // sequential loop visits, the shard partition axis, and the merge
+  // tie-break. The pinned view is immutable, so entries are stable for the
+  // whole call; snapshot-backed documents are NOT faulted in yet.
+  std::vector<CorpusView::DocEntry> entries = pin->VisibleDocs();
+
+  // Under AND keyword semantics, snapshot documents that provably cannot
+  // match (MayMatch straight off the mapped token arena) are dropped before
+  // sharding — never faulted in, never searched. The merged page is
+  // unchanged: dropped documents contribute no hits, and the shard grid
+  // only ever changes latency, not results.
+  if (pin->snapshot != nullptr && engine.RequiresAllKeywords()) {
+    CorpusSnapshot::QueryFilter filter(query);
+    std::erase_if(entries, [&](const CorpusView::DocEntry& entry) {
+      return entry.overlay == nullptr &&
+             !pin->snapshot->MayMatch(entry.snapshot_index, filter);
+    });
   }
-  const size_t n = docs.size();
+  const size_t n = entries.size();
 
   size_t shards = serving.max_shards == 0 ? n : std::min(n, serving.max_shards);
 
@@ -503,9 +701,20 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
   const size_t effective_threads = serving.search_threads == 0
                                        ? ThreadPool::ConfiguredThreads()
                                        : serving.search_threads;
+  // Axis preference only consults databases that are already in memory
+  // (overlay, or resident snapshot documents) — the heuristic is
+  // latency-only, and faulting a corpus in to pick a schedule would defeat
+  // lazy loading. Unfaulted documents default to the document axis.
   size_t max_engine_partitions = 1;
-  for (const auto& [name, db] : docs) {
-    if (engine.ParallelizesWithinDocument(*db)) {
+  for (const CorpusView::DocEntry& entry : entries) {
+    const XmlDatabase* db = nullptr;
+    if (entry.overlay != nullptr) {
+      db = entry.overlay->db.get();
+    } else if (const CorpusSnapshot::SnapshotDocument* doc =
+                   pin->snapshot->ResidentOrNull(entry.snapshot_index)) {
+      db = doc->db.get();
+    }
+    if (db != nullptr && engine.ParallelizesWithinDocument(*db)) {
       max_engine_partitions =
           std::max(max_engine_partitions, db->partitions().count());
     }
@@ -521,15 +730,21 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
     // Sequential fallback: the plain document loop, no pool. This is the
     // reference path the sharded one must reproduce byte-for-byte.
     std::vector<CorpusResult> out;
-    for (const auto& [name, db] : docs) {
-      Result<std::vector<QueryResult>> searched = engine.Search(*db, query);
+    for (const CorpusView::DocEntry& entry : entries) {
+      Result<ResolvedDocument> doc = pin->Materialize(entry);
+      if (!doc.ok()) {
+        stage_stats_.Record("search", ElapsedNsSince(start));
+        return doc.status();
+      }
+      const XmlDatabase& db = **doc->db;
+      Result<std::vector<QueryResult>> searched = engine.Search(db, query);
       if (!searched.ok()) {
         stage_stats_.Record("search", ElapsedNsSince(start));
         return searched.status();
       }
-      for (RankedResult& ranked : RankResults(*db, *searched, ranking)) {
-        out.push_back(
-            CorpusResult{*name, std::move(ranked.result), ranked.score});
+      for (RankedResult& ranked : RankResults(db, *searched, ranking)) {
+        out.push_back(CorpusResult{std::string(entry.name),
+                                   std::move(ranked.result), ranked.score});
       }
     }
     std::stable_sort(out.begin(), out.end(), CorpusHitBefore);
@@ -549,16 +764,24 @@ Result<std::vector<CorpusResult>> XmlCorpus::SearchAll(
     const size_t end = (s + 1) * n / shards;
     std::vector<CorpusResult>& out = shard_out[s];
     for (size_t d = begin; d < end; ++d) {
-      const auto& [name, db] = docs[d];
-      Result<std::vector<QueryResult>> searched = engine.Search(*db, query);
+      const CorpusView::DocEntry& entry = entries[d];
+      // Fault-in happens inside the shard task, so first-touch decode cost
+      // parallelizes across shards like the search itself.
+      Result<ResolvedDocument> doc = pin->Materialize(entry);
+      if (!doc.ok()) {
+        doc_status[d] = doc.status();
+        return;
+      }
+      const XmlDatabase& db = **doc->db;
+      Result<std::vector<QueryResult>> searched = engine.Search(db, query);
       if (!searched.ok()) {
         // Stop the shard at its first failure, like the sequential loop.
         doc_status[d] = searched.status();
         return;
       }
-      for (RankedResult& ranked : RankResults(*db, *searched, ranking)) {
-        out.push_back(
-            CorpusResult{*name, std::move(ranked.result), ranked.score});
+      for (RankedResult& ranked : RankResults(db, *searched, ranking)) {
+        out.push_back(CorpusResult{std::string(entry.name),
+                                   std::move(ranked.result), ranked.score});
       }
     }
     std::stable_sort(out.begin(), out.end(), CorpusHitBefore);
@@ -722,16 +945,21 @@ Result<ServingSession> XmlCorpus::OpenStream(
   // without a cache. Resolving against the pin (never the current view)
   // keeps a page searched under epoch E serving under epoch E even if the
   // documents were since removed.
-  std::map<std::string, const CorpusDocument*, std::less<>> resolved;
+  std::map<std::string, ResolvedDocument, std::less<>> resolved;
   for (size_t i = 0; i < n; ++i) {
     const std::string& name = page[i].document;
     if (resolved.find(name) != resolved.end()) continue;
-    auto it = payload->pin->documents.find(name);
-    if (it == payload->pin->documents.end()) {
-      return MakeBatchResultError(
-          i, n, "", Status::NotFound("unknown document '" + name + "'"));
+    Result<ResolvedDocument> doc = payload->pin->Resolve(name);
+    if (!doc.ok()) {
+      // Keep the historical message for the absent-name case (pinned by
+      // the batch-error goldens); fault-in failures report their own.
+      Status status =
+          doc.status().code() == StatusCode::kNotFound
+              ? Status::NotFound("unknown document '" + name + "'")
+              : doc.status();
+      return MakeBatchResultError(i, n, "", std::move(status));
     }
-    resolved.emplace(name, &it->second);
+    resolved.emplace(name, *doc);
   }
 
   StreamBuilder builder;
@@ -755,7 +983,7 @@ Result<ServingSession> XmlCorpus::OpenStream(
       if (it == prefixes.end()) {
         it = prefixes
                  .emplace(name, MakeSnippetCacheKeyPrefix(
-                                    resolved.find(name)->second->cache_id,
+                                    *resolved.find(name)->second.cache_id,
                                     payload->query, options,
                                     DefaultSnippetStageTag()))
                  .first;
@@ -780,7 +1008,7 @@ Result<ServingSession> XmlCorpus::OpenStream(
     if (payload->documents.find(name) != payload->documents.end()) continue;
     payload->documents.emplace(
         name, std::make_unique<StreamPayload::PerDocument>(
-                  resolved.find(name)->second->db.get(), payload->query));
+                  resolved.find(name)->second.db->get(), payload->query));
   }
 
   StreamPayload* state = payload.get();
@@ -875,14 +1103,17 @@ Result<CorpusQueryStream> XmlCorpus::ServeTopK(
     // miss, and a concurrent removal publishing a new epoch changes
     // nothing here.
     const size_t slot = state->owned_page.size();
-    const CorpusDocument& pinned_doc =
-        state->pin->documents.find(hit.document)->second;
+    // Cannot fail: the hit came out of a producer the coordinator opened,
+    // so the document is overlay-registered or an already-resident
+    // snapshot document — Resolve is a pure lookup here.
+    const ResolvedDocument pinned_doc =
+        *state->pin->Resolve(hit.document);
     {
       std::lock_guard<std::mutex> lock(state->docs_mu);
       if (state->documents.find(hit.document) == state->documents.end()) {
         state->documents.emplace(
             hit.document, std::make_unique<StreamPayload::PerDocument>(
-                              pinned_doc.db.get(), state->query));
+                              pinned_doc.db->get(), state->query));
       }
     }
     if (state->cache != nullptr) {
@@ -890,7 +1121,7 @@ Result<CorpusQueryStream> XmlCorpus::ServeTopK(
       if (it == state->prefixes.end()) {
         it = state->prefixes
                  .emplace(hit.document,
-                          MakeSnippetCacheKeyPrefix(pinned_doc.cache_id,
+                          MakeSnippetCacheKeyPrefix(*pinned_doc.cache_id,
                                                     state->query, opts,
                                                     DefaultSnippetStageTag()))
                  .first;

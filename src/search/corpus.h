@@ -6,6 +6,11 @@
 // optional cross-query snippet cache so repeated/hot queries skip
 // generation entirely (snippet/snippet_cache.h).
 //
+// The document table is two-layered: an in-memory overlay (documents added
+// at runtime) over an optional mmap-backed persistent snapshot
+// (search/corpus_snapshot.h, attached via AttachSnapshot) whose documents
+// fault in lazily on first touch. Serving code only sees the merged view.
+//
 // The corpus is LIVE MUTABLE: document add/remove is safe concurrently
 // with serving. Internally the document table is an epoch-published
 // immutable snapshot (CorpusView behind an EpochDomain, common/epoch.h):
@@ -55,11 +60,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/epoch.h"
+#include "search/corpus_snapshot.h"
 #include "search/ranking.h"
 #include "search/search_engine.h"
 #include "snippet/snippet_cache.h"
@@ -96,12 +103,67 @@ struct CorpusDocument {
   std::string cache_id;
 };
 
+/// \brief One document resolved against a CorpusView: the loaded database
+/// plus the identity serving state is scoped to. The pointers alias either
+/// an overlay CorpusDocument or a faulted-in snapshot document — both are
+/// stable for as long as the view stays pinned.
+struct ResolvedDocument {
+  const std::shared_ptr<const XmlDatabase>* db = nullptr;
+  const std::string* cache_id = nullptr;
+  uint64_t instance = 0;
+};
+
 /// \brief The immutable snapshot one query serves against: the document
 /// table (names -> loaded databases, with their inverted indexes and
 /// partitions) at one epoch. Published atomically by corpus mutators;
 /// pinned by readers via CorpusPin.
+///
+/// The table has two layers. `documents` is the in-memory overlay — every
+/// AddDocument/AddDatabase registration. Underneath it, an optional
+/// mmap-backed CorpusSnapshot contributes its documents by name, minus the
+/// `hidden` set (names RemoveDocument has masked out; copy-on-write, so
+/// hiding one name never touches the mapping). Overlay wins on a name
+/// collision with a hidden snapshot entry; AttachSnapshot rejects
+/// collisions with *visible* ones, so readers never see two documents
+/// under one name. Snapshot documents decode lazily on first touch
+/// (CorpusSnapshot::Fault) and stay resident; the view's shared_ptr keeps
+/// the mapping (and every resident document) alive while pinned.
 struct CorpusView {
   std::map<std::string, CorpusDocument, std::less<>> documents;
+  std::shared_ptr<const CorpusSnapshot> snapshot;
+  /// Snapshot names masked out by RemoveDocument, sorted. Null == empty.
+  std::shared_ptr<const std::vector<std::string>> hidden;
+
+  /// One visible document: either an overlay entry (overlay != nullptr) or
+  /// the snapshot document at snapshot_index. `name` borrows from the map
+  /// key / the mapped name arena — valid while the view is pinned.
+  struct DocEntry {
+    std::string_view name;
+    const CorpusDocument* overlay = nullptr;
+    size_t snapshot_index = 0;
+  };
+
+  /// Every visible document in name order (overlay merged with the
+  /// non-hidden snapshot names). O(visible); never faults anything in.
+  std::vector<DocEntry> VisibleDocs() const;
+
+  /// Number of visible documents. O(hidden), never O(corpus).
+  size_t VisibleCount() const;
+
+  /// True when `name` is visible (overlay or non-hidden snapshot).
+  bool Contains(std::string_view name) const;
+
+  /// True when `name` is in the hidden set.
+  bool IsHidden(std::string_view name) const;
+
+  /// Resolves one enumerated entry to its database, faulting a snapshot
+  /// document in on first touch. Fault-in failures (corrupt payload,
+  /// injected fault) surface here and are retryable.
+  Result<ResolvedDocument> Materialize(const DocEntry& entry) const;
+
+  /// Contains + Materialize by name: kNotFound for an invisible name,
+  /// otherwise the fault-in result.
+  Result<ResolvedDocument> Resolve(std::string_view name) const;
 };
 
 /// A reader's hold on one CorpusView (see EpochDomain::Pin): keeps exactly
@@ -288,8 +350,29 @@ class XmlCorpus {
   /// Removes the document registered under `name`, publishing a new epoch
   /// and invalidating the removed instance's cached snippets (after the
   /// publish — see the file comment). Queries pinned to older epochs keep
-  /// serving the document until they drain.
+  /// serving the document until they drain. A snapshot-backed document is
+  /// hidden (masked out of the view) rather than erased — the mapping is
+  /// immutable — which serves identically.
   Status RemoveDocument(std::string_view name);
+
+  /// \brief Attaches an open mmap-backed snapshot (corpus_snapshot.h): its
+  /// documents become visible by name underneath the in-memory overlay,
+  /// decoding lazily on first touch. Publishes a new epoch; replaces any
+  /// previously attached snapshot (whose mapping stays alive until pinned
+  /// readers drain). kAlreadyExists when a snapshot name collides with a
+  /// registered overlay document; kFailedPrecondition after BeginShutdown.
+  /// Assigns the snapshot's instance-id range for cache scoping (the
+  /// pointer is taken mutable for exactly that; views hold it const).
+  Status AttachSnapshot(std::shared_ptr<CorpusSnapshot> snapshot);
+
+  /// \brief Writes every visible document of the current view to `path` as
+  /// one corpus snapshot image (faulting snapshot-backed documents in as
+  /// needed). The result reopens via CorpusSnapshot::Open / AttachSnapshot.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Fault-in / open counters of the attached snapshot, or nullopt when no
+  /// snapshot is attached (the HTTP /stats "snapshot" object).
+  std::optional<CorpusSnapshotStats> SnapshotStatsSnapshot() const;
 
   /// \brief Marks the corpus shutting down: every subsequent mutator fails
   /// with kFailedPrecondition. Serving continues against the last
@@ -320,7 +403,7 @@ class XmlCorpus {
   /// Registered names in the current view, sorted.
   std::vector<std::string> DocumentNames() const;
 
-  size_t size() const { return PinView()->documents.size(); }
+  size_t size() const { return PinView()->VisibleCount(); }
 
   /// \brief Searches every document and merges the hits best-score-first
   /// (ties: document name, then document order).

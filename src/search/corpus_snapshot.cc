@@ -1,0 +1,1207 @@
+#include "search/corpus_snapshot.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+
+#include "common/fault.h"
+#include "search/snapshot.h"
+
+namespace extract {
+
+// The on-disk format stores integers in little-endian byte order and the
+// loader reads mapped arrays in place; a big-endian port would need byte
+// swapping in the scalar helpers below.
+static_assert(std::endian::native == std::endian::little,
+              "corpus snapshot format requires a little-endian target");
+
+namespace snapshot_internal {
+
+namespace {
+
+constexpr char kMagic[4] = {'X', 'C', 'S', 'N'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderSize = 64;
+constexpr size_t kBlobTocWords = 12;
+
+// ------------------------------------------------------- byte building ----
+
+void PutU64Raw(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+
+void PutU32Raw(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+void PutI32Raw(std::string* out, int32_t v) {
+  PutU32Raw(out, static_cast<uint32_t>(v));
+}
+
+void PutF64Raw(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64Raw(out, bits);
+}
+
+void Pad8(std::string* out) {
+  while (out->size() % 8 != 0) out->push_back('\0');
+}
+
+void SetU64(std::string* out, size_t pos, uint64_t v) {
+  std::memcpy(out->data() + pos, &v, 8);
+}
+
+// ---------------------------------------------------------- byte reads ----
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+double LoadF64(const uint8_t* p) {
+  double v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Bounds-checked cursor over one document blob. Sections are addressed by
+/// the blob TOC; every read checks the window before touching bytes.
+class SectionReader {
+ public:
+  SectionReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Status SeekTo(uint64_t off) {
+    if (off > size_ || off % 8 != 0) {
+      return Status::ParseError("snapshot bad section offset");
+    }
+    pos_ = static_cast<size_t>(off);
+    return Status::OK();
+  }
+
+  Result<uint64_t> U64() {
+    const uint8_t* p;
+    EXTRACT_ASSIGN_OR_RETURN(p, Raw(8));
+    return LoadU64(p);
+  }
+
+  /// Returns a pointer to the next `count` bytes and advances past them.
+  Result<const uint8_t*> Raw(uint64_t count) {
+    if (count > size_ - pos_) {
+      return Status::ParseError("snapshot truncated section");
+    }
+    const uint8_t* p = data_ + pos_;
+    pos_ += static_cast<size_t>(count);
+    return p;
+  }
+
+  /// Skips the zero padding inserted after byte-granular columns.
+  void Align8() { pos_ = std::min(size_, (pos_ + 7) & ~size_t{7}); }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- DTD ----
+//
+// The DTD sub-stream keeps the original length-prefixed encoding (it is a
+// recursive structure with no random-access need).
+
+void PutLenString(std::string* out, std::string_view s) {
+  PutU32Raw(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+class StreamReader {
+ public:
+  StreamReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint32_t> GetU32() {
+    if (size_ - pos_ < 4) return Truncated();
+    uint32_t v = LoadU32(data_ + pos_);
+    pos_ += 4;
+    return v;
+  }
+
+  Result<std::string> GetString() {
+    uint32_t len;
+    EXTRACT_ASSIGN_OR_RETURN(len, GetU32());
+    if (size_ - pos_ < len) return Truncated();
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Truncated() const {
+    return Status::ParseError("snapshot DTD stream truncated");
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void EncodeParticle(std::string* out, const DtdContentParticle& p) {
+  PutU32Raw(out, static_cast<uint32_t>(p.kind));
+  PutU32Raw(out, static_cast<uint32_t>(p.occurrence));
+  PutLenString(out, p.name);
+  PutU32Raw(out, static_cast<uint32_t>(p.children.size()));
+  for (const auto& child : p.children) EncodeParticle(out, child);
+}
+
+Result<DtdContentParticle> DecodeParticle(StreamReader* reader, int depth) {
+  if (depth > 64) return Status::ParseError("snapshot DTD nesting too deep");
+  DtdContentParticle p;
+  uint32_t kind;
+  EXTRACT_ASSIGN_OR_RETURN(kind, reader->GetU32());
+  if (kind > 2) return Status::ParseError("snapshot bad particle kind");
+  p.kind = static_cast<DtdContentParticle::Kind>(kind);
+  uint32_t occurrence;
+  EXTRACT_ASSIGN_OR_RETURN(occurrence, reader->GetU32());
+  if (occurrence > 3) return Status::ParseError("snapshot bad occurrence");
+  p.occurrence = static_cast<DtdOccurrence>(occurrence);
+  EXTRACT_ASSIGN_OR_RETURN(p.name, reader->GetString());
+  uint32_t num_children;
+  EXTRACT_ASSIGN_OR_RETURN(num_children, reader->GetU32());
+  for (uint32_t i = 0; i < num_children; ++i) {
+    DtdContentParticle child;
+    EXTRACT_ASSIGN_OR_RETURN(child, DecodeParticle(reader, depth + 1));
+    p.children.push_back(std::move(child));
+  }
+  return p;
+}
+
+void EncodeDtd(std::string* out, const Dtd& dtd) {
+  PutLenString(out, dtd.root_name());
+  std::vector<std::string> names = dtd.ElementNames();
+  PutU32Raw(out, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    const DtdElementDecl* decl = dtd.FindElement(name);
+    PutLenString(out, decl->name);
+    PutU32Raw(out, static_cast<uint32_t>(decl->category));
+    EncodeParticle(out, decl->content);
+  }
+}
+
+Result<Dtd> DecodeDtd(const uint8_t* data, size_t size) {
+  StreamReader reader(data, size);
+  Dtd dtd;
+  std::string root_name;
+  EXTRACT_ASSIGN_OR_RETURN(root_name, reader.GetString());
+  dtd.set_root_name(std::move(root_name));
+  uint32_t count;
+  EXTRACT_ASSIGN_OR_RETURN(count, reader.GetU32());
+  for (uint32_t i = 0; i < count; ++i) {
+    DtdElementDecl decl;
+    EXTRACT_ASSIGN_OR_RETURN(decl.name, reader.GetString());
+    uint32_t category;
+    EXTRACT_ASSIGN_OR_RETURN(category, reader.GetU32());
+    if (category > 3) return Status::ParseError("snapshot bad DTD category");
+    decl.category = static_cast<DtdElementDecl::Category>(category);
+    EXTRACT_ASSIGN_OR_RETURN(decl.content, DecodeParticle(&reader, 0));
+    dtd.AddElement(std::move(decl));
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError("snapshot DTD stream has trailing bytes");
+  }
+  return dtd;
+}
+
+// ----------------------------------------------------- directory layout ----
+
+/// One document's directory record, writer-side.
+struct DirRecord {
+  std::string_view name;
+  uint64_t payload_off = 0;
+  uint64_t payload_size = 0;
+  uint64_t payload_checksum = 0;
+  BlobMeta meta;  ///< token_off here is relative to the payload start
+};
+
+/// Serializes the directory for records already sorted by name.
+std::string BuildDirectory(const std::vector<DirRecord>& records) {
+  std::string dir;
+  uint64_t name_bytes_len = 0;
+  for (const DirRecord& r : records) name_bytes_len += r.name.size();
+  PutU64Raw(&dir, name_bytes_len);
+  uint64_t off = 0;
+  for (const DirRecord& r : records) {
+    PutU64Raw(&dir, off);
+    off += r.name.size();
+  }
+  PutU64Raw(&dir, off);
+  for (const DirRecord& r : records) dir.append(r.name);
+  Pad8(&dir);
+  for (const DirRecord& r : records) {
+    PutU64Raw(&dir, r.payload_off);
+    PutU64Raw(&dir, r.payload_size);
+    PutU64Raw(&dir, r.payload_checksum);
+    PutU64Raw(&dir, r.meta.num_nodes);
+    PutU64Raw(&dir, r.payload_off + r.meta.token_off);  // absolute
+    PutU64Raw(&dir, r.meta.token_size);
+    PutU64Raw(&dir, r.meta.analyzer_flags);
+    PutU64Raw(&dir, 0);
+  }
+  return dir;
+}
+
+std::string BuildHeader(uint64_t file_size, uint64_t doc_count,
+                        uint64_t dir_offset, uint64_t dir_size,
+                        uint64_t dir_checksum) {
+  std::string header;
+  header.append(kMagic, 4);
+  PutU32Raw(&header, kVersion);
+  PutU64Raw(&header, file_size);
+  PutU64Raw(&header, doc_count);
+  PutU64Raw(&header, dir_offset);
+  PutU64Raw(&header, dir_size);
+  PutU64Raw(&header, dir_checksum);
+  PutU64Raw(&header, 0);  // reserved
+  PutU64Raw(&header, internal::Fnv1a(header));
+  return header;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- hashes ----
+
+uint64_t Hash64(const uint8_t* data, size_t n) {
+  uint64_t h = 0x9E3779B97F4A7C15ULL ^ (static_cast<uint64_t>(n) *
+                                        0xC2B2AE3D27D4EB4FULL);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    h ^= LoadU64(data + i) * 0x9DDFEA08EB382D69ULL;
+    h = (h << 27) | (h >> 37);
+    h *= 0x165667B19E3779F9ULL;
+  }
+  if (i < n) {
+    uint64_t tail = 0;
+    for (size_t j = 0; i + j < n; ++j) {
+      tail |= static_cast<uint64_t>(data[i + j]) << (8 * j);
+    }
+    h ^= tail * 0x9DDFEA08EB382D69ULL;
+    h = (h << 27) | (h >> 37);
+    h *= 0x165667B19E3779F9ULL;
+  }
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t ImageView::entry(size_t i, size_t field) const {
+  return entries[i * kDirEntryWords + field];
+}
+
+// -------------------------------------------------------- blob encoding ----
+
+std::string EncodeDocumentBlob(const XmlDatabase& db, BlobMeta* meta) {
+  const IndexedDocument& doc = db.index();
+  const size_t n = doc.num_nodes();
+  uint64_t toc[kBlobTocWords] = {};
+  std::string out(kBlobTocWords * 8, '\0');
+
+  // Label table: count | offsets[count+1] | bytes.
+  toc[0] = out.size();
+  const LabelTable& labels = doc.labels();
+  PutU64Raw(&out, labels.size());
+  {
+    uint64_t off = 0;
+    for (LabelId id = 0; id < labels.size(); ++id) {
+      PutU64Raw(&out, off);
+      off += labels.Name(id).size();
+    }
+    PutU64Raw(&out, off);
+    for (LabelId id = 0; id < labels.size(); ++id) out.append(labels.Name(id));
+    Pad8(&out);
+  }
+
+  // Node columns: n | parent[n] | label[n] | kind[n].
+  toc[1] = out.size();
+  PutU64Raw(&out, n);
+  for (size_t i = 0; i < n; ++i) {
+    PutI32Raw(&out, doc.parent(static_cast<NodeId>(i)));
+  }
+  Pad8(&out);
+  for (size_t i = 0; i < n; ++i) {
+    NodeId id = static_cast<NodeId>(i);
+    PutU32Raw(&out, doc.is_element(id) ? doc.label(id) : kInvalidLabel);
+  }
+  Pad8(&out);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(doc.is_element(static_cast<NodeId>(i)) ? 0 : 1);
+  }
+  Pad8(&out);
+
+  // Text arena: total | offsets[n+1] | bytes.
+  toc[2] = out.size();
+  {
+    uint64_t total = 0;
+    for (size_t i = 0; i < n; ++i) total += doc.text(static_cast<NodeId>(i)).size();
+    PutU64Raw(&out, total);
+    uint64_t off = 0;
+    for (size_t i = 0; i < n; ++i) {
+      PutU64Raw(&out, off);
+      off += doc.text(static_cast<NodeId>(i)).size();
+    }
+    PutU64Raw(&out, off);
+    for (size_t i = 0; i < n; ++i) out.append(doc.text(static_cast<NodeId>(i)));
+    Pad8(&out);
+  }
+
+  // Analyzer options.
+  toc[3] = out.size();
+  const TextAnalysisOptions& analysis = db.analyzer().options();
+  const uint64_t analyzer_flags =
+      (analysis.stem ? 1u : 0u) | (analysis.remove_stopwords ? 2u : 0u);
+  PutU64Raw(&out, analyzer_flags);
+
+  // Partition grid.
+  toc[4] = out.size();
+  const std::vector<NodeId>& bounds = db.partitions().bounds();
+  PutU64Raw(&out, bounds.size());
+  for (NodeId b : bounds) PutI32Raw(&out, b);
+  Pad8(&out);
+
+  // Classification: per-node categories, pair table, entity labels.
+  toc[5] = out.size();
+  const NodeClassification& cls = db.classification();
+  PutU64Raw(&out, n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<char>(cls.category(static_cast<NodeId>(i))));
+  }
+  Pad8(&out);
+  PutU64Raw(&out, cls.pair_categories().size());
+  for (const auto& [key, category] : cls.pair_categories()) {
+    PutU32Raw(&out, key.first);
+    PutU32Raw(&out, key.second);
+    PutU32Raw(&out, static_cast<uint32_t>(category));
+    PutU32Raw(&out, 0);
+  }
+  PutU64Raw(&out, cls.entity_labels().size());
+  for (LabelId label : cls.entity_labels()) PutU32Raw(&out, label);
+  Pad8(&out);
+
+  // Mined keys.
+  toc[6] = out.size();
+  {
+    std::vector<LabelId> key_entities = db.keys().EntityLabels();
+    PutU64Raw(&out, key_entities.size());
+    for (LabelId label : key_entities) {
+      const std::vector<KeyCandidate>& cands = db.keys().CandidatesOf(label);
+      PutU32Raw(&out, label);
+      PutU32Raw(&out, static_cast<uint32_t>(cands.size()));
+      for (const KeyCandidate& c : cands) {
+        PutU32Raw(&out, c.entity_label);
+        PutU32Raw(&out, c.attribute_label);
+        PutF64Raw(&out, c.distinct_ratio);
+        PutF64Raw(&out, c.coverage);
+        PutF64Raw(&out, c.mean_position);
+        PutU32Raw(&out, c.strict ? 1 : 0);
+        PutU32Raw(&out, 0);
+      }
+    }
+  }
+
+  // Inverted index: sorted token arena + CSR posting lists. The sorted
+  // token column doubles as the MayMatch probe structure, so it must be
+  // byte-wise ascending.
+  toc[7] = out.size();
+  {
+    std::vector<std::string> tokens = db.inverted().Tokens();
+    std::sort(tokens.begin(), tokens.end());
+    PutU64Raw(&out, tokens.size());
+    uint64_t total = 0;
+    for (const std::string& t : tokens) total += db.inverted().Find(t)->size();
+    PutU64Raw(&out, total);
+    uint64_t off = 0;
+    for (const std::string& t : tokens) {
+      PutU64Raw(&out, off);
+      off += t.size();
+    }
+    PutU64Raw(&out, off);
+    for (const std::string& t : tokens) out.append(t);
+    Pad8(&out);
+    uint64_t begin = 0;
+    for (const std::string& t : tokens) {
+      PutU64Raw(&out, begin);
+      begin += db.inverted().Find(t)->size();
+    }
+    PutU64Raw(&out, begin);
+    for (const std::string& t : tokens) {
+      for (NodeId node : db.inverted().Find(t)->nodes) PutI32Raw(&out, node);
+    }
+    Pad8(&out);
+    for (const std::string& t : tokens) {
+      for (PostingSource s : db.inverted().Find(t)->sources) {
+        out.push_back(static_cast<char>(s));
+      }
+    }
+    Pad8(&out);
+  }
+
+  // Optional DTD (offset 0 = absent).
+  if (db.dtd() != nullptr) {
+    toc[8] = out.size();
+    std::string dtd_bytes;
+    EncodeDtd(&dtd_bytes, *db.dtd());
+    PutU64Raw(&out, dtd_bytes.size());
+    out.append(dtd_bytes);
+    Pad8(&out);
+  }
+  toc[9] = n;
+
+  meta->num_nodes = n;
+  meta->token_off = toc[7];
+  meta->token_size = (toc[8] != 0 ? toc[8] : out.size()) - toc[7];
+  meta->analyzer_flags = analyzer_flags;
+  for (size_t k = 0; k < kBlobTocWords; ++k) SetU64(&out, 8 * k, toc[k]);
+  return out;
+}
+
+// -------------------------------------------------------- blob decoding ----
+
+Result<XmlDatabase> DecodeDocumentBlob(const uint8_t* data, size_t size) {
+  if (size < kBlobTocWords * 8) {
+    return Status::ParseError("snapshot document blob too short");
+  }
+  uint64_t toc[kBlobTocWords];
+  std::memcpy(toc, data, sizeof(toc));
+  SectionReader reader(data, size);
+
+  // Label table.
+  EXTRACT_RETURN_IF_ERROR(reader.SeekTo(toc[0]));
+  LabelTable labels;
+  {
+    uint64_t count;
+    EXTRACT_ASSIGN_OR_RETURN(count, reader.U64());
+    if (count >= size) return Status::ParseError("snapshot bad label count");
+    const uint8_t* offs_bytes;
+    EXTRACT_ASSIGN_OR_RETURN(offs_bytes, reader.Raw((count + 1) * 8));
+    const uint8_t* bytes;
+    EXTRACT_ASSIGN_OR_RETURN(bytes, reader.Raw(LoadU64(offs_bytes + 8 * count)));
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t o0 = LoadU64(offs_bytes + 8 * i);
+      uint64_t o1 = LoadU64(offs_bytes + 8 * (i + 1));
+      if (o0 != prev || o1 < o0) {
+        return Status::ParseError("snapshot bad label offsets");
+      }
+      prev = o1;
+      std::string_view name(reinterpret_cast<const char*>(bytes + o0),
+                            static_cast<size_t>(o1 - o0));
+      if (labels.Intern(name) != i) {
+        return Status::ParseError("snapshot duplicate label");
+      }
+    }
+  }
+
+  // Node columns.
+  EXTRACT_RETURN_IF_ERROR(reader.SeekTo(toc[1]));
+  uint64_t n;
+  EXTRACT_ASSIGN_OR_RETURN(n, reader.U64());
+  if (n != toc[9] || n > size) {
+    return Status::ParseError("snapshot bad node count");
+  }
+  std::vector<NodeId> parent(static_cast<size_t>(n));
+  std::vector<LabelId> label(static_cast<size_t>(n));
+  std::vector<IndexedNodeKind> kind(static_cast<size_t>(n));
+  {
+    const uint8_t* p;
+    EXTRACT_ASSIGN_OR_RETURN(p, reader.Raw(n * 4));
+    std::memcpy(parent.data(), p, static_cast<size_t>(n) * 4);
+    reader.Align8();
+    EXTRACT_ASSIGN_OR_RETURN(p, reader.Raw(n * 4));
+    std::memcpy(label.data(), p, static_cast<size_t>(n) * 4);
+    reader.Align8();
+    EXTRACT_ASSIGN_OR_RETURN(p, reader.Raw(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      if (p[i] > 1) return Status::ParseError("snapshot bad node kind");
+      kind[i] = p[i] == 0 ? IndexedNodeKind::kElement : IndexedNodeKind::kText;
+    }
+  }
+
+  // Text arena.
+  EXTRACT_RETURN_IF_ERROR(reader.SeekTo(toc[2]));
+  std::vector<std::string> text(static_cast<size_t>(n));
+  {
+    uint64_t total;
+    EXTRACT_ASSIGN_OR_RETURN(total, reader.U64());
+    const uint8_t* offs_bytes;
+    EXTRACT_ASSIGN_OR_RETURN(offs_bytes, reader.Raw((n + 1) * 8));
+    if (LoadU64(offs_bytes + 8 * n) != total) {
+      return Status::ParseError("snapshot bad text arena length");
+    }
+    const uint8_t* bytes;
+    EXTRACT_ASSIGN_OR_RETURN(bytes, reader.Raw(total));
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t o0 = LoadU64(offs_bytes + 8 * i);
+      uint64_t o1 = LoadU64(offs_bytes + 8 * (i + 1));
+      if (o0 != prev || o1 < o0) {
+        return Status::ParseError("snapshot bad text offsets");
+      }
+      prev = o1;
+      text[i].assign(reinterpret_cast<const char*>(bytes + o0),
+                     static_cast<size_t>(o1 - o0));
+    }
+  }
+
+  IndexedDocument doc;
+  EXTRACT_ASSIGN_OR_RETURN(
+      doc, IndexedDocument::FromFlatColumns(std::move(labels), std::move(parent),
+                                            std::move(label), std::move(kind),
+                                            std::move(text)));
+  const size_t num_labels = doc.labels().size();
+
+  // Analyzer options.
+  EXTRACT_RETURN_IF_ERROR(reader.SeekTo(toc[3]));
+  uint64_t analyzer_flags;
+  EXTRACT_ASSIGN_OR_RETURN(analyzer_flags, reader.U64());
+  if (analyzer_flags > 3) {
+    return Status::ParseError("snapshot bad analyzer flags");
+  }
+  TextAnalysisOptions analysis;
+  analysis.stem = (analyzer_flags & 1) != 0;
+  analysis.remove_stopwords = (analyzer_flags & 2) != 0;
+
+  // Partition grid.
+  EXTRACT_RETURN_IF_ERROR(reader.SeekTo(toc[4]));
+  IndexPartitions partitions;
+  {
+    uint64_t count;
+    EXTRACT_ASSIGN_OR_RETURN(count, reader.U64());
+    if (count > size) return Status::ParseError("snapshot bad partition count");
+    const uint8_t* p;
+    EXTRACT_ASSIGN_OR_RETURN(p, reader.Raw(count * 4));
+    std::vector<NodeId> grid(static_cast<size_t>(count));
+    std::memcpy(grid.data(), p, static_cast<size_t>(count) * 4);
+    if (!grid.empty() &&
+        (grid.back() < 0 || static_cast<uint64_t>(grid.back()) > n)) {
+      return Status::ParseError("snapshot bad partition bounds");
+    }
+    EXTRACT_ASSIGN_OR_RETURN(partitions,
+                             IndexPartitions::FromBounds(std::move(grid)));
+  }
+
+  // Classification.
+  EXTRACT_RETURN_IF_ERROR(reader.SeekTo(toc[5]));
+  NodeClassification classification;
+  {
+    uint64_t count;
+    EXTRACT_ASSIGN_OR_RETURN(count, reader.U64());
+    if (count != n) {
+      return Status::ParseError("snapshot bad classification size");
+    }
+    const uint8_t* per_node_bytes;
+    EXTRACT_ASSIGN_OR_RETURN(per_node_bytes, reader.Raw(n));
+    std::vector<NodeCategory> per_node(static_cast<size_t>(n));
+    for (uint64_t i = 0; i < n; ++i) {
+      if (per_node_bytes[i] > 3) {
+        return Status::ParseError("snapshot bad node category");
+      }
+      per_node[i] = static_cast<NodeCategory>(per_node_bytes[i]);
+    }
+    reader.Align8();
+    uint64_t pair_count;
+    EXTRACT_ASSIGN_OR_RETURN(pair_count, reader.U64());
+    if (pair_count > size) {
+      return Status::ParseError("snapshot bad pair count");
+    }
+    const uint8_t* pairs;
+    EXTRACT_ASSIGN_OR_RETURN(pairs, reader.Raw(pair_count * 16));
+    std::map<std::pair<LabelId, LabelId>, NodeCategory> pair_category;
+    for (uint64_t i = 0; i < pair_count; ++i) {
+      const uint8_t* rec = pairs + 16 * i;
+      uint32_t category = LoadU32(rec + 8);
+      if (category > 3) {
+        return Status::ParseError("snapshot bad pair category");
+      }
+      pair_category[{LoadU32(rec), LoadU32(rec + 4)}] =
+          static_cast<NodeCategory>(category);
+    }
+    uint64_t entity_count;
+    EXTRACT_ASSIGN_OR_RETURN(entity_count, reader.U64());
+    if (entity_count > num_labels) {
+      return Status::ParseError("snapshot bad entity label count");
+    }
+    const uint8_t* entity_bytes;
+    EXTRACT_ASSIGN_OR_RETURN(entity_bytes, reader.Raw(entity_count * 4));
+    std::vector<LabelId> entity_labels(static_cast<size_t>(entity_count));
+    std::memcpy(entity_labels.data(), entity_bytes,
+                static_cast<size_t>(entity_count) * 4);
+    if (!std::is_sorted(entity_labels.begin(), entity_labels.end())) {
+      return Status::ParseError("snapshot entity labels not sorted");
+    }
+    classification =
+        NodeClassification::Restore(std::move(pair_category), std::move(per_node),
+                                    std::move(entity_labels), num_labels);
+  }
+
+  // Mined keys.
+  EXTRACT_RETURN_IF_ERROR(reader.SeekTo(toc[6]));
+  KeyIndex keys;
+  {
+    uint64_t entity_count;
+    EXTRACT_ASSIGN_OR_RETURN(entity_count, reader.U64());
+    if (entity_count > num_labels) {
+      return Status::ParseError("snapshot bad key entity count");
+    }
+    std::map<LabelId, std::vector<KeyCandidate>> candidates;
+    for (uint64_t e = 0; e < entity_count; ++e) {
+      const uint8_t* head;
+      EXTRACT_ASSIGN_OR_RETURN(head, reader.Raw(8));
+      LabelId entity_label = LoadU32(head);
+      uint32_t cand_count = LoadU32(head + 4);
+      const uint8_t* body;
+      EXTRACT_ASSIGN_OR_RETURN(body,
+                               reader.Raw(static_cast<uint64_t>(cand_count) * 40));
+      std::vector<KeyCandidate>& cands = candidates[entity_label];
+      cands.resize(cand_count);
+      for (uint32_t c = 0; c < cand_count; ++c) {
+        const uint8_t* rec = body + 40 * c;
+        cands[c].entity_label = LoadU32(rec);
+        cands[c].attribute_label = LoadU32(rec + 4);
+        cands[c].distinct_ratio = LoadF64(rec + 8);
+        cands[c].coverage = LoadF64(rec + 16);
+        cands[c].mean_position = LoadF64(rec + 24);
+        cands[c].strict = LoadU32(rec + 32) != 0;
+      }
+    }
+    keys = KeyIndex::Restore(std::move(candidates));
+  }
+
+  // Inverted index.
+  EXTRACT_RETURN_IF_ERROR(reader.SeekTo(toc[7]));
+  InvertedIndex inverted;
+  {
+    uint64_t token_count;
+    EXTRACT_ASSIGN_OR_RETURN(token_count, reader.U64());
+    uint64_t total_postings;
+    EXTRACT_ASSIGN_OR_RETURN(total_postings, reader.U64());
+    if (token_count > size || total_postings > size) {
+      return Status::ParseError("snapshot bad inverted index size");
+    }
+    const uint8_t* token_offs;
+    EXTRACT_ASSIGN_OR_RETURN(token_offs, reader.Raw((token_count + 1) * 8));
+    const uint8_t* token_bytes;
+    EXTRACT_ASSIGN_OR_RETURN(token_bytes,
+                             reader.Raw(LoadU64(token_offs + 8 * token_count)));
+    reader.Align8();
+    const uint8_t* begins;
+    EXTRACT_ASSIGN_OR_RETURN(begins, reader.Raw((token_count + 1) * 8));
+    if (LoadU64(begins + 8 * token_count) != total_postings) {
+      return Status::ParseError("snapshot bad posting totals");
+    }
+    const uint8_t* nodes_bytes;
+    EXTRACT_ASSIGN_OR_RETURN(nodes_bytes, reader.Raw(total_postings * 4));
+    reader.Align8();
+    const uint8_t* sources_bytes;
+    EXTRACT_ASSIGN_OR_RETURN(sources_bytes, reader.Raw(total_postings));
+    std::unordered_map<std::string, PostingList> postings;
+    postings.reserve(static_cast<size_t>(token_count));
+    uint64_t prev_off = 0;
+    uint64_t prev_begin = 0;
+    for (uint64_t t = 0; t < token_count; ++t) {
+      uint64_t o0 = LoadU64(token_offs + 8 * t);
+      uint64_t o1 = LoadU64(token_offs + 8 * (t + 1));
+      if (o0 != prev_off || o1 < o0) {
+        return Status::ParseError("snapshot bad token offsets");
+      }
+      prev_off = o1;
+      uint64_t b0 = LoadU64(begins + 8 * t);
+      uint64_t b1 = LoadU64(begins + 8 * (t + 1));
+      if (b0 != prev_begin || b1 < b0) {
+        return Status::ParseError("snapshot bad posting offsets");
+      }
+      prev_begin = b1;
+      std::string token(reinterpret_cast<const char*>(token_bytes + o0),
+                        static_cast<size_t>(o1 - o0));
+      PostingList list;
+      const size_t len = static_cast<size_t>(b1 - b0);
+      list.nodes.resize(len);
+      std::memcpy(list.nodes.data(), nodes_bytes + 4 * b0, len * 4);
+      list.sources.resize(len);
+      for (size_t k = 0; k < len; ++k) {
+        uint8_t s = sources_bytes[b0 + k];
+        if (s < 1 || s > 3) {
+          return Status::ParseError("snapshot bad posting source");
+        }
+        list.sources[k] = static_cast<PostingSource>(s);
+      }
+      if (!postings.emplace(std::move(token), std::move(list)).second) {
+        return Status::ParseError("snapshot duplicate token");
+      }
+    }
+    inverted = InvertedIndex::Restore(std::move(postings));
+  }
+
+  // Optional DTD.
+  std::optional<Dtd> dtd;
+  if (toc[8] != 0) {
+    EXTRACT_RETURN_IF_ERROR(reader.SeekTo(toc[8]));
+    uint64_t len;
+    EXTRACT_ASSIGN_OR_RETURN(len, reader.U64());
+    const uint8_t* dtd_bytes;
+    EXTRACT_ASSIGN_OR_RETURN(dtd_bytes, reader.Raw(len));
+    Dtd decoded;
+    EXTRACT_ASSIGN_OR_RETURN(decoded,
+                             DecodeDtd(dtd_bytes, static_cast<size_t>(len)));
+    dtd = std::move(decoded);
+  }
+
+  return XmlDatabase::FromParts(std::move(doc), std::move(partitions),
+                                std::move(classification), std::move(keys),
+                                std::move(inverted), TextAnalyzer(analysis),
+                                std::move(dtd));
+}
+
+// --------------------------------------------------------- image opening ----
+
+Result<ImageView> OpenImage(const uint8_t* data, size_t size) {
+  if (size < kHeaderSize) return Status::ParseError("snapshot too short");
+  if (std::memcmp(data, kMagic, 4) != 0) {
+    return Status::ParseError("snapshot bad magic");
+  }
+  uint32_t version = LoadU32(data + 4);
+  if (version != kVersion) {
+    return Status::ParseError("snapshot unsupported version " +
+                              std::to_string(version));
+  }
+  EXTRACT_INJECT_FAULT("snapshot.checksum");
+  if (internal::Fnv1a(std::string_view(reinterpret_cast<const char*>(data),
+                                       56)) != LoadU64(data + 56)) {
+    return Status::ParseError("snapshot header checksum mismatch");
+  }
+  EXTRACT_INJECT_FAULT("snapshot.truncated");
+  const uint64_t file_size = LoadU64(data + 8);
+  if (size < file_size) {
+    return Status::ParseError("snapshot truncated: have " +
+                              std::to_string(size) + " of " +
+                              std::to_string(file_size) + " bytes");
+  }
+  if (size > file_size) {
+    return Status::ParseError("snapshot has trailing bytes");
+  }
+
+  ImageView view;
+  view.base = data;
+  view.file_size = file_size;
+  view.doc_count = LoadU64(data + 16);
+  const uint64_t dir_offset = LoadU64(data + 24);
+  const uint64_t dir_size = LoadU64(data + 32);
+  const uint64_t dir_checksum = LoadU64(data + 40);
+  if (view.doc_count > file_size / (kDirEntryWords * 8)) {
+    return Status::ParseError("snapshot implausible document count");
+  }
+  if (dir_offset < kHeaderSize || dir_offset % 8 != 0 ||
+      dir_size > file_size || dir_offset > file_size - dir_size ||
+      dir_offset + dir_size != file_size) {
+    return Status::ParseError("snapshot bad directory window");
+  }
+  EXTRACT_INJECT_FAULT("snapshot.checksum");
+  if (Hash64(data + dir_offset, static_cast<size_t>(dir_size)) !=
+      dir_checksum) {
+    return Status::ParseError("snapshot directory checksum mismatch");
+  }
+
+  // Directory framing: name arena + entries must tile dir_size exactly.
+  const uint64_t dc = view.doc_count;
+  const uint64_t fixed = 8 + 8 * (dc + 1) + 8 * kDirEntryWords * dc;
+  if (dir_size < fixed) {
+    return Status::ParseError("snapshot directory too small");
+  }
+  const uint8_t* dir = data + dir_offset;
+  view.name_bytes_len = LoadU64(dir);
+  const uint64_t padded_names = (view.name_bytes_len + 7) & ~uint64_t{7};
+  if (padded_names != dir_size - fixed) {
+    return Status::ParseError("snapshot bad directory framing");
+  }
+  view.name_offsets = reinterpret_cast<const uint64_t*>(dir + 8);
+  view.name_bytes = reinterpret_cast<const char*>(dir + 8 + 8 * (dc + 1));
+  view.entries = reinterpret_cast<const uint64_t*>(
+      dir + 8 + 8 * (dc + 1) + padded_names);
+
+  // O(doc_count) sanity pass: names sorted/unique and every payload and
+  // token window inside the file. Payload bytes themselves stay untouched.
+  if (view.name_offsets[0] != 0 ||
+      view.name_offsets[dc] != view.name_bytes_len) {
+    return Status::ParseError("snapshot bad name offsets");
+  }
+  for (uint64_t i = 0; i < dc; ++i) {
+    if (view.name_offsets[i + 1] < view.name_offsets[i]) {
+      return Status::ParseError("snapshot bad name offsets");
+    }
+    if (i > 0 && view.name(i - 1) >= view.name(i)) {
+      return Status::ParseError("snapshot document names not sorted");
+    }
+    const uint64_t payload_off = view.entry(i, kEntryPayloadOff);
+    const uint64_t payload_size = view.entry(i, kEntryPayloadSize);
+    if (payload_off < kHeaderSize || payload_off % 8 != 0 ||
+        payload_size > dir_offset || payload_off > dir_offset - payload_size) {
+      return Status::ParseError("snapshot bad payload window");
+    }
+    const uint64_t token_off = view.entry(i, kEntryTokenOff);
+    const uint64_t token_size = view.entry(i, kEntryTokenSize);
+    if (token_off < payload_off || token_off % 8 != 0 ||
+        token_size > payload_size ||
+        token_off - payload_off > payload_size - token_size) {
+      return Status::ParseError("snapshot bad token window");
+    }
+    if (view.entry(i, kEntryAnalyzerFlags) > 3) {
+      return Status::ParseError("snapshot bad analyzer flags");
+    }
+  }
+  return view;
+}
+
+// -------------------------------------------------------- image building ----
+
+Result<std::string> BuildImage(std::vector<PendingDoc> docs) {
+  std::sort(docs.begin(), docs.end(),
+            [](const PendingDoc& a, const PendingDoc& b) {
+              return a.name < b.name;
+            });
+  for (size_t i = 1; i < docs.size(); ++i) {
+    if (docs[i - 1].name == docs[i].name) {
+      return Status::AlreadyExists("duplicate snapshot document name: " +
+                                   docs[i].name);
+    }
+  }
+  std::string out(kHeaderSize, '\0');
+  std::vector<DirRecord> records;
+  records.reserve(docs.size());
+  for (PendingDoc& doc : docs) {
+    DirRecord rec;
+    rec.name = doc.name;
+    rec.payload_off = out.size();
+    rec.payload_size = doc.blob.size();
+    rec.payload_checksum =
+        Hash64(reinterpret_cast<const uint8_t*>(doc.blob.data()),
+               doc.blob.size());
+    rec.meta = doc.meta;
+    records.push_back(rec);
+    out.append(doc.blob);
+    Pad8(&out);
+  }
+  const uint64_t dir_offset = out.size();
+  std::string dir = BuildDirectory(records);
+  const uint64_t dir_checksum =
+      Hash64(reinterpret_cast<const uint8_t*>(dir.data()), dir.size());
+  out.append(dir);
+  std::string header = BuildHeader(out.size(), docs.size(), dir_offset,
+                                   dir.size(), dir_checksum);
+  out.replace(0, kHeaderSize, header);
+  return out;
+}
+
+}  // namespace snapshot_internal
+
+namespace {
+
+using snapshot_internal::BlobMeta;
+using snapshot_internal::Hash64;
+using snapshot_internal::ImageView;
+using snapshot_internal::kEntryAnalyzerFlags;
+using snapshot_internal::kEntryPayloadChecksum;
+using snapshot_internal::kEntryPayloadOff;
+using snapshot_internal::kEntryPayloadSize;
+using snapshot_internal::kEntryTokenOff;
+using snapshot_internal::kEntryTokenSize;
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- writer ----
+
+Result<CorpusSnapshotWriter> CorpusSnapshotWriter::Create(
+    const std::string& path) {
+  CorpusSnapshotWriter writer;
+  writer.file_ = std::fopen(path.c_str(), "wb");
+  if (writer.file_ == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  writer.path_ = path;
+  const char zeros[64] = {};
+  if (std::fwrite(zeros, 1, sizeof(zeros), writer.file_) != sizeof(zeros)) {
+    return Status::Internal("short write to " + path);
+  }
+  writer.offset_ = sizeof(zeros);
+  return writer;
+}
+
+CorpusSnapshotWriter::CorpusSnapshotWriter(CorpusSnapshotWriter&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      path_(std::move(other.path_)),
+      offset_(other.offset_),
+      entries_(std::move(other.entries_)),
+      names_(std::move(other.names_)),
+      finished_(other.finished_) {}
+
+CorpusSnapshotWriter::~CorpusSnapshotWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status CorpusSnapshotWriter::Add(std::string_view name, const XmlDatabase& db) {
+  if (file_ == nullptr || finished_) {
+    return Status::FailedPrecondition("snapshot writer is closed");
+  }
+  if (!names_.insert(std::string(name)).second) {
+    return Status::AlreadyExists("duplicate snapshot document name: " +
+                                 std::string(name));
+  }
+  Entry entry;
+  entry.name = std::string(name);
+  std::string blob = snapshot_internal::EncodeDocumentBlob(db, &entry.meta);
+  entry.payload_off = offset_;
+  entry.payload_size = blob.size();
+  entry.payload_checksum =
+      Hash64(reinterpret_cast<const uint8_t*>(blob.data()), blob.size());
+  while (blob.size() % 8 != 0) blob.push_back('\0');
+  if (std::fwrite(blob.data(), 1, blob.size(), file_) != blob.size()) {
+    return Status::Internal("short write to " + path_);
+  }
+  offset_ += blob.size();
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status CorpusSnapshotWriter::Finish() {
+  if (file_ == nullptr || finished_) {
+    return Status::FailedPrecondition("snapshot writer is closed");
+  }
+  finished_ = true;
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  std::vector<snapshot_internal::DirRecord> records;
+  records.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    snapshot_internal::DirRecord rec;
+    rec.name = e.name;
+    rec.payload_off = e.payload_off;
+    rec.payload_size = e.payload_size;
+    rec.payload_checksum = e.payload_checksum;
+    rec.meta = e.meta;
+    records.push_back(rec);
+  }
+  std::string dir = snapshot_internal::BuildDirectory(records);
+  const uint64_t dir_checksum =
+      Hash64(reinterpret_cast<const uint8_t*>(dir.data()), dir.size());
+  if (std::fwrite(dir.data(), 1, dir.size(), file_) != dir.size()) {
+    return Status::Internal("short write to " + path_);
+  }
+  std::string header = snapshot_internal::BuildHeader(
+      offset_ + dir.size(), entries_.size(), offset_, dir.size(), dir_checksum);
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    return Status::Internal("cannot finalize header of " + path_);
+  }
+  std::FILE* file = std::exchange(file_, nullptr);
+  if (std::fclose(file) != 0) {
+    return Status::Internal("cannot close " + path_);
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- snapshot ----
+
+Result<std::shared_ptr<CorpusSnapshot>> CorpusSnapshot::Open(
+    const std::string& path) {
+  const auto start = std::chrono::steady_clock::now();
+  EXTRACT_INJECT_FAULT("snapshot.open");
+  MmapFile file;
+  EXTRACT_ASSIGN_OR_RETURN(file, MmapFile::Open(path));
+  auto view = snapshot_internal::OpenImage(file.data(), file.size());
+  if (!view.ok()) {
+    return Status(view.status().code(),
+                  path + ": " + view.status().message());
+  }
+  std::shared_ptr<CorpusSnapshot> snap(new CorpusSnapshot());
+  snap->file_ = std::move(file);  // mapping address survives the move
+  snap->view_ = *view;
+  snap->path_ = path;
+  snap->slots_ = std::make_unique<Slot[]>(snap->view_.doc_count);
+  snap->open_ns_ = ElapsedNs(start);
+  return snap;
+}
+
+CorpusSnapshot::~CorpusSnapshot() {
+  for (size_t i = 0; i < doc_count(); ++i) {
+    delete slots_[i].doc.load(std::memory_order_acquire);
+  }
+}
+
+ptrdiff_t CorpusSnapshot::FindIndex(std::string_view name) const {
+  size_t lo = 0;
+  size_t hi = doc_count();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (view_.name(mid) < name) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < doc_count() && view_.name(lo) == name) {
+    return static_cast<ptrdiff_t>(lo);
+  }
+  return -1;
+}
+
+Result<const CorpusSnapshot::SnapshotDocument*> CorpusSnapshot::Fault(
+    size_t i) const {
+  if (i >= doc_count()) {
+    return Status::InvalidArgument("snapshot document index out of range");
+  }
+  if (const SnapshotDocument* doc = ResidentOrNull(i)) return doc;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(fault_mu_[i % kFaultShards]);
+  if (const SnapshotDocument* doc = ResidentOrNull(i)) return doc;
+
+  auto fail = [&](Status status) -> Status {
+    fault_failures_.fetch_add(1, std::memory_order_relaxed);
+    return status;
+  };
+#if EXTRACT_FAULT_INJECTION
+  if (FaultInjector::Instance().armed()) {
+    Status injected = FaultInjector::Instance().Check("snapshot.fault");
+    if (!injected.ok()) return fail(std::move(injected));
+  }
+#endif
+  const uint64_t payload_off = view_.entry(i, kEntryPayloadOff);
+  const uint64_t payload_size = view_.entry(i, kEntryPayloadSize);
+  const uint8_t* payload = view_.base + payload_off;
+  Status checksum_status = Status::OK();
+  EXTRACT_FAULT_CHECK_INTO(checksum_status, "snapshot.checksum");
+  if (checksum_status.ok() &&
+      Hash64(payload, static_cast<size_t>(payload_size)) !=
+          view_.entry(i, kEntryPayloadChecksum)) {
+    checksum_status = Status::ParseError(
+        "snapshot document payload checksum mismatch: " +
+        std::string(view_.name(i)));
+  }
+  if (!checksum_status.ok()) return fail(std::move(checksum_status));
+
+  auto db = snapshot_internal::DecodeDocumentBlob(
+      payload, static_cast<size_t>(payload_size));
+  if (!db.ok()) {
+    return fail(Status(db.status().code(), std::string(view_.name(i)) + ": " +
+                                               db.status().message()));
+  }
+  auto* doc = new SnapshotDocument();
+  doc->db = std::make_shared<const XmlDatabase>(std::move(db).value());
+  doc->name = std::string(view_.name(i));
+  doc->instance = instance_base() + i;
+  doc->cache_id = doc->name + "@" + std::to_string(doc->instance);
+  slots_[i].doc.store(doc, std::memory_order_release);
+  faults_.fetch_add(1, std::memory_order_relaxed);
+  resident_.fetch_add(1, std::memory_order_relaxed);
+  fault_ns_.fetch_add(ElapsedNs(start), std::memory_order_relaxed);
+  return doc;
+}
+
+bool CorpusSnapshot::MayMatch(size_t i, QueryFilter& filter) const {
+  const Query& query = *filter.query_;
+  if (query.keywords.empty()) return true;
+  const uint64_t flags = view_.entry(i, kEntryAnalyzerFlags) & 3;
+  auto& analyzed = filter.analyzed_[static_cast<size_t>(flags)];
+  if (!analyzed) {
+    TextAnalysisOptions options;
+    options.stem = (flags & 1) != 0;
+    options.remove_stopwords = (flags & 2) != 0;
+    TextAnalyzer analyzer(options);
+    analyzed = std::make_unique<std::vector<std::string>>();
+    for (const std::string& keyword : query.keywords) {
+      std::string token = analyzer.AnalyzeToken(keyword);
+      if (!token.empty()) analyzed->push_back(std::move(token));
+    }
+  }
+  if (analyzed->empty()) return true;
+
+  // Probe the document's mapped token arena directly; no fault-in. Reads
+  // are bounds-checked but the arena content is only checksum-verified at
+  // fault-in, so any inconsistency degrades to "may match" (the fault-in
+  // a real search then performs reports the corruption).
+  const uint64_t token_off = view_.entry(i, kEntryTokenOff);
+  const uint64_t token_size = view_.entry(i, kEntryTokenSize);
+  if (token_size < 16) return true;
+  const uint8_t* section = view_.base + token_off;
+  const uint64_t token_count = snapshot_internal::LoadU64(section);
+  if (token_count > (token_size - 16) / 8) return true;
+  const uint64_t offs_bytes = 8 * (token_count + 1);
+  if (offs_bytes > token_size - 16) return true;
+  const uint64_t arena_capacity = token_size - 16 - offs_bytes;
+  const uint64_t* offs = reinterpret_cast<const uint64_t*>(section + 16);
+  if (offs[token_count] > arena_capacity) return true;
+  const char* arena = reinterpret_cast<const char*>(section + 16 + offs_bytes);
+
+  for (const std::string& token : *analyzed) {
+    size_t lo = 0;
+    size_t hi = static_cast<size_t>(token_count);
+    bool found = false;
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      uint64_t o0 = offs[mid];
+      uint64_t o1 = offs[mid + 1];
+      if (o1 < o0 || o1 > arena_capacity) return true;  // malformed: keep doc
+      std::string_view candidate(arena + o0, static_cast<size_t>(o1 - o0));
+      int cmp = candidate.compare(token);
+      if (cmp == 0) {
+        found = true;
+        break;
+      }
+      if (cmp < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+CorpusSnapshotStats CorpusSnapshot::Stats() const {
+  CorpusSnapshotStats stats;
+  stats.documents = view_.doc_count;
+  stats.resident = resident_.load(std::memory_order_relaxed);
+  stats.faults = faults_.load(std::memory_order_relaxed);
+  stats.fault_failures = fault_failures_.load(std::memory_order_relaxed);
+  stats.fault_ns = fault_ns_.load(std::memory_order_relaxed);
+  stats.open_ns = open_ns_;
+  stats.file_bytes = view_.file_size;
+  stats.path = path_;
+  return stats;
+}
+
+}  // namespace extract

@@ -1,0 +1,298 @@
+// Corpus snapshot: a whole-corpus, mmap-able persistent store with lazy
+// per-document fault-in — ROADMAP direction 3 (the netdata tiered-storage
+// shape: memory-mapped hot data, the OS page cache doing hot/cold tiering).
+//
+// On-disk layout (version 1; all integers little-endian, sections 8-byte
+// aligned, built by CorpusSnapshotWriter as one streaming pass):
+//
+//   +----------------------------------------------------------------+
+//   | header (64 B): magic "XCSN" | u32 version | u64 file_size      |
+//   |   u64 doc_count | u64 dir_offset | u64 dir_size               |
+//   |   u64 dir_checksum | u64 reserved | u64 header_checksum       |
+//   +----------------------------------------------------------------+
+//   | document payload blobs, one per document, 8-aligned:           |
+//   |   fixed section TOC -> flat zero-parse columns for the label   |
+//   |   table, node columns (parent/label/kind), text arena,         |
+//   |   analyzer options, IndexPartitions bounds, node               |
+//   |   classification, mined keys, the inverted index (sorted token |
+//   |   arena + CSR posting lists) and the optional DTD              |
+//   +----------------------------------------------------------------+
+//   | directory: name arena + per-document entries (payload window,  |
+//   |   per-payload checksum, node count, inverted-section window,   |
+//   |   analyzer flags), sorted by name for binary search            |
+//   +----------------------------------------------------------------+
+//
+// Open() maps the file and validates the header and directory — O(doc
+// directory), never O(corpus bytes): a multi-GB corpus opens in
+// milliseconds because no document payload is read. Documents decode
+// ("fault in") individually on first touch, verified against their own
+// checksum; a decoded document stays resident for the snapshot's lifetime,
+// so the resident set is the touched set. Fault-in failures retain nothing
+// and are retryable.
+//
+// The snapshot composes with the live-mutable corpus (search/corpus.h):
+// CorpusView holds a shared_ptr to the snapshot, so an epoch pin keeps the
+// mapping alive for a whole query and swapping a re-opened snapshot file is
+// just an epoch publish. MayMatch() answers "could this document match this
+// query" straight from the mapped token arena — pruning documents without
+// faulting them in when the engine declares AND keyword semantics
+// (SearchEngine::RequiresAllKeywords).
+
+#ifndef EXTRACT_SEARCH_CORPUS_SNAPSHOT_H_
+#define EXTRACT_SEARCH_CORPUS_SNAPSHOT_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "common/mmap_file.h"
+#include "common/result.h"
+#include "search/search_engine.h"
+
+namespace extract {
+
+namespace snapshot_internal {
+
+/// Fast 64-bit content hash (word-at-a-time; not cryptographic) used for
+/// the directory and per-payload checksums, where FNV-1a's byte-at-a-time
+/// loop would dominate open latency.
+uint64_t Hash64(const uint8_t* data, size_t n);
+
+/// Per-document metadata produced by the blob encoder and persisted in the
+/// directory — everything the lazy loader needs without parsing the blob.
+struct BlobMeta {
+  uint64_t num_nodes = 0;
+  /// Inverted-index section window, relative to the blob start (re-based to
+  /// absolute file offsets by the writer). MayMatch reads only this window.
+  uint64_t token_off = 0;
+  uint64_t token_size = 0;
+  /// TextAnalysisOptions bits: 1 = stem, 2 = remove_stopwords.
+  uint64_t analyzer_flags = 0;
+};
+
+/// Serializes one database into a flat self-contained payload blob.
+std::string EncodeDocumentBlob(const XmlDatabase& db, BlobMeta* meta);
+
+/// Decodes a payload blob back into a database, restoring every derived
+/// structure from its stored section (no re-classification, no re-mining,
+/// no re-tokenization). The caller has already verified the checksum.
+Result<XmlDatabase> DecodeDocumentBlob(const uint8_t* data, size_t size);
+
+/// \brief A validated view of a snapshot image's header + directory over
+/// raw bytes (mapped file or memory buffer). Holds pointers into the
+/// image; the bytes must outlive the view.
+struct ImageView {
+  const uint8_t* base = nullptr;
+  uint64_t file_size = 0;
+  uint64_t doc_count = 0;
+  const uint64_t* name_offsets = nullptr;  ///< doc_count + 1 entries
+  const char* name_bytes = nullptr;
+  uint64_t name_bytes_len = 0;
+  const uint64_t* entries = nullptr;  ///< doc_count * kDirEntryWords
+
+  std::string_view name(size_t i) const {
+    return std::string_view(name_bytes + name_offsets[i],
+                            name_offsets[i + 1] - name_offsets[i]);
+  }
+  uint64_t entry(size_t i, size_t field) const;
+};
+
+/// Directory entry fields (u64 words).
+inline constexpr size_t kEntryPayloadOff = 0;
+inline constexpr size_t kEntryPayloadSize = 1;
+inline constexpr size_t kEntryPayloadChecksum = 2;
+inline constexpr size_t kEntryNumNodes = 3;
+inline constexpr size_t kEntryTokenOff = 4;
+inline constexpr size_t kEntryTokenSize = 5;
+inline constexpr size_t kEntryAnalyzerFlags = 6;
+inline constexpr size_t kEntryReserved = 7;
+inline constexpr size_t kDirEntryWords = 8;
+
+/// Validates header checksum/version/framing and the directory (checksum,
+/// sorted unique names, every payload and token window inside the file).
+/// ParseError with a precise message on any mismatch.
+Result<ImageView> OpenImage(const uint8_t* data, size_t size);
+
+/// Assembles a complete single-buffer image from already-encoded blobs —
+/// the in-memory path behind SaveDatabaseSnapshot (search/snapshot.h).
+/// `docs` entries are (name, blob, meta); names need not be sorted.
+struct PendingDoc {
+  std::string name;
+  std::string blob;
+  BlobMeta meta;
+};
+Result<std::string> BuildImage(std::vector<PendingDoc> docs);
+
+}  // namespace snapshot_internal
+
+/// Point-in-time counters of one open snapshot — the /stats "snapshot"
+/// object and the scale bench's fault-in telemetry.
+struct CorpusSnapshotStats {
+  uint64_t documents = 0;       ///< documents in the snapshot file
+  uint64_t resident = 0;        ///< faulted-in (decoded) documents
+  uint64_t faults = 0;          ///< successful fault-ins
+  uint64_t fault_failures = 0;  ///< failed fault-in attempts (retryable)
+  uint64_t fault_ns = 0;        ///< cumulative decode+verify time
+  uint64_t open_ns = 0;         ///< wall time of Open()
+  uint64_t file_bytes = 0;      ///< snapshot file size
+  std::string path;
+};
+
+/// \brief Streaming snapshot writer: Add documents (any order, unique
+/// names), then Finish. Blobs are written as they are added, so the
+/// in-memory footprint is one blob plus the directory — corpus size never
+/// needs to fit in memory.
+class CorpusSnapshotWriter {
+ public:
+  /// Creates/truncates `path` and reserves the header.
+  static Result<CorpusSnapshotWriter> Create(const std::string& path);
+
+  CorpusSnapshotWriter(CorpusSnapshotWriter&& other) noexcept;
+  CorpusSnapshotWriter& operator=(CorpusSnapshotWriter&&) = delete;
+  ~CorpusSnapshotWriter();
+
+  /// Serializes and appends one document. kAlreadyExists on a duplicate
+  /// name, Internal on I/O failure.
+  Status Add(std::string_view name, const XmlDatabase& db);
+
+  /// Writes the directory, patches the header, and closes the file. The
+  /// snapshot is unreadable until Finish succeeds.
+  Status Finish();
+
+ private:
+  CorpusSnapshotWriter() = default;
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t offset_ = 0;  ///< current write offset (8-aligned after each Add)
+  struct Entry {
+    std::string name;
+    uint64_t payload_off = 0;
+    uint64_t payload_size = 0;
+    uint64_t payload_checksum = 0;
+    snapshot_internal::BlobMeta meta;
+  };
+  std::vector<Entry> entries_;
+  std::unordered_set<std::string> names_;  ///< duplicate detection in Add
+  bool finished_ = false;
+};
+
+/// \brief One open, lazily faulted snapshot file. Immutable and internally
+/// synchronized: any number of threads may Fault/MayMatch/read names
+/// concurrently. Intended to be held by shared_ptr — CorpusView shares it,
+/// so epoch pins keep the mapping alive (see file comment).
+class CorpusSnapshot {
+ public:
+  /// Maps and validates `path` (header + directory only — O(ms), no
+  /// payload is read). NotFound for a missing file, ParseError with a
+  /// precise message for any corruption/truncation/version skew.
+  static Result<std::shared_ptr<CorpusSnapshot>> Open(const std::string& path);
+
+  size_t doc_count() const { return static_cast<size_t>(view_.doc_count); }
+
+  /// Name of document `i` (documents are sorted by name). The view borrows
+  /// the mapping — copy it to outlive the snapshot.
+  std::string_view name(size_t i) const { return view_.name(i); }
+
+  /// Index of `name`, or -1. O(log doc_count) over the mapped directory.
+  ptrdiff_t FindIndex(std::string_view name) const;
+
+  /// \brief One faulted-in document: the decoded database plus the
+  /// identity the corpus serves it under. Stable for the snapshot's
+  /// lifetime once returned.
+  struct SnapshotDocument {
+    std::shared_ptr<const XmlDatabase> db;
+    std::string name;
+    /// Registration id under the attached corpus (instance_base + index);
+    /// see XmlCorpus::AttachSnapshot.
+    uint64_t instance = 0;
+    /// Snippet-cache document id, "<name>@<instance>".
+    std::string cache_id;
+  };
+
+  /// \brief Returns document `i`, decoding ("faulting in") on first touch:
+  /// the payload checksum is verified, the flat columns are rebuilt into an
+  /// XmlDatabase, and the result is published for every later call. A
+  /// failure (corrupt payload, injected fault) retains nothing and is
+  /// retryable. Thread-safe; concurrent faults of the same document decode
+  /// once.
+  Result<const SnapshotDocument*> Fault(size_t i) const;
+
+  /// The already-resident document `i`, or nullptr (never decodes).
+  const SnapshotDocument* ResidentOrNull(size_t i) const {
+    return slots_[i].doc.load(std::memory_order_acquire);
+  }
+
+  /// \brief Per-query state of MayMatch: memoizes the query's analyzed
+  /// keyword tokens per analyzer configuration, so a corpus-wide scan
+  /// analyzes each keyword at most once per distinct analyzer. Cheap to
+  /// construct; not thread-safe (one filter per query per thread).
+  class QueryFilter {
+   public:
+    explicit QueryFilter(const Query& query) : query_(&query) {}
+
+   private:
+    friend class CorpusSnapshot;
+    const Query* query_;
+    std::array<std::unique_ptr<std::vector<std::string>>, 4> analyzed_;
+  };
+
+  /// \brief True unless document `i` provably cannot match the query: some
+  /// keyword analyzes (under the document's own analyzer) to a non-stopword
+  /// token absent from the document's mapped token arena. Never faults the
+  /// document in; sound only for engines with AND keyword semantics
+  /// (SearchEngine::RequiresAllKeywords). Queries with no keywords always
+  /// "may match" so per-document validation errors still surface.
+  bool MayMatch(size_t i, QueryFilter& filter) const;
+
+  /// \brief Base registration id for cache scoping, assigned once by
+  /// XmlCorpus::AttachSnapshot (document i serves as instance base + i).
+  /// Faulting before attachment uses base 0.
+  void SetInstanceBase(uint64_t base) {
+    instance_base_.store(base, std::memory_order_relaxed);
+  }
+  uint64_t instance_base() const {
+    return instance_base_.load(std::memory_order_relaxed);
+  }
+
+  CorpusSnapshotStats Stats() const;
+  const std::string& path() const { return path_; }
+
+  CorpusSnapshot(const CorpusSnapshot&) = delete;
+  CorpusSnapshot& operator=(const CorpusSnapshot&) = delete;
+  ~CorpusSnapshot();
+
+ private:
+  CorpusSnapshot() = default;
+
+  struct Slot {
+    std::atomic<const SnapshotDocument*> doc{nullptr};
+  };
+
+  MmapFile file_;
+  snapshot_internal::ImageView view_;
+  std::string path_;
+  std::unique_ptr<Slot[]> slots_;
+  /// Fault-in is sharded: slot i serializes on mutex i % kFaultShards, so
+  /// unrelated documents decode concurrently.
+  static constexpr size_t kFaultShards = 64;
+  mutable std::array<std::mutex, kFaultShards> fault_mu_;
+  std::atomic<uint64_t> instance_base_{0};
+  mutable std::atomic<uint64_t> faults_{0};
+  mutable std::atomic<uint64_t> fault_failures_{0};
+  mutable std::atomic<uint64_t> fault_ns_{0};
+  mutable std::atomic<uint64_t> resident_{0};
+  uint64_t open_ns_ = 0;
+};
+
+}  // namespace extract
+
+#endif  // EXTRACT_SEARCH_CORPUS_SNAPSHOT_H_

@@ -57,6 +57,26 @@ Result<XmlDatabase> XmlDatabase::FromIndexedDocument(IndexedDocument index,
   return db;
 }
 
+XmlDatabase XmlDatabase::FromParts(IndexedDocument index,
+                                   IndexPartitions partitions,
+                                   NodeClassification classification,
+                                   KeyIndex keys, InvertedIndex inverted,
+                                   TextAnalyzer analyzer,
+                                   std::optional<Dtd> dtd) {
+  XmlDatabase db;
+  db.index_ = std::make_unique<IndexedDocument>(std::move(index));
+  db.partitions_ = std::move(partitions);
+  db.classification_ = std::move(classification);
+  db.keys_ = std::move(keys);
+  db.inverted_ = std::move(inverted);
+  db.analyzer_ = std::move(analyzer);
+  if (dtd.has_value()) {
+    db.dtd_ = *std::move(dtd);
+    db.has_dtd_ = true;
+  }
+  return db;
+}
+
 Query Query::Parse(std::string_view text) {
   Query q;
   // Tokenize twice: once preserving case for display, once folded for

@@ -1,154 +1,14 @@
 #include "search/snapshot.h"
 
 #include <cstdint>
-#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
+#include "search/corpus_snapshot.h"
+
 namespace extract {
-
-namespace {
-
-constexpr std::string_view kMagic = "XSNP";
-constexpr uint32_t kVersion = 1;
-
-// ----------------------------------------------------------- encoding ----
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-}
-
-void PutString(std::string* out, std::string_view s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-}
-
-// ----------------------------------------------------------- decoding ----
-
-// Cursor over the snapshot payload; every Get* checks bounds.
-class Reader {
- public:
-  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
-
-  Result<uint32_t> GetU32() {
-    if (pos_ + 4 > bytes_.size()) return Truncated();
-    uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<uint32_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-
-  Result<uint64_t> GetU64() {
-    if (pos_ + 8 > bytes_.size()) return Truncated();
-    uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i]))
-           << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-
-  Result<uint8_t> GetByte() {
-    if (pos_ + 1 > bytes_.size()) return Truncated();
-    return static_cast<uint8_t>(static_cast<unsigned char>(bytes_[pos_++]));
-  }
-
-  Result<std::string> GetString() {
-    uint32_t len;
-    EXTRACT_ASSIGN_OR_RETURN(len, GetU32());
-    if (pos_ + len > bytes_.size()) return Truncated();
-    std::string s(bytes_.substr(pos_, len));
-    pos_ += len;
-    return s;
-  }
-
-  bool AtEnd() const { return pos_ == bytes_.size(); }
-  size_t pos() const { return pos_; }
-
- private:
-  Status Truncated() const {
-    return Status::ParseError("snapshot truncated at offset " +
-                              std::to_string(pos_));
-  }
-
-  std::string_view bytes_;
-  size_t pos_ = 0;
-};
-
-// ---------------------------------------------------------------- DTD ----
-
-void EncodeParticle(std::string* out, const DtdContentParticle& p) {
-  PutU32(out, static_cast<uint32_t>(p.kind));
-  PutU32(out, static_cast<uint32_t>(p.occurrence));
-  PutString(out, p.name);
-  PutU32(out, static_cast<uint32_t>(p.children.size()));
-  for (const auto& child : p.children) EncodeParticle(out, child);
-}
-
-Result<DtdContentParticle> DecodeParticle(Reader* reader, int depth) {
-  if (depth > 64) return Status::ParseError("snapshot DTD nesting too deep");
-  DtdContentParticle p;
-  uint32_t kind;
-  EXTRACT_ASSIGN_OR_RETURN(kind, reader->GetU32());
-  if (kind > 2) return Status::ParseError("snapshot bad particle kind");
-  p.kind = static_cast<DtdContentParticle::Kind>(kind);
-  uint32_t occurrence;
-  EXTRACT_ASSIGN_OR_RETURN(occurrence, reader->GetU32());
-  if (occurrence > 3) return Status::ParseError("snapshot bad occurrence");
-  p.occurrence = static_cast<DtdOccurrence>(occurrence);
-  EXTRACT_ASSIGN_OR_RETURN(p.name, reader->GetString());
-  uint32_t num_children;
-  EXTRACT_ASSIGN_OR_RETURN(num_children, reader->GetU32());
-  for (uint32_t i = 0; i < num_children; ++i) {
-    DtdContentParticle child;
-    EXTRACT_ASSIGN_OR_RETURN(child, DecodeParticle(reader, depth + 1));
-    p.children.push_back(std::move(child));
-  }
-  return p;
-}
-
-void EncodeDtd(std::string* out, const Dtd& dtd) {
-  PutString(out, dtd.root_name());
-  std::vector<std::string> names = dtd.ElementNames();
-  PutU32(out, static_cast<uint32_t>(names.size()));
-  for (const std::string& name : names) {
-    const DtdElementDecl* decl = dtd.FindElement(name);
-    PutString(out, decl->name);
-    PutU32(out, static_cast<uint32_t>(decl->category));
-    EncodeParticle(out, decl->content);
-  }
-}
-
-Result<Dtd> DecodeDtd(Reader* reader) {
-  Dtd dtd;
-  std::string root_name;
-  EXTRACT_ASSIGN_OR_RETURN(root_name, reader->GetString());
-  dtd.set_root_name(std::move(root_name));
-  uint32_t count;
-  EXTRACT_ASSIGN_OR_RETURN(count, reader->GetU32());
-  for (uint32_t i = 0; i < count; ++i) {
-    DtdElementDecl decl;
-    EXTRACT_ASSIGN_OR_RETURN(decl.name, reader->GetString());
-    uint32_t category;
-    EXTRACT_ASSIGN_OR_RETURN(category, reader->GetU32());
-    if (category > 3) return Status::ParseError("snapshot bad DTD category");
-    decl.category = static_cast<DtdElementDecl::Category>(category);
-    EXTRACT_ASSIGN_OR_RETURN(decl.content, DecodeParticle(reader, 0));
-    dtd.AddElement(std::move(decl));
-  }
-  return dtd;
-}
-
-}  // namespace
 
 namespace internal {
 
@@ -163,124 +23,62 @@ uint64_t Fnv1a(std::string_view bytes) {
 
 }  // namespace internal
 
+namespace {
+
+// The single-document store is a one-entry corpus snapshot image; the name
+// under the sole directory entry is immaterial.
+constexpr std::string_view kSoleDocName = "db";
+
+}  // namespace
+
 std::string SaveDatabaseSnapshot(const XmlDatabase& db) {
-  const IndexedDocument& doc = db.index();
-  std::string payload;
+  snapshot_internal::PendingDoc doc;
+  doc.name = std::string(kSoleDocName);
+  doc.blob = snapshot_internal::EncodeDocumentBlob(db, &doc.meta);
+  std::vector<snapshot_internal::PendingDoc> docs;
+  docs.push_back(std::move(doc));
+  auto image = snapshot_internal::BuildImage(std::move(docs));
+  // A one-document image cannot hit the only failure mode (duplicate name).
+  return std::move(image).value();
+}
 
-  // Label table.
-  PutU32(&payload, static_cast<uint32_t>(doc.labels().size()));
-  for (LabelId id = 0; id < doc.labels().size(); ++id) {
-    PutString(&payload, doc.labels().Name(id));
+Result<XmlDatabase> LoadDatabaseSnapshot(std::string_view bytes) {
+  // The zero-parse columns are read in place as aligned words; image bytes
+  // handed in at an odd address (substring views) get re-based first.
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  std::vector<uint64_t> aligned;
+  if (reinterpret_cast<uintptr_t>(data) % 8 != 0) {
+    aligned.resize(bytes.size() / 8 + 1);
+    std::memcpy(aligned.data(), bytes.data(), bytes.size());
+    data = reinterpret_cast<const uint8_t*>(aligned.data());
   }
-
-  // Node columns.
-  const uint32_t n = static_cast<uint32_t>(doc.num_nodes());
-  PutU32(&payload, n);
-  for (NodeId i = 0; i < static_cast<NodeId>(n); ++i) {
-    PutU32(&payload, static_cast<uint32_t>(doc.parent(i)));
-    PutU32(&payload, doc.is_element(i) ? doc.label(i) : kInvalidLabel);
-    payload.push_back(doc.is_element(i) ? 0 : 1);
-    PutString(&payload, doc.is_element(i) ? std::string_view() : doc.text(i));
+  snapshot_internal::ImageView view;
+  EXTRACT_ASSIGN_OR_RETURN(view,
+                           snapshot_internal::OpenImage(data, bytes.size()));
+  if (view.doc_count != 1) {
+    return Status::ParseError("snapshot holds " +
+                              std::to_string(view.doc_count) +
+                              " documents, expected one");
   }
-
-  // Optional DTD.
-  payload.push_back(db.dtd() != nullptr ? 1 : 0);
-  if (db.dtd() != nullptr) EncodeDtd(&payload, *db.dtd());
-
-  std::string out;
-  out.append(kMagic);
-  PutU32(&out, kVersion);
-  PutU64(&out, internal::Fnv1a(payload));
-  out += payload;
-  return out;
+  // Unlike the lazily faulted corpus path, a single-database load is eager,
+  // so the payload checksum is verified here and now.
+  const uint64_t off = view.entry(0, snapshot_internal::kEntryPayloadOff);
+  const uint64_t size = view.entry(0, snapshot_internal::kEntryPayloadSize);
+  if (snapshot_internal::Hash64(data + off, static_cast<size_t>(size)) !=
+      view.entry(0, snapshot_internal::kEntryPayloadChecksum)) {
+    return Status::ParseError("snapshot payload checksum mismatch");
+  }
+  return snapshot_internal::DecodeDocumentBlob(data + off,
+                                               static_cast<size_t>(size));
 }
 
 Result<XmlDatabase> LoadDatabaseSnapshot(std::string_view bytes,
                                          const LoadOptions& options) {
-  if (bytes.size() < kMagic.size() + 12) {
-    return Status::ParseError("snapshot too short");
-  }
-  if (bytes.substr(0, kMagic.size()) != kMagic) {
-    return Status::ParseError("snapshot bad magic");
-  }
-  Reader header(bytes.substr(kMagic.size()));
-  uint32_t version;
-  EXTRACT_ASSIGN_OR_RETURN(version, header.GetU32());
-  if (version != kVersion) {
-    return Status::ParseError("snapshot unsupported version " +
-                              std::to_string(version));
-  }
-  uint64_t checksum;
-  EXTRACT_ASSIGN_OR_RETURN(checksum, header.GetU64());
-  std::string_view payload = bytes.substr(kMagic.size() + header.pos());
-  if (internal::Fnv1a(payload) != checksum) {
-    return Status::ParseError("snapshot checksum mismatch");
-  }
-
-  Reader reader(payload);
-  // Label table.
-  LabelTable labels;
-  uint32_t num_labels;
-  EXTRACT_ASSIGN_OR_RETURN(num_labels, reader.GetU32());
-  for (uint32_t i = 0; i < num_labels; ++i) {
-    std::string name;
-    EXTRACT_ASSIGN_OR_RETURN(name, reader.GetString());
-    if (labels.Intern(name) != i) {
-      return Status::ParseError("snapshot duplicate label");
-    }
-  }
-
-  // Node columns.
-  uint32_t n;
-  EXTRACT_ASSIGN_OR_RETURN(n, reader.GetU32());
-  std::vector<NodeId> parent;
-  std::vector<LabelId> label;
-  std::vector<IndexedNodeKind> kind;
-  std::vector<std::string> text;
-  parent.reserve(n);
-  label.reserve(n);
-  kind.reserve(n);
-  text.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    uint32_t p;
-    EXTRACT_ASSIGN_OR_RETURN(p, reader.GetU32());
-    parent.push_back(static_cast<NodeId>(p));
-    uint32_t l;
-    EXTRACT_ASSIGN_OR_RETURN(l, reader.GetU32());
-    label.push_back(l);
-    uint8_t k;
-    EXTRACT_ASSIGN_OR_RETURN(k, reader.GetByte());
-    if (k > 1) return Status::ParseError("snapshot bad node kind");
-    kind.push_back(k == 0 ? IndexedNodeKind::kElement : IndexedNodeKind::kText);
-    std::string value;
-    EXTRACT_ASSIGN_OR_RETURN(value, reader.GetString());
-    text.push_back(std::move(value));
-  }
-
-  // Optional DTD.
-  uint8_t has_dtd;
-  EXTRACT_ASSIGN_OR_RETURN(has_dtd, reader.GetByte());
-  Dtd dtd;
-  if (has_dtd == 1) {
-    EXTRACT_ASSIGN_OR_RETURN(dtd, DecodeDtd(&reader));
-  } else if (has_dtd != 0) {
-    return Status::ParseError("snapshot bad DTD flag");
-  }
-  if (!reader.AtEnd()) {
-    return Status::ParseError("snapshot has trailing bytes");
-  }
-
-  IndexedDocument doc;
-  EXTRACT_ASSIGN_OR_RETURN(
-      doc, IndexedDocument::FromFlatColumns(std::move(labels),
-                                            std::move(parent), std::move(label),
-                                            std::move(kind), std::move(text)));
-  return XmlDatabase::FromIndexedDocument(
-      std::move(doc), has_dtd == 1 ? &dtd : nullptr, options);
-}
-
-Result<XmlDatabase> LoadDatabaseSnapshot(std::string_view bytes) {
-  return LoadDatabaseSnapshot(bytes, LoadOptions{});
+  // Derived structures (partitions, classification, keys, inverted index,
+  // analyzer configuration) are stored in the snapshot and restored as
+  // written; load options no longer participate.
+  (void)options;
+  return LoadDatabaseSnapshot(bytes);
 }
 
 Status SaveDatabaseSnapshotToFile(const XmlDatabase& db,

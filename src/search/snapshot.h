@@ -1,15 +1,14 @@
 // Binary persistence of a loaded database — the "Index" store the Index
 // Builder writes in the paper's Figure 4 architecture. Reloading a snapshot
-// skips XML parsing and DOM flattening; the derived structures (node
-// classification, keys, inverted index) are rebuilt from the stored
-// columns, exactly as at load time.
+// skips XML parsing, DOM flattening AND every derived computation: the node
+// classification, mined keys, inverted index, partition grid and analyzer
+// configuration are stored as flat columns and restored as written.
 //
-// Format (all integers little-endian, strings length-prefixed):
-//   magic "XSNP" | u32 version | u64 fnv1a(payload) | payload
-// payload:
-//   label table | node columns (parent, label, kind, text) | optional DTD
-// The loader rejects bad magic, unknown versions, checksum mismatches and
-// malformed framing with ParseError.
+// The byte format is a one-document corpus snapshot image (see
+// search/corpus_snapshot.h for the layout); these wrappers exist for the
+// single-database callers (shell `save`/`load`, benches). The loader
+// rejects bad magic, unknown versions, checksum mismatches and malformed
+// framing with ParseError.
 
 #ifndef EXTRACT_SEARCH_SNAPSHOT_H_
 #define EXTRACT_SEARCH_SNAPSHOT_H_
@@ -27,6 +26,9 @@ std::string SaveDatabaseSnapshot(const XmlDatabase& db);
 
 /// Restores a database from SaveDatabaseSnapshot output.
 Result<XmlDatabase> LoadDatabaseSnapshot(std::string_view bytes);
+
+/// Compatibility overload. The derived structures are stored in the
+/// snapshot and restored exactly as written, so `options` is ignored.
 Result<XmlDatabase> LoadDatabaseSnapshot(std::string_view bytes,
                                          const LoadOptions& options);
 

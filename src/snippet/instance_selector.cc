@@ -180,63 +180,94 @@ Selection SelectInstancesGreedy(const IndexedDocument& doc, NodeId result_root,
                                 const std::vector<ItemInstances>& instances,
                                 const SelectorOptions& options,
                                 GreedyTrace* trace) {
-  // One tree set per thread, reused across selections: Reset is O(1) via
-  // the epoch stamp, so a batch generating thousands of snippets allocates
-  // the membership array once per worker instead of once per result.
-  static thread_local SnippetTreeSet tree;
-  tree.Reset(doc, result_root);
-  Selection selection;
-  selection.covered.assign(instances.size(), false);
-
   const bool record = trace != nullptr && !options.stop_on_first_overflow;
   const bool warm =
       record && trace->valid && trace->items.size() == instances.size();
-  if (record && !warm) {
+
+  Selection selection;
+  selection.covered.assign(instances.size(), false);
+
+  size_t i = 0;
+  if (warm) {
+    // The recorded run's tree is still standing inside the trace. Each
+    // recorded decision stays valid while every earlier decision is
+    // unchanged (the tree then evolves identically, and edges_before is
+    // everything the accept test reads), so find the first item whose
+    // decision flips under the new budget without touching the tree.
+    size_t flip = instances.size();
+    for (size_t j = 0; j < instances.size(); ++j) {
+      const GreedyTrace::Item& item = trace->items[j];
+      const bool accept =
+          item.best_cost != SIZE_MAX &&
+          item.edges_before + item.best_cost <= options.size_bound;
+      if (accept != item.accepted) {
+        flip = j;
+        break;
+      }
+    }
+    if (flip == instances.size()) {
+      // No decision changes: the previous selection IS this budget's
+      // selection, and the standing tree already matches it.
+      return trace->selection;
+    }
+    // Roll the standing tree back to just before the flipped item instead
+    // of recommitting the whole accepted prefix. The flipped entry's
+    // recorded cheapest path is still what fresh scans would find (its
+    // tree prefix matched) — apply the new decision with it, then scan
+    // from the next item on, since later entries recorded a tree this run
+    // no longer builds.
+    for (size_t j = 0; j < flip; ++j) {
+      selection.covered[j] = trace->items[j].accepted;
+    }
+    trace->tree.RollbackTo(trace->items[flip].mark);
+    GreedyTrace::Item& item = trace->items[flip];
+    const bool accept = item.best_cost != SIZE_MAX &&
+                        item.edges_before + item.best_cost <= options.size_bound;
+    if (accept) {
+      trace->tree.Commit(item.best_path);
+      selection.covered[flip] = true;
+    }
+    item.accepted = accept;
+    i = flip + 1;
+  } else if (record) {
     trace->valid = false;
     trace->items.assign(instances.size(), GreedyTrace::Item{});
+    trace->tree.Reset(doc, result_root);
+  }
+
+  // Recorded runs build into the trace-owned tree so the next re-selection
+  // can resume from it; cold runs share one tree set per thread, reused
+  // across selections (Reset is O(1) via the epoch stamp, so a batch
+  // generating thousands of snippets allocates the membership array once
+  // per worker instead of once per result).
+  static thread_local SnippetTreeSet scratch_tree;
+  SnippetTreeSet* tree;
+  if (record) {
+    tree = &trace->tree;
+  } else {
+    scratch_tree.Reset(doc, result_root);
+    tree = &scratch_tree;
   }
 
   std::vector<NodeId> path;
   std::vector<NodeId> best_path;
-  size_t i = 0;
-  if (warm) {
-    // Replayable prefix: while the accept/reject decisions match the
-    // recorded run, the tree evolves identically, so each recorded
-    // cheapest path is exactly what fresh ConnectCost scans would find.
-    // The entry where the decision first flips is itself still valid (its
-    // tree prefix matched) — apply the new decision with the recorded
-    // path, then scan from the next item on, since later entries recorded
-    // a tree this run no longer builds.
-    for (; i < instances.size(); ++i) {
-      GreedyTrace::Item& item = trace->items[i];
-      const bool accept = item.best_cost != SIZE_MAX &&
-                          tree.edges() + item.best_cost <= options.size_bound;
-      if (accept) {
-        tree.Commit(item.best_path);
-        selection.covered[i] = true;
-      }
-      if (accept != item.accepted) {
-        item.accepted = accept;
-        ++i;
-        break;
-      }
-    }
-  }
   for (; i < instances.size(); ++i) {
     size_t best_cost = SIZE_MAX;
     best_path.clear();
     for (NodeId inst : instances[i].nodes) {
-      size_t cost = tree.ConnectCost(inst, &path);
+      size_t cost = tree->ConnectCost(inst, &path);
       if (cost < best_cost) {  // ties: first in document order wins
         best_cost = cost;
         best_path = path;
         if (cost == 0) break;  // cannot do better
       }
     }
+    const size_t edges_before = tree->edges();
+    const size_t mark = tree->Mark();
     bool accepted = false;
     if (best_cost != SIZE_MAX) {  // items without instances are skipped
-      if (tree.edges() + best_cost <= options.size_bound) {
-        tree.Commit(best_path);
+      if (edges_before + best_cost <= options.size_bound) {
+        tree->Commit(best_path);
         selection.covered[i] = true;
         accepted = true;
       } else if (options.stop_on_first_overflow) {
@@ -244,11 +275,15 @@ Selection SelectInstancesGreedy(const IndexedDocument& doc, NodeId result_root,
       }
     }
     if (record) {
-      trace->items[i] = GreedyTrace::Item{best_cost, best_path, accepted};
+      trace->items[i] =
+          GreedyTrace::Item{best_cost, best_path, accepted, edges_before, mark};
     }
   }
-  if (record) trace->valid = true;
-  selection.nodes = tree.SortedMembers();
+  selection.nodes = tree->SortedMembers();
+  if (record) {
+    trace->valid = true;
+    trace->selection = selection;
+  }
   return selection;
 }
 

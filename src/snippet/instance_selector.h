@@ -19,6 +19,7 @@
 
 #include "index/indexed_document.h"
 #include "snippet/ilist.h"
+#include "snippet/snippet_tree_set.h"
 
 namespace extract {
 
@@ -113,9 +114,12 @@ Selection SelectInstancesGreedy(const IndexedDocument& doc, NodeId result_root,
 /// the accept/reject decisions of earlier items — never on the budget
 /// directly. A re-selection that differs only in
 /// SelectorOptions::size_bound (the shell regenerating a page at a new
-/// size) can therefore replay the recorded paths with zero ConnectCost
-/// scans up to the first item whose accept decision flips under the new
-/// budget, and only scans from the item after it.
+/// size) therefore resumes from the previous run's tree, which the trace
+/// keeps standing: a flip-scan over the recorded (edges_before, best_cost)
+/// pairs finds the first item whose accept decision changes under the new
+/// budget without touching the tree; the tree is rolled back to that
+/// item's mark and selection continues from there. When no decision flips
+/// the previous Selection is returned outright — zero tree work.
 struct GreedyTrace {
   struct Item {
     /// Marginal cost of the cheapest instance (SIZE_MAX: no instance).
@@ -125,16 +129,29 @@ struct GreedyTrace {
     std::vector<NodeId> best_path;
     /// The accept decision of the recorded run, under its budget.
     bool accepted = false;
+    /// Tree edges just before this item's decision — everything the
+    /// accept test reads, so a new budget re-decides without the tree.
+    size_t edges_before = 0;
+    /// Tree undo-log mark just before this item's decision; the
+    /// RollbackTo target when this item is the first to flip.
+    size_t mark = 0;
   };
   std::vector<Item> items;
   /// True once a run has been recorded.
   bool valid = false;
+  /// The recorded run's snippet tree, left standing between selections so
+  /// a budget change rolls back to the first flipped decision instead of
+  /// recommitting the whole accepted prefix.
+  SnippetTreeSet tree;
+  /// The recorded run's result, returned as-is when no decision flips.
+  Selection selection;
 };
 
-/// \brief SelectInstancesGreedy with warm-start memoization: replays
-/// `trace` while its decisions still hold under `options`, falls back to
-/// fresh scans from the first divergence, and records the run back into
-/// the trace. Byte-identical output to the cold overload for every input.
+/// \brief SelectInstancesGreedy with warm-start memoization: resumes from
+/// the tree `trace` left standing, rolling it back to the first item whose
+/// accept decision flips under `options`, scanning fresh only from there,
+/// and recording the run (tree included) back into the trace.
+/// Byte-identical output to the cold overload for every input.
 ///
 /// `trace` must always describe the same (doc, result_root, instances)
 /// triple — key it like the instance scans (see

@@ -15,6 +15,7 @@
 // reproduces by seed alone.
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "http/query_endpoints.h"
 #include "http_test_util.h"
 #include "search/corpus.h"
+#include "search/corpus_snapshot.h"
 
 namespace extract {
 namespace {
@@ -339,6 +341,125 @@ TEST_F(ChaosServingTest, BadBudgetParamsAreRejected) {
   EXPECT_EQ(Get(server_->port(), "/query?q=texas&max_nodes=0").status, 400);
   EXPECT_EQ(Get(server_->port(), "/query?q=texas&max_nodes=abc").status, 400);
   EXPECT_EQ(Get(server_->port(), "/query?q=texas&max_bytes=0").status, 400);
+}
+
+// ------------------------------------------------ snapshot-backed chaos
+
+std::string JsonResultsSlice(const std::string& body) {
+  const size_t begin = body.find("\"results\":");
+  const size_t end = body.find(",\"stats\":");
+  if (begin == std::string::npos || end == std::string::npos) return "";
+  return body.substr(begin, end - begin);
+}
+
+// The snapshot failure domain: fault-in, checksum and open faults while a
+// snapshot-backed corpus serves and the snapshot is re-attached (epoch
+// swap) mid-traffic. Responses stay precisely mapped (never a 500), SSE
+// drains, and disarmed replays are byte-identical — a failed fault-in or
+// swap must leave no residue in served results.
+TEST(ChaosSnapshotServingTest, SnapshotFaultsStayInsideFailureDomain) {
+  const std::string path = ::testing::TempDir() + "/chaos_snapshot.xcsn";
+  {
+    auto writer = CorpusSnapshotWriter::Create(path);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE(
+        writer->Add("retailer", *XmlDatabase::Load(GenerateRetailerXml()))
+            .ok());
+    ASSERT_TRUE(writer->Add("stores", *XmlDatabase::Load(GenerateStoresXml()))
+                    .ok());
+    ASSERT_TRUE(writer->Finish().ok());
+  }
+
+  XmlCorpus corpus;
+  {
+    auto snapshot = CorpusSnapshot::Open(path);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+    ASSERT_TRUE(corpus.AttachSnapshot(*snapshot).ok());
+  }
+  corpus.EnableSnippetCache();
+  XSeekEngine engine;
+  HttpServerOptions options;
+  options.admission.max_concurrent = 4;
+  options.admission.max_queue = 8;
+  HttpServer server(options);
+  QueryService service(&corpus, &engine, QueryServiceOptions{});
+  service.Register(&server);
+  ASSERT_TRUE(server.Start().ok());
+
+  const HttpResponse reference = Get(server.port(), kJsonQuery);
+  ASSERT_TRUE(reference.valid);
+  ASSERT_EQ(reference.status, 200);
+  const std::string reference_results = JsonResultsSlice(reference.body);
+  ASSERT_FALSE(reference_results.empty());
+
+  const char* const kSnapshotPoints[] = {"snapshot.fault", "snapshot.checksum",
+                                         "snapshot.open", "epoch.publish"};
+  for (uint64_t seed = 0; seed < 48; ++seed) {
+    SCOPED_TRACE("snapshot chaos seed " + std::to_string(seed));
+    {
+      uint64_t rng = seed * 0x9e3779b97f4a7c15u + 1;
+      std::vector<FaultRule> schedule;
+      const size_t rules = 1 + XorShift(&rng) % 2;
+      for (size_t r = 0; r < rules; ++r) {
+        FaultRule rule;
+        rule.point = kSnapshotPoints[XorShift(&rng) % 4];
+        rule.code = XorShift(&rng) % 2 == 0 ? StatusCode::kUnavailable
+                                            : StatusCode::kDeadlineExceeded;
+        rule.message = "snapshot chaos seed " + std::to_string(seed);
+        rule.nth_hit = 0;
+        rule.probability = 0.10 + 0.40 * ((XorShift(&rng) % 1000) / 1000.0);
+        rule.seed = XorShift(&rng) | 1;
+        rule.max_fires = 0;
+        schedule.push_back(std::move(rule));
+      }
+      ScopedFaultInjection arm(std::move(schedule));
+
+      HttpResponse json = Get(server.port(), kJsonQuery);
+      ASSERT_TRUE(json.valid);
+      ASSERT_TRUE(json.status == 200 || json.status == 404 ||
+                  json.status == 413 || json.status == 503)
+          << "unexpected HTTP status " << json.status << ": " << json.body;
+      EXPECT_EQ(json.body.find("Internal"), std::string::npos) << json.body;
+
+      HttpResponse sse = Get(server.port(), kSseQuery);
+      ASSERT_TRUE(sse.valid);
+      if (sse.status == 200) {
+        std::vector<SseEvent> events = ParseSseBody(sse.body);
+        ASSERT_FALSE(events.empty());
+        EXPECT_EQ(events.back().event, "done");
+      }
+
+      // Epoch swap under chaos: re-open and re-attach the same file.
+      // Either it lands (fresh residency, same contents) or it fails with
+      // the injected/mapped Status — never kInternal, never half-attached.
+      auto reopened = CorpusSnapshot::Open(path);
+      if (reopened.ok()) {
+        Status attach = corpus.AttachSnapshot(*reopened);
+        if (!attach.ok()) {
+          EXPECT_NE(attach.code(), StatusCode::kInternal) << attach;
+        }
+      } else {
+        EXPECT_NE(reopened.status().code(), StatusCode::kInternal)
+            << reopened.status();
+      }
+      EXPECT_EQ(corpus.size(), 2u);
+    }
+
+    if (seed % 12 == 11) {
+      HttpResponse replay = Get(server.port(), kJsonQuery);
+      ASSERT_TRUE(replay.valid);
+      ASSERT_EQ(replay.status, 200);
+      EXPECT_EQ(JsonResultsSlice(replay.body), reference_results);
+    }
+  }
+
+  FaultInjector::Instance().Disarm();
+  HttpResponse replay = Get(server.port(), kJsonQuery);
+  ASSERT_TRUE(replay.valid);
+  ASSERT_EQ(replay.status, 200);
+  EXPECT_EQ(JsonResultsSlice(replay.body), reference_results);
+  server.Stop();
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,537 @@
+// Corpus snapshot tests: the mmap-able whole-corpus store (ROADMAP
+// direction 3). Pins the format contract (precise statuses for every
+// corruption/truncation/version-skew shape), byte-equivalence of
+// snapshot-backed serving against the in-memory corpus — search pages,
+// snippets, and the HTTP wire — lazy fault-in semantics (counters, retry,
+// MayMatch pruning that never touches payloads), the two-layer corpus
+// composition (overlay shadowing, hides, instance scoping), and churn
+// under concurrent mutation (exercised by the TSan CI job).
+
+#include "search/corpus_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/movies_dataset.h"
+#include "datagen/retailer_dataset.h"
+#include "datagen/stores_dataset.h"
+#include "http/http_server.h"
+#include "http/query_endpoints.h"
+#include "http_test_util.h"
+#include "search/corpus.h"
+#include "snippet/snippet_tree.h"
+
+namespace extract {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Writes the three demo datasets (names pre-sorted, so directory order
+/// matches write order) and returns the snapshot path.
+std::string WriteDemoSnapshot(const std::string& name) {
+  const std::string path = TempPath(name);
+  auto writer = CorpusSnapshotWriter::Create(path);
+  EXPECT_TRUE(writer.ok()) << writer.status();
+  EXPECT_TRUE(writer->Add("movies", *XmlDatabase::Load(GenerateMoviesXml()))
+                  .ok());
+  EXPECT_TRUE(
+      writer->Add("retailer", *XmlDatabase::Load(GenerateRetailerXml())).ok());
+  EXPECT_TRUE(writer->Add("stores", *XmlDatabase::Load(GenerateStoresXml()))
+                  .ok());
+  EXPECT_TRUE(writer->Finish().ok());
+  return path;
+}
+
+// ------------------------------------------------------------ round trip
+
+TEST(CorpusSnapshotTest, WriterRoundTripFaultsInEquivalentDocuments) {
+  const std::string path = WriteDemoSnapshot("corpus_roundtrip.xcsn");
+  auto snapshot = CorpusSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  CorpusSnapshot& snap = **snapshot;
+
+  ASSERT_EQ(snap.doc_count(), 3u);
+  EXPECT_EQ(snap.name(0), "movies");  // sorted by name
+  EXPECT_EQ(snap.name(1), "retailer");
+  EXPECT_EQ(snap.name(2), "stores");
+  EXPECT_EQ(snap.FindIndex("retailer"), 1);
+  EXPECT_EQ(snap.FindIndex("zzz"), -1);
+
+  // Nothing is resident until touched.
+  CorpusSnapshotStats stats = snap.Stats();
+  EXPECT_EQ(stats.documents, 3u);
+  EXPECT_EQ(stats.resident, 0u);
+  EXPECT_EQ(stats.faults, 0u);
+  EXPECT_GT(stats.file_bytes, 0u);
+  EXPECT_EQ(snap.ResidentOrNull(1), nullptr);
+
+  auto doc = snap.Fault(1);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ((*doc)->name, "retailer");
+  EXPECT_EQ(snap.ResidentOrNull(1), *doc);
+  EXPECT_EQ(snap.Fault(1).value(), *doc);  // second touch: same pointer
+
+  stats = snap.Stats();
+  EXPECT_EQ(stats.resident, 1u);
+  EXPECT_EQ(stats.faults, 1u);
+  EXPECT_EQ(stats.fault_failures, 0u);
+
+  // The decoded document matches a fresh parse node for node.
+  auto fresh = XmlDatabase::Load(GenerateRetailerXml());
+  ASSERT_TRUE(fresh.ok());
+  const IndexedDocument& a = fresh->index();
+  const IndexedDocument& b = (*doc)->db->index();
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeId n = 0; n < static_cast<NodeId>(a.num_nodes()); ++n) {
+    ASSERT_EQ(a.parent(n), b.parent(n)) << "node " << n;
+    ASSERT_EQ(a.kind(n), b.kind(n)) << "node " << n;
+    if (a.is_element(n)) {
+      ASSERT_EQ(a.label_name(n), b.label_name(n)) << "node " << n;
+    } else {
+      ASSERT_EQ(a.text(n), b.text(n)) << "node " << n;
+    }
+  }
+  EXPECT_EQ(fresh->inverted().vocabulary_size(),
+            (*doc)->db->inverted().vocabulary_size());
+  EXPECT_EQ(fresh->inverted().total_postings(),
+            (*doc)->db->inverted().total_postings());
+  std::remove(path.c_str());
+}
+
+TEST(CorpusSnapshotTest, WriterRejectsDuplicateNames) {
+  const std::string path = TempPath("corpus_dup.xcsn");
+  auto writer = CorpusSnapshotWriter::Create(path);
+  ASSERT_TRUE(writer.ok());
+  auto db = XmlDatabase::Load("<a>x</a>");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(writer->Add("doc", *db).ok());
+  EXPECT_EQ(writer->Add("doc", *db).code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(writer->Finish().ok());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- corruption / skew
+
+TEST(CorpusSnapshotTest, OpenRejectsCorruptionWithPreciseStatuses) {
+  const std::string path = WriteDemoSnapshot("corpus_corrupt.xcsn");
+  const std::string good = ReadFile(path);
+  ASSERT_GT(good.size(), 64u);
+  const std::string mutated = TempPath("corpus_corrupt_mut.xcsn");
+
+  auto open_mutated = [&](const std::string& bytes) {
+    WriteFile(mutated, bytes);
+    return CorpusSnapshot::Open(mutated).status();
+  };
+
+  {  // bad magic
+    std::string bytes = good;
+    bytes[0] = 'Y';
+    Status status = open_mutated(bytes);
+    EXPECT_EQ(status.code(), StatusCode::kParseError);
+    EXPECT_NE(status.message().find("bad magic"), std::string::npos) << status;
+  }
+  {  // version skew
+    std::string bytes = good;
+    bytes[4] = 99;
+    Status status = open_mutated(bytes);
+    EXPECT_EQ(status.code(), StatusCode::kParseError);
+    EXPECT_NE(status.message().find("unsupported version"), std::string::npos)
+        << status;
+  }
+  {  // header corruption
+    std::string bytes = good;
+    bytes[16] ^= 0x5A;  // inside the checksummed header region
+    Status status = open_mutated(bytes);
+    EXPECT_EQ(status.code(), StatusCode::kParseError);
+    EXPECT_NE(status.message().find("checksum mismatch"), std::string::npos)
+        << status;
+  }
+  {  // directory corruption (directory sits at EOF)
+    std::string bytes = good;
+    bytes[bytes.size() - 1] ^= 0x5A;
+    Status status = open_mutated(bytes);
+    EXPECT_EQ(status.code(), StatusCode::kParseError);
+    EXPECT_NE(status.message().find("directory checksum mismatch"),
+              std::string::npos)
+        << status;
+  }
+  {  // truncation at every interesting boundary
+    for (size_t keep : {size_t{0}, size_t{10}, size_t{63}, size_t{64},
+                        good.size() / 2, good.size() - 1}) {
+      Status status = open_mutated(good.substr(0, keep));
+      EXPECT_EQ(status.code(), StatusCode::kParseError) << "kept " << keep;
+    }
+    Status status = open_mutated(good.substr(0, good.size() - 8));
+    EXPECT_NE(status.message().find("truncated"), std::string::npos) << status;
+  }
+  {  // trailing garbage
+    Status status = open_mutated(good + std::string(8, '\0'));
+    EXPECT_NE(status.message().find("trailing"), std::string::npos) << status;
+  }
+  // The pristine file still opens — no mutation above was destructive.
+  EXPECT_TRUE(CorpusSnapshot::Open(path).ok());
+  EXPECT_EQ(CorpusSnapshot::Open(TempPath("no_such.xcsn")).status().code(),
+            StatusCode::kNotFound);
+  std::remove(path.c_str());
+  std::remove(mutated.c_str());
+}
+
+TEST(CorpusSnapshotTest, PayloadCorruptionSurfacesAtFaultInAndIsSticky) {
+  const std::string path = WriteDemoSnapshot("corpus_payload.xcsn");
+  std::string bytes = ReadFile(path);
+  // Payload blobs start right after the 64-byte header; names were added in
+  // sorted order, so the first blob is document 0 ("movies"). Flip a byte
+  // deep inside it (past the section TOC, so framing stays plausible).
+  bytes[64 + 128] ^= 0x5A;
+  WriteFile(path, bytes);
+
+  auto snapshot = CorpusSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();  // open never reads payloads
+  CorpusSnapshot& snap = **snapshot;
+
+  Status fault = snap.Fault(0).status();
+  EXPECT_EQ(fault.code(), StatusCode::kParseError);
+  EXPECT_NE(fault.message().find("payload checksum mismatch"),
+            std::string::npos)
+      << fault;
+  EXPECT_NE(fault.message().find("movies"), std::string::npos) << fault;
+  // Deterministic on retry, nothing retained, failure counted.
+  EXPECT_FALSE(snap.Fault(0).ok());
+  EXPECT_EQ(snap.ResidentOrNull(0), nullptr);
+  EXPECT_EQ(snap.Stats().fault_failures, 2u);
+  EXPECT_EQ(snap.Stats().resident, 0u);
+  // The other documents are untouched by the corruption.
+  EXPECT_TRUE(snap.Fault(1).ok());
+  EXPECT_TRUE(snap.Fault(2).ok());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- MayMatch
+
+TEST(CorpusSnapshotTest, MayMatchPrunesWithoutFaultingIn) {
+  const std::string path = WriteDemoSnapshot("corpus_maymatch.xcsn");
+  auto snapshot = CorpusSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok());
+  CorpusSnapshot& snap = **snapshot;
+
+  {
+    Query query = Query::Parse("texas");
+    CorpusSnapshot::QueryFilter filter(query);
+    EXPECT_TRUE(snap.MayMatch(2, filter));  // stores mentions Texas
+  }
+  {
+    Query query = Query::Parse("xyzzyplugh");
+    CorpusSnapshot::QueryFilter filter(query);
+    for (size_t i = 0; i < snap.doc_count(); ++i) {
+      EXPECT_FALSE(snap.MayMatch(i, filter)) << "doc " << i;
+    }
+  }
+  {
+    Query query = Query::Parse("");  // no keywords: conservatively true
+    CorpusSnapshot::QueryFilter filter(query);
+    EXPECT_TRUE(snap.MayMatch(0, filter));
+  }
+  // MayMatch reads only the mapped token arena — nothing became resident.
+  EXPECT_EQ(snap.Stats().resident, 0u);
+
+  // Corpus-level: a search that cannot match anything completes without a
+  // single fault-in. That is the million-document win — cold queries pay
+  // O(matching docs), not O(corpus).
+  XmlCorpus corpus;
+  ASSERT_TRUE(corpus.AttachSnapshot(*snapshot).ok());
+  XSeekEngine engine;
+  auto hits = corpus.SearchAll(Query::Parse("xyzzyplugh"), engine);
+  ASSERT_TRUE(hits.ok()) << hits.status();
+  EXPECT_TRUE(hits->empty());
+  EXPECT_EQ(corpus.SnapshotStatsSnapshot()->resident, 0u);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------- equivalence vs in-memory corpus
+
+class SnapshotEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(memory_.AddDocument("movies", GenerateMoviesXml()).ok());
+    ASSERT_TRUE(memory_.AddDocument("retailer", GenerateRetailerXml()).ok());
+    ASSERT_TRUE(memory_.AddDocument("stores", GenerateStoresXml()).ok());
+
+    path_ = TempPath("corpus_equiv.xcsn");
+    ASSERT_TRUE(memory_.SaveSnapshot(path_).ok());
+    auto snapshot = CorpusSnapshot::Open(path_);
+    ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+    ASSERT_TRUE(snapshot_backed_.AttachSnapshot(*snapshot).ok());
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  XmlCorpus memory_;
+  XmlCorpus snapshot_backed_;
+  XSeekEngine engine_;
+  std::string path_;
+};
+
+TEST_F(SnapshotEquivalenceTest, SearchPagesAndSnippetsAreByteIdentical) {
+  for (const char* text :
+       {"texas", "texas apparel retailer", "movie", "science fiction",
+        "store manager", "xyzzyplugh", ""}) {
+    const Query query = Query::Parse(text);
+    auto a = memory_.SearchAll(query, engine_);
+    auto b = snapshot_backed_.SearchAll(query, engine_);
+    ASSERT_EQ(a.ok(), b.ok()) << text;
+    if (!a.ok()) {
+      EXPECT_EQ(a.status().code(), b.status().code()) << text;
+      continue;
+    }
+    ASSERT_EQ(a->size(), b->size()) << text;
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].document, (*b)[i].document) << text;
+      EXPECT_EQ((*a)[i].result.root, (*b)[i].result.root) << text;
+      EXPECT_EQ((*a)[i].score, (*b)[i].score) << text;
+    }
+    if (a->empty()) continue;
+
+    auto snip_a = memory_.GenerateSnippets(query, *a, SnippetOptions{});
+    auto snip_b = snapshot_backed_.GenerateSnippets(query, *b,
+                                                    SnippetOptions{});
+    ASSERT_TRUE(snip_a.ok()) << snip_a.status();
+    ASSERT_TRUE(snip_b.ok()) << snip_b.status();
+    ASSERT_EQ(snip_a->size(), snip_b->size());
+    for (size_t i = 0; i < snip_a->size(); ++i) {
+      EXPECT_EQ(RenderSnippet((*snip_a)[i]), RenderSnippet((*snip_b)[i]))
+          << text << " slot " << i;
+      EXPECT_EQ((*snip_a)[i].nodes, (*snip_b)[i].nodes) << text;
+      EXPECT_EQ((*snip_a)[i].covered, (*snip_b)[i].covered) << text;
+    }
+  }
+}
+
+TEST_F(SnapshotEquivalenceTest, TopKMatchesAcrossBackends) {
+  const Query query = Query::Parse("texas");
+  for (size_t k : {size_t{1}, size_t{3}, size_t{10}}) {
+    auto a = memory_.SearchTopK(query, engine_, RankingOptions{},
+                                CorpusServingOptions{}, k);
+    auto b = snapshot_backed_.SearchTopK(query, engine_, RankingOptions{},
+                                         CorpusServingOptions{}, k);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    ASSERT_EQ(a->size(), b->size()) << "k=" << k;
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].document, (*b)[i].document) << "k=" << k;
+      EXPECT_EQ((*a)[i].score, (*b)[i].score) << "k=" << k;
+    }
+  }
+}
+
+TEST_F(SnapshotEquivalenceTest, FindAndNamesMatch) {
+  EXPECT_EQ(memory_.DocumentNames(), snapshot_backed_.DocumentNames());
+  EXPECT_EQ(memory_.size(), snapshot_backed_.size());
+  ASSERT_NE(snapshot_backed_.Find("stores"), nullptr);
+  EXPECT_EQ(snapshot_backed_.Find("stores")->index().num_nodes(),
+            memory_.Find("stores")->index().num_nodes());
+  EXPECT_EQ(snapshot_backed_.Find("absent"), nullptr);
+}
+
+/// Zeroes the legitimately backend-dependent counters of a response body:
+/// wall-clock timings, and the search work counters MayMatch pruning is
+/// SUPPOSED to shrink (fewer producers opened, fewer pull rounds). Result
+/// content — documents, scores, keys, snippets — is never scrubbed.
+std::string ScrubWorkCounters(std::string body) {
+  for (const std::string field : {"_ns\":", "producers\":", "pull_rounds\":"}) {
+    for (size_t at = body.find(field); at != std::string::npos;
+         at = body.find(field, at + 1)) {
+      const size_t digits = at + field.size();
+      size_t end = digits;
+      while (end < body.size() && body[end] >= '0' && body[end] <= '9') ++end;
+      body.replace(digits, end - digits, "0");
+    }
+  }
+  return body;
+}
+
+TEST_F(SnapshotEquivalenceTest, HttpWireIsByteIdentical) {
+  memory_.EnableSnippetCache();
+  snapshot_backed_.EnableSnippetCache();
+  HttpServer server_a{HttpServerOptions{}};
+  HttpServer server_b{HttpServerOptions{}};
+  QueryService service_a(&memory_, &engine_, QueryServiceOptions{});
+  QueryService service_b(&snapshot_backed_, &engine_, QueryServiceOptions{});
+  service_a.Register(&server_a);
+  service_b.Register(&server_b);
+  ASSERT_TRUE(server_a.Start().ok());
+  ASSERT_TRUE(server_b.Start().ok());
+
+  const std::vector<std::string> targets = {
+      "/query?q=texas", "/query?q=" + testing::UrlEncode("movie actor"),
+      "/query?q=texas&mode=sse", "/query?q=xyzzyplugh", "/query?q="};
+  for (const std::string& target : targets) {
+    testing::HttpResponse a = testing::Get(server_a.port(), target);
+    testing::HttpResponse b = testing::Get(server_b.port(), target);
+    ASSERT_TRUE(a.valid && b.valid) << target;
+    EXPECT_EQ(a.status, b.status) << target;
+    // The wire is backend-blind: identical except timing/work counters.
+    EXPECT_EQ(ScrubWorkCounters(a.body), ScrubWorkCounters(b.body)) << target;
+  }
+  server_a.Stop();
+  server_b.Stop();
+}
+
+TEST_F(SnapshotEquivalenceTest, StatsReportsSnapshotCounters) {
+  // Touch one document, then check /stats surfaces the fault-in counters.
+  ASSERT_NE(snapshot_backed_.Find("stores"), nullptr);
+  auto stats = snapshot_backed_.SnapshotStatsSnapshot();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->documents, 3u);
+  EXPECT_GE(stats->resident, 1u);
+  EXPECT_EQ(stats->path, path_);
+  EXPECT_FALSE(memory_.SnapshotStatsSnapshot().has_value());
+
+  HttpServer server{HttpServerOptions{}};
+  QueryService service(&snapshot_backed_, &engine_, QueryServiceOptions{});
+  service.Register(&server);
+  ASSERT_TRUE(server.Start().ok());
+  testing::HttpResponse response = testing::Get(server.port(), "/stats");
+  ASSERT_TRUE(response.valid);
+  EXPECT_NE(response.body.find("\"snapshot\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"resident\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"faults\""), std::string::npos);
+  server.Stop();
+}
+
+// ------------------------------------------------- two-layer composition
+
+TEST(CorpusSnapshotLayerTest, OverlayShadowingAndHides) {
+  const std::string path = WriteDemoSnapshot("corpus_layers.xcsn");
+  auto snapshot = CorpusSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok());
+
+  XmlCorpus corpus;
+  ASSERT_TRUE(corpus.AddDocument("overlay", "<a><b>unique</b></a>").ok());
+  ASSERT_TRUE(corpus.AttachSnapshot(*snapshot).ok());
+  EXPECT_EQ(corpus.size(), 4u);
+
+  // Snapshot names are taken: AddDocument must refuse, not shadow.
+  EXPECT_EQ(corpus.AddDocument("stores", "<x/>").code(),
+            StatusCode::kAlreadyExists);
+
+  // Removing a snapshot document hides it (the mapping is immutable).
+  ASSERT_TRUE(corpus.RemoveDocument("stores").ok());
+  EXPECT_EQ(corpus.size(), 3u);
+  EXPECT_EQ(corpus.Find("stores"), nullptr);
+  EXPECT_EQ(corpus.RemoveDocument("stores").code(), StatusCode::kNotFound);
+
+  // A hidden name is free again — the overlay now shadows the snapshot.
+  ASSERT_TRUE(corpus.AddDocument("stores", "<shadow>texas</shadow>").ok());
+  EXPECT_EQ(corpus.size(), 4u);
+  ASSERT_NE(corpus.Find("stores"), nullptr);
+  EXPECT_EQ(corpus.Find("stores")->index().num_nodes(), 2u);
+
+  // Attaching over a colliding overlay name is refused atomically.
+  auto again = CorpusSnapshot::Open(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(corpus.AttachSnapshot(*again).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(corpus.AttachSnapshot(nullptr).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CorpusSnapshotLayerTest, SaveSnapshotRoundTripsTheVisibleSet) {
+  const std::string first = TempPath("corpus_resave_a.xcsn");
+  const std::string second = TempPath("corpus_resave_b.xcsn");
+  {
+    XmlCorpus corpus;
+    ASSERT_TRUE(corpus.AddDocument("stores", GenerateStoresXml()).ok());
+    ASSERT_TRUE(corpus.SaveSnapshot(first).ok());
+  }
+  XmlCorpus corpus;
+  auto snapshot = CorpusSnapshot::Open(first);
+  ASSERT_TRUE(snapshot.ok());
+  ASSERT_TRUE(corpus.AttachSnapshot(*snapshot).ok());
+  ASSERT_TRUE(corpus.AddDocument("extra", "<a><b>two</b></a>").ok());
+  // Save again: the snapshot layer + overlay flatten into one image.
+  ASSERT_TRUE(corpus.SaveSnapshot(second).ok());
+
+  auto reopened = CorpusSnapshot::Open(second);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ((*reopened)->doc_count(), 2u);
+  EXPECT_EQ((*reopened)->name(0), "extra");
+  EXPECT_EQ((*reopened)->name(1), "stores");
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+// ------------------------------------------------------------------ churn
+
+// Readers search and fault in lazily while a writer hides snapshot
+// documents and churns overlay documents. Epoch pins must keep every
+// observed view coherent; TSan (CI) verifies the synchronization.
+TEST(CorpusSnapshotChurnTest, ConcurrentSearchSurvivesMutation) {
+  const std::string path = WriteDemoSnapshot("corpus_churn.xcsn");
+  auto snapshot = CorpusSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok());
+
+  XmlCorpus corpus;
+  ASSERT_TRUE(corpus.AttachSnapshot(*snapshot).ok());
+  XSeekEngine engine;
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> pages{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&corpus, &engine, &stop, &pages, t] {
+      const Query query =
+          Query::Parse(t % 2 == 0 ? "texas" : "movie");
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto hits = corpus.SearchAll(query, engine);
+        ASSERT_TRUE(hits.ok()) << hits.status();
+        if (!hits->empty()) {
+          auto snippets =
+              corpus.GenerateSnippets(query, *hits, SnippetOptions{});
+          ASSERT_TRUE(snippets.ok()) << snippets.status();
+        }
+        pages.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_TRUE(
+        corpus.AddDocument("churn", "<a><b>texas churn</b></a>").ok());
+    ASSERT_TRUE(corpus.RemoveDocument("churn").ok());
+    if (round == 10) {
+      ASSERT_TRUE(corpus.RemoveDocument("movies").ok());  // hide snapshot doc
+    }
+  }
+  while (pages.load(std::memory_order_relaxed) < 30) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(corpus.size(), 2u);  // movies hidden, churn removed
+  EXPECT_GE(corpus.SnapshotStatsSnapshot()->resident, 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace extract

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "datagen/retailer_dataset.h"
 #include "datagen/stores_dataset.h"
 #include "search/corpus.h"
+#include "search/corpus_snapshot.h"
 #include "snippet/snippet_service.h"
 #include "snippet/snippet_tree.h"
 #include "xml/parser.h"
@@ -307,6 +309,100 @@ TEST(FaultPointTest, CachePutDropKeepsServingCorrect) {
   auto second = corpus.GenerateSnippets(query, *hits, SnippetOptions{});
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(Fingerprint((*second)[0]), reference);
+}
+
+// ---------------------------------------------------- snapshot domain
+
+std::string WriteSnapshotFixture(const char* name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  auto writer = CorpusSnapshotWriter::Create(path);
+  EXPECT_TRUE(writer.ok()) << writer.status();
+  EXPECT_TRUE(writer->Add("stores", *XmlDatabase::Load(GenerateStoresXml()))
+                  .ok());
+  EXPECT_TRUE(writer->Finish().ok());
+  return path;
+}
+
+TEST(FaultPointTest, SnapshotOpenFailureIsCleanAndRetryable) {
+  const std::string path = WriteSnapshotFixture("fault_open.xcsn");
+  {
+    ScopedFaultInjection arm(
+        {OnNthHit("snapshot.open", 1, StatusCode::kUnavailable)});
+    auto snapshot = CorpusSnapshot::Open(path);
+    ASSERT_FALSE(snapshot.ok());
+    EXPECT_EQ(snapshot.status().code(), StatusCode::kUnavailable);
+    EXPECT_NE(snapshot.status().message().find("[fault:snapshot.open]"),
+              std::string::npos)
+        << snapshot.status();
+  }
+  EXPECT_TRUE(CorpusSnapshot::Open(path).ok());  // disarmed retry succeeds
+  std::remove(path.c_str());
+}
+
+TEST(FaultPointTest, SnapshotChecksumFaultSurfacesAtOpen) {
+  const std::string path = WriteSnapshotFixture("fault_checksum.xcsn");
+  // The first snapshot.checksum hit guards the header verification.
+  ScopedFaultInjection arm(
+      {OnNthHit("snapshot.checksum", 1, StatusCode::kParseError)});
+  auto snapshot = CorpusSnapshot::Open(path);
+  ASSERT_FALSE(snapshot.ok());
+  EXPECT_EQ(snapshot.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(FaultPointTest, SnapshotTruncationFaultSurfacesAtOpen) {
+  const std::string path = WriteSnapshotFixture("fault_truncated.xcsn");
+  ScopedFaultInjection arm(
+      {OnNthHit("snapshot.truncated", 1, StatusCode::kParseError)});
+  EXPECT_EQ(CorpusSnapshot::Open(path).status().code(),
+            StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(FaultPointTest, SnapshotFaultInFailureRetainsNothingAndRetries) {
+  const std::string path = WriteSnapshotFixture("fault_faultin.xcsn");
+  auto snapshot = CorpusSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  CorpusSnapshot& snap = **snapshot;
+  {
+    ScopedFaultInjection arm(
+        {OnNthHit("snapshot.fault", 1, StatusCode::kUnavailable)});
+    auto doc = snap.Fault(0);
+    ASSERT_FALSE(doc.ok());
+    EXPECT_EQ(doc.status().code(), StatusCode::kUnavailable);
+  }
+  // Failure counted, nothing resident, the disarmed retry decodes cleanly.
+  EXPECT_EQ(snap.Stats().fault_failures, 1u);
+  EXPECT_EQ(snap.Stats().resident, 0u);
+  EXPECT_EQ(snap.ResidentOrNull(0), nullptr);
+  auto doc = snap.Fault(0);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ((*doc)->name, "stores");
+  EXPECT_EQ(snap.Stats().resident, 1u);
+  std::remove(path.c_str());
+}
+
+// The checksum point also guards every per-document fault-in: a search
+// over a snapshot-backed corpus surfaces the injected Status as that
+// document's search error, and serving recovers once disarmed.
+TEST(FaultPointTest, SnapshotFaultInFailureSurfacesThroughSearch) {
+  const std::string path = WriteSnapshotFixture("fault_search.xcsn");
+  auto snapshot = CorpusSnapshot::Open(path);
+  ASSERT_TRUE(snapshot.ok());
+  XmlCorpus corpus;
+  ASSERT_TRUE(corpus.AttachSnapshot(*snapshot).ok());
+  XSeekEngine engine;
+  {
+    ScopedFaultInjection arm(
+        {OnNthHit("snapshot.fault", 1, StatusCode::kUnavailable)});
+    auto hits = corpus.SearchAll(Query::Parse("texas"), engine);
+    ASSERT_FALSE(hits.ok());
+    EXPECT_EQ(hits.status().code(), StatusCode::kUnavailable);
+  }
+  auto hits = corpus.SearchAll(Query::Parse("texas"), engine);
+  ASSERT_TRUE(hits.ok()) << hits.status();
+  EXPECT_FALSE(hits->empty());
+  std::remove(path.c_str());
 }
 
 // ------------------------------------------------------- budget domain
